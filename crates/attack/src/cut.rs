@@ -1,0 +1,182 @@
+//! Cut analysis: the structural condition behind attack feasibility.
+//!
+//! *Perfect cut* (Section IV-A): for every measurement path `P` containing
+//! a victim link there is a malicious node on `P`. Theorem 1: a perfect
+//! cut makes every scapegoating strategy feasible (and, by Theorem 3,
+//! undetectable). The *attack presence ratio* quantifies imperfect cuts
+//! and is the x-axis of Fig. 7.
+
+use tomo_core::TomographySystem;
+use tomo_graph::LinkId;
+
+use crate::attacker::AttackerSet;
+
+/// Classification of the attackers' cut of a victim set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CutKind {
+    /// Every victim-crossing path passes an attacker.
+    Perfect,
+    /// Some victim-crossing path avoids all attackers.
+    Imperfect,
+    /// No measurement path crosses any victim link at all (the victim is
+    /// invisible to tomography — scapegoating it is moot).
+    NoCoverage,
+}
+
+/// Structural analysis of one (attackers, victims) pair.
+#[derive(Debug, Clone)]
+pub struct CutAnalysis {
+    /// The cut classification.
+    pub kind: CutKind,
+    /// Paths crossing at least one victim link.
+    pub victim_paths: Vec<usize>,
+    /// Among `victim_paths`, those also visiting an attacker.
+    pub covered_victim_paths: Vec<usize>,
+}
+
+impl CutAnalysis {
+    /// The attack presence ratio (Section V-C1): victim-crossing paths
+    /// that contain an attacker, over all victim-crossing paths.
+    /// `1.0` for perfect cuts; `0.0` when the victim is uncovered.
+    #[must_use]
+    pub fn presence_ratio(&self) -> f64 {
+        if self.victim_paths.is_empty() {
+            0.0
+        } else {
+            self.covered_victim_paths.len() as f64 / self.victim_paths.len() as f64
+        }
+    }
+
+    /// `true` iff the cut is perfect.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.kind == CutKind::Perfect
+    }
+}
+
+/// Analyzes how well `attackers` cut `victims` from the measurement
+/// paths.
+#[must_use]
+pub fn analyze_cut(
+    system: &TomographySystem,
+    attackers: &AttackerSet,
+    victims: &[LinkId],
+) -> CutAnalysis {
+    let victim_paths = system.paths_crossing_links(victims);
+    let covered_victim_paths: Vec<usize> = victim_paths
+        .iter()
+        .copied()
+        .filter(|&i| attackers.controls_path(i))
+        .collect();
+    let kind = if victim_paths.is_empty() {
+        CutKind::NoCoverage
+    } else if covered_victim_paths.len() == victim_paths.len() {
+        CutKind::Perfect
+    } else {
+        CutKind::Imperfect
+    };
+    CutAnalysis {
+        kind,
+        victim_paths,
+        covered_victim_paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_core::placement::{random_placement, PlacementConfig};
+    use tomo_core::{fig1, TomographySystem};
+    use tomo_graph::topology;
+
+    #[test]
+    fn fig1_link1_is_perfectly_cut_by_b_and_c() {
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let analysis = analyze_cut(&system, &attackers, &[topo.paper_link(1)]);
+        assert_eq!(analysis.kind, CutKind::Perfect);
+        assert!((analysis.presence_ratio() - 1.0).abs() < 1e-12);
+        assert!(!analysis.victim_paths.is_empty());
+    }
+
+    #[test]
+    fn fig1_link10_is_imperfectly_cut() {
+        // Link 10 (D-M2) is crossed by e.g. M3-D-M2, which avoids B and C.
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let analysis = analyze_cut(&system, &attackers, &[topo.paper_link(10)]);
+        assert_eq!(analysis.kind, CutKind::Imperfect);
+        let r = analysis.presence_ratio();
+        assert!(r > 0.0 && r < 1.0, "ratio {r}");
+    }
+
+    #[test]
+    fn fig3_topologies_match_their_names() {
+        // Perfect-cut variant.
+        let f = topology::fig3_perfect_cut();
+        let pool =
+            tomo_graph::enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 1000)
+                .unwrap();
+        // This tiny graph is not fully identifiable, so build the cut
+        // analysis directly on an unvalidated path set via a bigger
+        // wrapper: use all paths as a system only if identifiable;
+        // otherwise check the raw predicate.
+        let crossing: Vec<_> = pool
+            .iter()
+            .filter(|p| p.contains_link(f.victim_link))
+            .collect();
+        assert!(!crossing.is_empty());
+        assert!(crossing.iter().all(|p| p.contains_any_node(&f.attackers)));
+
+        let f = topology::fig3_imperfect_cut();
+        let pool =
+            tomo_graph::enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 1000)
+                .unwrap();
+        assert!(pool
+            .iter()
+            .any(|p| p.contains_link(f.victim_link) && !p.contains_any_node(&f.attackers)));
+    }
+
+    #[test]
+    fn uncovered_victim_reports_no_coverage() {
+        // Build a system where one link is never measured… impossible by
+        // construction (identifiability needs every link covered), so
+        // instead query an empty victim list.
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let analysis = analyze_cut(&system, &attackers, &[]);
+        assert_eq!(analysis.kind, CutKind::NoCoverage);
+        assert_eq!(analysis.presence_ratio(), 0.0);
+    }
+
+    #[test]
+    fn presence_ratio_monotone_in_attacker_set() {
+        // Adding attackers can only increase the covered path set —
+        // the structural heart of Theorem 2.
+        let mut rng = rand::SeedableRng::seed_from_u64(77);
+        let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
+        let g = tomo_graph::isp::generate(&tomo_graph::isp::IspConfig::default(), rng).unwrap();
+        let system: TomographySystem =
+            random_placement(&g, &PlacementConfig::default(), rng).unwrap();
+        let victim = LinkId(0);
+        let nodes: Vec<_> = system.graph().nodes().collect();
+        let (va, vb) = {
+            let (a, b) = system.graph().endpoints(victim).unwrap();
+            (a, b)
+        };
+        let candidates: Vec<_> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| n != va && n != vb)
+            .take(6)
+            .collect();
+        let small = AttackerSet::new(&system, candidates[..2].to_vec()).unwrap();
+        let large = AttackerSet::new(&system, candidates.clone()).unwrap();
+        let r_small = analyze_cut(&system, &small, &[victim]).presence_ratio();
+        let r_large = analyze_cut(&system, &large, &[victim]).presence_ratio();
+        assert!(r_large >= r_small - 1e-12);
+    }
+}

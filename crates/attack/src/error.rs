@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+use tomo_core::CoreError;
+use tomo_graph::{LinkId, NodeId};
+use tomo_lp::LpError;
+
+/// Errors produced while constructing or solving scapegoating attacks.
+///
+/// An *infeasible* attack is not an error — it is the
+/// [`AttackOutcome::Infeasible`](crate::AttackOutcome) variant — errors
+/// indicate malformed inputs or solver breakdowns.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// An attacker node does not belong to the system's graph.
+    UnknownAttacker {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The attacker set is empty.
+    NoAttackers,
+    /// A victim link does not belong to the system's graph.
+    UnknownVictim {
+        /// The offending link.
+        link: LinkId,
+    },
+    /// A victim link is controlled by the attackers — Eq. (7) requires
+    /// `L_s ∩ L_m = ∅`.
+    VictimControlledByAttacker {
+        /// The offending link.
+        link: LinkId,
+    },
+    /// The victim set is empty.
+    NoVictims,
+    /// The baseline link-metric vector has the wrong length.
+    BadBaseline {
+        /// Expected length (|L|).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// An underlying tomography operation failed.
+    Core(CoreError),
+    /// The LP solver failed (iteration limit — should not occur).
+    Lp(LpError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::UnknownAttacker { node } => {
+                write!(f, "attacker node {node} is not in the graph")
+            }
+            AttackError::NoAttackers => write!(f, "attacker set is empty"),
+            AttackError::UnknownVictim { link } => {
+                write!(f, "victim link {link} is not in the graph")
+            }
+            AttackError::VictimControlledByAttacker { link } => write!(
+                f,
+                "victim link {link} is attacker-controlled; Eq. (7) requires disjoint sets"
+            ),
+            AttackError::NoVictims => write!(f, "victim set is empty"),
+            AttackError::BadBaseline { expected, got } => {
+                write!(f, "baseline metrics: expected length {expected}, got {got}")
+            }
+            AttackError::Core(e) => write!(f, "tomography error: {e}"),
+            AttackError::Lp(e) => write!(f, "LP solver error: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Core(e) => Some(e),
+            AttackError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AttackError {
+    fn from(e: CoreError) -> Self {
+        AttackError::Core(e)
+    }
+}
+
+impl From<LpError> for AttackError {
+    fn from(e: LpError) -> Self {
+        AttackError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(AttackError::NoAttackers.to_string().contains("empty"));
+        let e = AttackError::VictimControlledByAttacker { link: LinkId(3) };
+        assert!(e.to_string().contains("l3"));
+        assert!(e.source().is_none());
+        let c: AttackError = CoreError::NoPaths.into();
+        assert!(c.source().is_some());
+        let l: AttackError = LpError::IterationLimit { limit: 5 }.into();
+        assert!(l.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

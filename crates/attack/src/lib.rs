@@ -1,0 +1,65 @@
+//! Scapegoating attacks against network tomography — the primary
+//! contribution of the ICDCS 2017 paper, as a reusable library.
+//!
+//! An attacker controls a set of in-network nodes. On every measurement
+//! path that crosses one of its nodes it may add non-negative extra delay
+//! (the *attack manipulation vector* `m`, Constraint 1); paths without an
+//! attacker cannot be touched. The attacker's goals, formalized as linear
+//! programs over `m` (the estimate responds linearly:
+//! `x̂(m) = x̂₀ + A m` with `A = (RᵀR)⁻¹Rᵀ`):
+//!
+//! * [`strategy::chosen_victim`] — Eq. (4-7): maximize damage `‖m‖₁`
+//!   while the chosen victim links classify *abnormal* and all
+//!   attacker-adjacent links classify *normal*.
+//! * [`strategy::max_damage`] — Eq. (8): additionally search for the
+//!   victim set that admits the largest damage.
+//! * [`strategy::obfuscation`] — Eq. (9-11): push a substantial set of
+//!   links into the *uncertain* band so no clear outlier exists.
+//!
+//! Feasibility theory lives in [`cut`] (perfect/imperfect cuts, attack
+//! presence ratio — Theorems 1 and 2) and [`theory`] (the constructive
+//! perfect-cut attack from the proof of Theorem 1). Monte-Carlo success
+//! probability experiments (Figs. 7 and 8) live in [`montecarlo`].
+//!
+//! # Example
+//!
+//! Frame link 10 of the paper's Fig. 1 network (the attack of Fig. 4):
+//!
+//! ```
+//! use tomo_attack::{attacker::AttackerSet, scenario::AttackScenario, strategy};
+//! use tomo_core::fig1;
+//! use tomo_core::LinkState;
+//!
+//! # fn main() -> Result<(), tomo_attack::AttackError> {
+//! let system = fig1::fig1_system().unwrap();
+//! let topo = fig1::fig1_topology();
+//! let attackers = AttackerSet::new(&system, topo.attackers.clone())?;
+//! let scenario = AttackScenario::paper_defaults();
+//!
+//! // Clean link delays of 10 ms each.
+//! let x = tomo_linalg::Vector::filled(10, 10.0);
+//! let victim = topo.paper_link(10);
+//! let outcome = strategy::chosen_victim(&system, &attackers, &scenario, &x, &[victim])?;
+//! assert!(outcome.is_success());
+//! let o = outcome.success().unwrap();
+//! assert_eq!(o.states[victim.index()], LinkState::Abnormal);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod attacker;
+pub mod cut;
+pub mod manipulation;
+pub mod montecarlo;
+pub mod outcome;
+pub mod scenario;
+pub mod strategy;
+pub mod theory;
+
+pub use error::AttackError;
+pub use outcome::{AttackOutcome, AttackSuccess};

@@ -1,0 +1,589 @@
+//! The manipulation LP: the common optimization core of all three
+//! scapegoating strategies.
+//!
+//! With estimator matrix `A = (RᵀR)⁻¹Rᵀ` and clean estimate `x̂₀`, a
+//! manipulation `m` shifts the tomography output linearly:
+//! `x̂(m) = x̂₀ + A m`. Every strategy is then
+//!
+//! ```text
+//! maximize   Σᵢ mᵢ                               (damage, Definition 2)
+//! subject to mᵢ ∈ [0, cap]   for attacked paths  (Constraint 1 + cap)
+//!            mᵢ = 0          elsewhere            (Constraint 1)
+//!            x̂(m)ⱼ  ⋚  thresholds                 (per-link state goals)
+//! ```
+//!
+//! differing only in which links get which state goal.
+
+use tomo_core::TomographySystem;
+use tomo_graph::LinkId;
+use tomo_linalg::{norms, Matrix, Vector};
+use tomo_lp::{LpProblem, LpStatus, Objective, Relation, VarId};
+
+use crate::attacker::AttackerSet;
+use crate::outcome::{AttackOutcome, AttackSuccess};
+use crate::scenario::AttackScenario;
+use crate::AttackError;
+
+/// The state the attacker wants tomography to report for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkGoal {
+    /// Estimate below `b_l − margin` — constraint (5).
+    Normal,
+    /// Estimate above `b_u + margin` — constraint (6).
+    Abnormal,
+    /// Estimate inside `[b_l + margin, b_u − margin]` — constraint (10).
+    Uncertain,
+    /// Like [`LinkGoal::Normal`] but additionally `x̂ ≥ 0`: a *plausible*
+    /// healthy link. Eq. (5) does not require non-negativity, but a
+    /// negative delay estimate would instantly expose the attack to a
+    /// sanity check, so precision strategies (exclusive framing) use
+    /// this variant.
+    NormalPlausible,
+}
+
+/// A reusable manipulation-LP factory for one (system, attackers,
+/// baseline) instance. Strategies call [`ManipulationProblem::solve`]
+/// with different goal sets; the expensive pieces (estimator matrix,
+/// clean measurements) are computed once.
+#[derive(Debug, Clone)]
+pub struct ManipulationProblem<'a> {
+    system: &'a TomographySystem,
+    attackers: &'a AttackerSet,
+    scenario: AttackScenario,
+    /// Clean measurements `y = R x`.
+    clean_measurements: Vector,
+    /// Clean estimate `x̂₀` (equals the true metrics in a noise-free run).
+    baseline_estimate: Vector,
+    /// `A = (RᵀR)⁻¹Rᵀ`, links × paths.
+    estimator: Matrix,
+}
+
+impl<'a> ManipulationProblem<'a> {
+    /// Prepares the LP factory for true link metrics `true_metrics`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::BadBaseline`] if `true_metrics.len() ≠ |L|`,
+    /// * propagates tomography errors.
+    pub fn new(
+        system: &'a TomographySystem,
+        attackers: &'a AttackerSet,
+        scenario: AttackScenario,
+        true_metrics: &Vector,
+    ) -> Result<Self, AttackError> {
+        if true_metrics.len() != system.num_links() {
+            return Err(AttackError::BadBaseline {
+                expected: system.num_links(),
+                got: true_metrics.len(),
+            });
+        }
+        let clean_measurements = system.measure(true_metrics)?;
+        let baseline_estimate = system.estimate(&clean_measurements)?;
+        let estimator = system.estimator_matrix()?;
+        Ok(ManipulationProblem {
+            system,
+            attackers,
+            scenario,
+            clean_measurements,
+            baseline_estimate,
+            estimator,
+        })
+    }
+
+    /// The clean (pre-attack) estimate `x̂₀`.
+    #[must_use]
+    pub fn baseline_estimate(&self) -> &Vector {
+        &self.baseline_estimate
+    }
+
+    /// The clean measurement vector `y`.
+    #[must_use]
+    pub fn clean_measurements(&self) -> &Vector {
+        &self.clean_measurements
+    }
+
+    /// Largest achievable upward shift of link `j`'s estimate:
+    /// `Σᵢ max(A[j,i], 0) · cap` over attacked paths. A cheap feasibility
+    /// pre-filter for victim candidates (if even this bound cannot reach
+    /// `b_u`, the abnormal goal is hopeless).
+    #[must_use]
+    pub fn max_upward_shift(&self, link: LinkId) -> f64 {
+        let j = link.index();
+        self.attackers
+            .attacked_paths()
+            .iter()
+            .map(|&i| self.estimator[(j, i)].max(0.0))
+            .sum::<f64>()
+            * self.scenario.path_cap
+    }
+
+    /// Solves the manipulation LP for the given per-link goals.
+    ///
+    /// Links not mentioned in `goals` are unconstrained (the paper's
+    /// formulations constrain only `L_m` and `L_s`). `victims` is the
+    /// victim set `L_s` recorded on a successful outcome (it does not
+    /// affect the optimization — attacker links may share the same state
+    /// goal without being victims).
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::UnknownVictim`] if a goal references a link
+    ///   outside the graph,
+    /// * propagates LP solver errors.
+    pub fn solve(
+        &self,
+        goals: &[(LinkId, LinkGoal)],
+        victims: &[LinkId],
+    ) -> Result<AttackOutcome, AttackError> {
+        self.solve_directed(goals, victims, Objective::Maximize)
+    }
+
+    /// Like [`Self::solve`] but **minimizing** the total manipulation
+    /// `‖m‖₁` — the covert attacker's objective (see
+    /// `strategy::min_effort_chosen_victim`). Feasibility is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    pub fn solve_minimizing(
+        &self,
+        goals: &[(LinkId, LinkGoal)],
+        victims: &[LinkId],
+    ) -> Result<AttackOutcome, AttackError> {
+        self.solve_directed(goals, victims, Objective::Minimize)
+    }
+
+    fn solve_directed(
+        &self,
+        goals: &[(LinkId, LinkGoal)],
+        victims: &[LinkId],
+        direction: Objective,
+    ) -> Result<AttackOutcome, AttackError> {
+        for &(l, _) in goals {
+            if l.index() >= self.system.num_links() {
+                return Err(AttackError::UnknownVictim { link: l });
+            }
+        }
+        let attacked = self.attackers.attacked_paths();
+        if attacked.is_empty() {
+            // No manipulable path: feasible only if every goal already
+            // holds at the clean estimate with margin.
+            return Ok(self.zero_manipulation_outcome(goals, victims));
+        }
+
+        let mut lp = LpProblem::new(direction);
+        let vars: Vec<VarId> = attacked
+            .iter()
+            .map(|&i| {
+                lp.add_variable(format!("m_{i}"), 0.0, Some(self.scenario.path_cap))
+                    .expect("valid bounds")
+            })
+            .collect();
+        for &v in &vars {
+            lp.set_objective_coefficient(v, 1.0);
+        }
+
+        let b_l = self.scenario.thresholds.lower();
+        let b_u = self.scenario.thresholds.upper();
+        let eps = self.scenario.margin;
+
+        for &(link, goal) in goals {
+            let j = link.index();
+            let terms: Vec<(VarId, f64)> = attacked
+                .iter()
+                .zip(vars.iter())
+                .filter(|(&i, _)| self.estimator[(j, i)].abs() > 1e-12)
+                .map(|(&i, &v)| (v, self.estimator[(j, i)]))
+                .collect();
+            let base = self.baseline_estimate[j];
+            match goal {
+                LinkGoal::Normal => {
+                    lp.add_constraint(&terms, Relation::Le, b_l - eps - base)
+                        .expect("finite");
+                }
+                LinkGoal::Abnormal => {
+                    lp.add_constraint(&terms, Relation::Ge, b_u + eps - base)
+                        .expect("finite");
+                }
+                LinkGoal::Uncertain => {
+                    lp.add_constraint(&terms, Relation::Ge, b_l + eps - base)
+                        .expect("finite");
+                    lp.add_constraint(&terms, Relation::Le, b_u - eps - base)
+                        .expect("finite");
+                }
+                LinkGoal::NormalPlausible => {
+                    lp.add_constraint(&terms, Relation::Le, b_l - eps - base)
+                        .expect("finite");
+                    lp.add_constraint(&terms, Relation::Ge, -base)
+                        .expect("finite");
+                }
+            }
+        }
+
+        if self.scenario.evade_detection {
+            self.add_evasion_constraints(&mut lp, attacked, &vars);
+        }
+
+        let sol = lp.solve()?;
+        match sol.status() {
+            LpStatus::Optimal => {
+                let mut manipulation = Vector::zeros(self.system.num_paths());
+                for (&i, &v) in attacked.iter().zip(vars.iter()) {
+                    // Clamp LP round-off into the valid range.
+                    manipulation[i] = sol.value(v).clamp(0.0, self.scenario.path_cap);
+                }
+                Ok(self.outcome_from_manipulation(manipulation, victims))
+            }
+            LpStatus::Infeasible => Ok(AttackOutcome::Infeasible),
+            LpStatus::Unbounded => {
+                unreachable!("capped variables make the damage objective bounded")
+            }
+        }
+    }
+
+    /// Adds the detection-evasion constraints of Theorem 3's
+    /// undetectable branch:
+    ///
+    /// * consistency: `(R A − I) m = 0` row per measurement path, so the
+    ///   Eq. (23) check `R x̂ = y′` holds with equality,
+    /// * plausibility: `x̂(m)ⱼ ≥ 0` per link (negative delay estimates
+    ///   would expose the attack to a trivial sanity check).
+    fn add_evasion_constraints(&self, lp: &mut LpProblem, attacked: &[usize], vars: &[VarId]) {
+        // P = R·A: the projector onto the routing matrix's column space.
+        let projector = self
+            .system
+            .routing_matrix()
+            .mul_mat(&self.estimator)
+            .expect("R (|P|×|L|) × A (|L|×|P|) conforms");
+        let num_paths = self.system.num_paths();
+        for i in 0..num_paths {
+            let terms: Vec<(VarId, f64)> = attacked
+                .iter()
+                .zip(vars.iter())
+                .filter_map(|(&k, &v)| {
+                    let mut c = projector[(i, k)];
+                    if i == k {
+                        c -= 1.0;
+                    }
+                    (c.abs() > 1e-12).then_some((v, c))
+                })
+                .collect();
+            if !terms.is_empty() {
+                lp.add_constraint(&terms, Relation::Eq, 0.0)
+                    .expect("finite");
+            }
+        }
+        if !self.scenario.plausible_evasion {
+            return; // the gap exploit: consistent but implausible
+        }
+        for j in 0..self.system.num_links() {
+            let terms: Vec<(VarId, f64)> = attacked
+                .iter()
+                .zip(vars.iter())
+                .filter(|(&i, _)| self.estimator[(j, i)].abs() > 1e-12)
+                .map(|(&i, &v)| (v, self.estimator[(j, i)]))
+                .collect();
+            if !terms.is_empty() {
+                lp.add_constraint(&terms, Relation::Ge, -self.baseline_estimate[j])
+                    .expect("finite");
+            }
+        }
+    }
+
+    /// Builds the success payload for a concrete manipulation vector.
+    fn outcome_from_manipulation(&self, manipulation: Vector, victims: &[LinkId]) -> AttackOutcome {
+        let attacked_measurements = &self.clean_measurements + &manipulation;
+        let estimate = self
+            .system
+            .estimate(&attacked_measurements)
+            .expect("dimensions fixed by construction");
+        let states = self.system.classify(&estimate, &self.scenario.thresholds);
+        AttackOutcome::Success(AttackSuccess {
+            damage: norms::l1(&manipulation),
+            manipulation,
+            estimate,
+            states,
+            victims: victims.to_vec(),
+        })
+    }
+
+    /// Outcome when the attacker cannot touch any path: the zero
+    /// manipulation either already satisfies all goals or the attack is
+    /// infeasible.
+    fn zero_manipulation_outcome(
+        &self,
+        goals: &[(LinkId, LinkGoal)],
+        victims: &[LinkId],
+    ) -> AttackOutcome {
+        let b_l = self.scenario.thresholds.lower();
+        let b_u = self.scenario.thresholds.upper();
+        let eps = self.scenario.margin;
+        let ok = goals.iter().all(|&(l, g)| {
+            let v = self.baseline_estimate[l.index()];
+            match g {
+                LinkGoal::Normal => v <= b_l - eps,
+                LinkGoal::Abnormal => v >= b_u + eps,
+                LinkGoal::Uncertain => (b_l + eps..=b_u - eps).contains(&v),
+                LinkGoal::NormalPlausible => v >= 0.0 && v <= b_l - eps,
+            }
+        });
+        if ok {
+            self.outcome_from_manipulation(Vector::zeros(self.system.num_paths()), victims)
+        } else {
+            AttackOutcome::Infeasible
+        }
+    }
+}
+
+/// Verifies Constraint 1 on a manipulation vector: non-negative
+/// everywhere, zero on paths without an attacker, and within the cap.
+/// Used by tests and by downstream consumers that receive manipulation
+/// vectors from untrusted strategy code.
+#[must_use]
+pub fn satisfies_constraint_1(
+    manipulation: &Vector,
+    attackers: &AttackerSet,
+    cap: f64,
+    tol: f64,
+) -> bool {
+    manipulation.iter().enumerate().all(|(i, &m)| {
+        let in_range = (-tol..=cap + tol).contains(&m);
+        let allowed = attackers.controls_path(i) || m.abs() <= tol;
+        in_range && allowed
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_core::fig1;
+    use tomo_core::LinkState;
+
+    fn setup() -> (
+        tomo_core::TomographySystem,
+        tomo_graph::topology::Fig1Topology,
+        Vector,
+    ) {
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let x = Vector::filled(10, 10.0);
+        (system, topo, x)
+    }
+
+    #[test]
+    fn baseline_estimate_equals_truth_noise_free() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        assert!(prob.baseline_estimate().approx_eq(&x, 1e-8));
+        assert_eq!(prob.clean_measurements().len(), 23);
+    }
+
+    #[test]
+    fn abnormal_goal_on_perfectly_cut_link_succeeds() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        let victim = topo.paper_link(1);
+        let mut goals = vec![(victim, LinkGoal::Abnormal)];
+        for &l in attackers.controlled_links() {
+            goals.push((l, LinkGoal::Normal));
+        }
+        let outcome = prob.solve(&goals, &[victim]).unwrap();
+        let s = outcome.success().expect("perfect cut must be feasible");
+        assert_eq!(s.states[victim.index()], LinkState::Abnormal);
+        for &l in attackers.controlled_links() {
+            assert_eq!(s.states[l.index()], LinkState::Normal, "link {l}");
+        }
+        assert!(s.damage > 0.0);
+        assert!(satisfies_constraint_1(
+            &s.manipulation,
+            &attackers,
+            2000.0,
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn solution_is_damage_maximal_not_just_feasible() {
+        // The LP maximizes ‖m‖₁; every attacked path must be driven to a
+        // binding constraint (cap or a state constraint). Sanity check:
+        // damage strictly exceeds what the minimum framing needs.
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        let victim = topo.paper_link(1);
+        let goals = vec![(victim, LinkGoal::Abnormal)];
+        let unconstrained = prob
+            .solve(&goals, &[victim])
+            .unwrap()
+            .into_success()
+            .unwrap();
+        // With no normal-goals, the attacker can saturate caps on many
+        // paths: damage should be large (at least several caps' worth).
+        assert!(
+            unconstrained.damage >= 3.0 * 2000.0,
+            "damage {}",
+            unconstrained.damage
+        );
+    }
+
+    #[test]
+    fn impossible_goal_is_infeasible() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        // Margin cannot exceed the band: force normal AND abnormal on the
+        // same link.
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        let l = topo.paper_link(9);
+        let outcome = prob
+            .solve(&[(l, LinkGoal::Normal), (l, LinkGoal::Abnormal)], &[l])
+            .unwrap();
+        assert!(!outcome.is_success());
+    }
+
+    #[test]
+    fn unknown_victim_rejected() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        assert!(matches!(
+            prob.solve(&[(LinkId(99), LinkGoal::Abnormal)], &[]),
+            Err(AttackError::UnknownVictim { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_baseline_rejected() {
+        let (system, topo, _) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        assert!(matches!(
+            ManipulationProblem::new(
+                &system,
+                &attackers,
+                AttackScenario::paper_defaults(),
+                &Vector::zeros(3),
+            ),
+            Err(AttackError::BadBaseline { .. })
+        ));
+    }
+
+    #[test]
+    fn max_upward_shift_bounds_actual_shift() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        let victim = topo.paper_link(10);
+        let outcome = prob
+            .solve(&[(victim, LinkGoal::Abnormal)], &[victim])
+            .unwrap();
+        if let Some(s) = outcome.success() {
+            let shift = s.estimate[victim.index()] - x[victim.index()];
+            assert!(shift <= prob.max_upward_shift(victim) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_goals_maximize_pure_damage() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob =
+            ManipulationProblem::new(&system, &attackers, AttackScenario::paper_defaults(), &x)
+                .unwrap();
+        let outcome = prob.solve(&[], &[]).unwrap();
+        let s = outcome.success().unwrap();
+        // Unconstrained: every attacked path saturates the cap.
+        let expected = attackers.attacked_paths().len() as f64 * 2000.0;
+        assert!((s.damage - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stealthy_attack_on_perfect_cut_is_consistent() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob = ManipulationProblem::new(
+            &system,
+            &attackers,
+            AttackScenario::paper_defaults_stealthy(),
+            &x,
+        )
+        .unwrap();
+        let victim = topo.paper_link(1); // perfectly cut by {B, C}
+        let mut goals = vec![(victim, LinkGoal::Abnormal)];
+        for &l in attackers.controlled_links() {
+            goals.push((l, LinkGoal::Normal));
+        }
+        let outcome = prob.solve(&goals, &[victim]).unwrap();
+        let s = outcome
+            .success()
+            .expect("Theorem 3: perfect cut admits an undetectable attack");
+        // The consistency residual ‖R x̂ − y′‖₁ vanishes.
+        let y_attacked = &prob.clean_measurements().clone() + &s.manipulation;
+        let reproj = system.routing_matrix().mul_vec(&s.estimate).unwrap();
+        let residual = tomo_linalg::norms::l1(&(&reproj - &y_attacked));
+        assert!(residual < 1e-4, "residual {residual}");
+        assert_eq!(s.states[victim.index()], tomo_core::LinkState::Abnormal);
+    }
+
+    #[test]
+    fn stealthy_attack_on_imperfect_cut_is_infeasible() {
+        let (system, topo, x) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let prob = ManipulationProblem::new(
+            &system,
+            &attackers,
+            AttackScenario::paper_defaults_stealthy(),
+            &x,
+        )
+        .unwrap();
+        let victim = topo.paper_link(10); // NOT perfectly cut
+        let mut goals = vec![(victim, LinkGoal::Abnormal)];
+        for &l in attackers.controlled_links() {
+            goals.push((l, LinkGoal::Normal));
+        }
+        let outcome = prob.solve(&goals, &[victim]).unwrap();
+        assert!(
+            !outcome.is_success(),
+            "Theorem 3: imperfect cut cannot evade the consistency check"
+        );
+    }
+
+    #[test]
+    fn constraint_1_checker() {
+        let (system, topo, _) = setup();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let n = system.num_paths();
+        assert!(satisfies_constraint_1(
+            &Vector::zeros(n),
+            &attackers,
+            100.0,
+            1e-9
+        ));
+        // Negative entry fails.
+        let mut neg = Vector::zeros(n);
+        neg[attackers.attacked_paths()[0]] = -1.0;
+        assert!(!satisfies_constraint_1(&neg, &attackers, 100.0, 1e-9));
+        // Entry on a non-attacked path fails.
+        if let Some(free) = (0..n).find(|i| !attackers.controls_path(*i)) {
+            let mut bad = Vector::zeros(n);
+            bad[free] = 1.0;
+            assert!(!satisfies_constraint_1(&bad, &attackers, 100.0, 1e-9));
+        }
+        // Over-cap fails.
+        let mut over = Vector::zeros(n);
+        over[attackers.attacked_paths()[0]] = 101.0;
+        assert!(!satisfies_constraint_1(&over, &attackers, 100.0, 1e-9));
+    }
+}

@@ -1,0 +1,411 @@
+//! Monte-Carlo attack-feasibility experiments (Figs. 7 and 8).
+//!
+//! Each *trial* draws random attackers, a random victim, and random
+//! routine link delays on a fixed measurement system, then asks whether
+//! the strategy's LP is feasible. The paper's success probability is the
+//! fraction of feasible trials; for chosen-victim attacks it is reported
+//! against the *attack presence ratio* (Theorem 2's driver), which this
+//! module also bins.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_core::delay::DelayModel;
+use tomo_core::TomographySystem;
+use tomo_graph::{LinkId, NodeId};
+
+use crate::attacker::AttackerSet;
+use crate::cut::analyze_cut;
+use crate::scenario::AttackScenario;
+use crate::strategy;
+use crate::AttackError;
+
+/// One chosen-victim trial's record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChosenVictimTrial {
+    /// Attack presence ratio of the sampled (attackers, victim) pair.
+    pub presence_ratio: f64,
+    /// Whether the attackers perfectly cut the victim.
+    pub perfect_cut: bool,
+    /// Whether the strategy LP was feasible.
+    pub success: bool,
+    /// Damage achieved when successful.
+    pub damage: f64,
+}
+
+/// One single-attacker trial's record (max-damage or obfuscation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SingleAttackerTrial {
+    /// Whether the strategy found any feasible victim set.
+    pub success: bool,
+    /// Damage achieved when successful.
+    pub damage: f64,
+}
+
+/// Draws a uniformly random attacker set of `count` nodes.
+///
+/// Monitors are eligible — the paper allows compromised monitors
+/// (Section II-D).
+fn sample_attackers<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = system.graph().nodes().collect();
+    nodes.shuffle(rng);
+    nodes.truncate(count.min(nodes.len()).max(1));
+    nodes
+}
+
+/// Runs one chosen-victim trial: random attackers, a random
+/// non-controlled victim link, random routine delays.
+///
+/// Returns `None` when the draw is degenerate (attackers control every
+/// link, or the victim is not covered by any path — impossible on
+/// identifiable systems, kept for robustness).
+///
+/// # Errors
+///
+/// Propagates attack-construction errors.
+pub fn chosen_victim_trial<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    num_attackers: usize,
+    rng: &mut R,
+) -> Result<Option<ChosenVictimTrial>, AttackError> {
+    let attackers = AttackerSet::new(system, sample_attackers(system, num_attackers, rng))?;
+    let free_links: Vec<LinkId> = (0..system.num_links())
+        .map(LinkId)
+        .filter(|&l| !attackers.controls_link(l))
+        .collect();
+    let Some(&victim) = free_links.as_slice().choose(rng) else {
+        return Ok(None);
+    };
+    let cut = analyze_cut(system, &attackers, &[victim]);
+    if cut.victim_paths.is_empty() {
+        return Ok(None);
+    }
+    let x = delay_model.sample(system.num_links(), rng);
+    let outcome = strategy::chosen_victim(system, &attackers, scenario, &x, &[victim])?;
+    let (success, damage) = match outcome.success() {
+        Some(s) => (true, s.damage),
+        None => (false, 0.0),
+    };
+    Ok(Some(ChosenVictimTrial {
+        presence_ratio: cut.presence_ratio(),
+        perfect_cut: cut.is_perfect(),
+        success,
+        damage,
+    }))
+}
+
+/// Runs one single-attacker maximum-damage trial (Fig. 8).
+///
+/// # Errors
+///
+/// Propagates attack-construction errors.
+pub fn max_damage_trial<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    rng: &mut R,
+) -> Result<SingleAttackerTrial, AttackError> {
+    let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
+    let x = delay_model.sample(system.num_links(), rng);
+    let outcome = strategy::max_damage(system, &attackers, scenario, &x)?;
+    Ok(match outcome.success() {
+        Some(s) => SingleAttackerTrial {
+            success: true,
+            damage: s.damage,
+        },
+        None => SingleAttackerTrial {
+            success: false,
+            damage: 0.0,
+        },
+    })
+}
+
+/// Runs one single-attacker obfuscation trial (Fig. 8): success requires
+/// at least `min_victims` victim links in the uncertain state.
+///
+/// # Errors
+///
+/// Propagates attack-construction errors.
+pub fn obfuscation_trial<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    min_victims: usize,
+    rng: &mut R,
+) -> Result<SingleAttackerTrial, AttackError> {
+    let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
+    let x = delay_model.sample(system.num_links(), rng);
+    let outcome = strategy::obfuscation(system, &attackers, scenario, &x, min_victims)?;
+    Ok(match outcome.success() {
+        Some(s) => SingleAttackerTrial {
+            success: true,
+            damage: s.damage,
+        },
+        None => SingleAttackerTrial {
+            success: false,
+            damage: 0.0,
+        },
+    })
+}
+
+/// Success probability as a function of coalition size — a natural
+/// companion to Fig. 7 (which varies the presence *ratio*): how does the
+/// number of colluding nodes translate into feasibility?
+///
+/// Runs `trials` chosen-victim trials for each coalition size in
+/// `1..=max_attackers` and returns one success probability per size.
+///
+/// # Errors
+///
+/// Propagates attack-construction errors.
+pub fn coalition_sweep<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    max_attackers: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, AttackError> {
+    let mut curve = Vec::with_capacity(max_attackers);
+    for k in 1..=max_attackers.max(1) {
+        let mut successes = 0usize;
+        let mut usable = 0usize;
+        for _ in 0..trials {
+            if let Some(t) = chosen_victim_trial(system, scenario, delay_model, k, rng)? {
+                usable += 1;
+                if t.success {
+                    successes += 1;
+                }
+            }
+        }
+        curve.push(if usable == 0 {
+            0.0
+        } else {
+            successes as f64 / usable as f64
+        });
+    }
+    Ok(curve)
+}
+
+/// Success probability per presence-ratio bin — the Fig. 7 curve.
+///
+/// `bins` half-open intervals partition `[0, 1]`; the last bin is closed
+/// at 1. Bins with no samples report `None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioBins {
+    /// Bin edges: `edges[k] .. edges[k+1]`.
+    pub edges: Vec<f64>,
+    /// Trials per bin.
+    pub counts: Vec<usize>,
+    /// Successes per bin.
+    pub successes: Vec<usize>,
+}
+
+impl RatioBins {
+    /// Builds `bins` equal-width bins over `[0, 1]` from trial records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    #[must_use]
+    pub fn from_trials(trials: &[ChosenVictimTrial], bins: usize) -> Self {
+        assert!(bins > 0, "at least one bin required");
+        let edges: Vec<f64> = (0..=bins).map(|k| k as f64 / bins as f64).collect();
+        let mut counts = vec![0usize; bins];
+        let mut successes = vec![0usize; bins];
+        for t in trials {
+            let mut k = (t.presence_ratio * bins as f64).floor() as usize;
+            if k >= bins {
+                k = bins - 1; // ratio == 1.0 goes to the last bin
+            }
+            counts[k] += 1;
+            if t.success {
+                successes[k] += 1;
+            }
+        }
+        RatioBins {
+            edges,
+            counts,
+            successes,
+        }
+    }
+
+    /// Success probability of bin `k` (`None` when empty).
+    #[must_use]
+    pub fn probability(&self, k: usize) -> Option<f64> {
+        if self.counts[k] == 0 {
+            None
+        } else {
+            Some(self.successes[k] as f64 / self.counts[k] as f64)
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if there are no bins (cannot happen via `from_trials`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tomo_core::{fig1, params};
+
+    fn fig1_setup() -> (TomographySystem, AttackScenario, DelayModel) {
+        (
+            fig1::fig1_system().unwrap(),
+            AttackScenario::paper_defaults(),
+            params::default_delay_model(),
+        )
+    }
+
+    #[test]
+    fn chosen_victim_trials_produce_valid_records() {
+        let (system, scenario, delays) = fig1_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut any_success = false;
+        for _ in 0..30 {
+            if let Some(t) = chosen_victim_trial(&system, &scenario, &delays, 2, &mut rng).unwrap()
+            {
+                assert!((0.0..=1.0).contains(&t.presence_ratio));
+                if t.perfect_cut {
+                    assert!((t.presence_ratio - 1.0).abs() < 1e-12);
+                    // Theorem 1: perfect cut ⇒ success.
+                    assert!(t.success, "perfect cut must succeed");
+                }
+                if t.success {
+                    assert!(t.damage > 0.0);
+                    any_success = true;
+                } else {
+                    assert_eq!(t.damage, 0.0);
+                }
+            }
+        }
+        assert!(any_success, "some Fig. 1 trials must succeed");
+    }
+
+    #[test]
+    fn single_attacker_trials_run() {
+        let (system, scenario, delays) = fig1_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut md_successes = 0;
+        for _ in 0..10 {
+            let t = max_damage_trial(&system, &scenario, &delays, &mut rng).unwrap();
+            if t.success {
+                md_successes += 1;
+                assert!(t.damage > 0.0);
+            }
+        }
+        // On Fig. 1 most single attackers can frame someone.
+        assert!(md_successes > 0);
+
+        let t = obfuscation_trial(&system, &scenario, &delays, 2, &mut rng).unwrap();
+        // Either outcome is legitimate; record shape only.
+        if !t.success {
+            assert_eq!(t.damage, 0.0);
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let (system, scenario, delays) = fig1_setup();
+        let a = chosen_victim_trial(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            &mut ChaCha8Rng::seed_from_u64(7),
+        )
+        .unwrap();
+        let b = chosen_victim_trial(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            &mut ChaCha8Rng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalition_sweep_grows_with_attackers() {
+        let (system, scenario, delays) = fig1_setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let curve = coalition_sweep(&system, &scenario, &delays, 4, 25, &mut rng).unwrap();
+        assert_eq!(curve.len(), 4);
+        assert!(curve.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Larger coalitions should not be dramatically worse: compare the
+        // best of sizes {3,4} against size 1 (statistical, generous slack).
+        let large = curve[2].max(curve[3]);
+        assert!(
+            large + 0.25 >= curve[0],
+            "coalitions of 3-4 ({large}) much weaker than singletons ({})",
+            curve[0]
+        );
+    }
+
+    #[test]
+    fn ratio_bins_aggregate_correctly() {
+        let trials = vec![
+            ChosenVictimTrial {
+                presence_ratio: 0.05,
+                perfect_cut: false,
+                success: false,
+                damage: 0.0,
+            },
+            ChosenVictimTrial {
+                presence_ratio: 0.55,
+                perfect_cut: false,
+                success: true,
+                damage: 10.0,
+            },
+            ChosenVictimTrial {
+                presence_ratio: 0.55,
+                perfect_cut: false,
+                success: false,
+                damage: 0.0,
+            },
+            ChosenVictimTrial {
+                presence_ratio: 1.0,
+                perfect_cut: true,
+                success: true,
+                damage: 5.0,
+            },
+        ];
+        let bins = RatioBins::from_trials(&trials, 10);
+        assert_eq!(bins.len(), 10);
+        assert!(!bins.is_empty());
+        assert_eq!(bins.counts[0], 1);
+        assert_eq!(bins.probability(0), Some(0.0));
+        assert_eq!(bins.counts[5], 2);
+        assert_eq!(bins.probability(5), Some(0.5));
+        // ratio 1.0 lands in the last bin.
+        assert_eq!(bins.counts[9], 1);
+        assert_eq!(bins.probability(9), Some(1.0));
+        assert_eq!(bins.probability(3), None);
+        assert_eq!(bins.edges.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = RatioBins::from_trials(&[], 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Attack results.
+
+use serde::{Deserialize, Serialize};
+use tomo_core::LinkState;
+use tomo_graph::LinkId;
+use tomo_linalg::Vector;
+
+/// A successfully computed scapegoating attack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackSuccess {
+    /// The attack manipulation vector `m` over *all* measurement paths
+    /// (zero on paths the attackers do not sit on — Constraint 1).
+    pub manipulation: Vector,
+    /// The damage `‖m‖₁` (Definition 2).
+    pub damage: f64,
+    /// The link-metric estimate `x̂` tomography produces under attack.
+    pub estimate: Vector,
+    /// Per-link classification of `estimate` under the scenario
+    /// thresholds.
+    pub states: Vec<LinkState>,
+    /// The victim set `L_s` the attack frames.
+    pub victims: Vec<LinkId>,
+}
+
+/// Outcome of a scapegoating strategy: the LP is either feasible (attack
+/// succeeds, with the maximizing manipulation) or infeasible (the paper's
+/// definition of attack failure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AttackOutcome {
+    /// The strategy admits a feasible manipulation; the embedded
+    /// [`AttackSuccess`] holds the damage-maximizing one.
+    Success(AttackSuccess),
+    /// No manipulation satisfies the strategy's constraints.
+    Infeasible,
+}
+
+impl AttackOutcome {
+    /// `true` iff the attack is feasible.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttackOutcome::Success(_))
+    }
+
+    /// The success payload, if any.
+    #[must_use]
+    pub fn success(&self) -> Option<&AttackSuccess> {
+        match self {
+            AttackOutcome::Success(s) => Some(s),
+            AttackOutcome::Infeasible => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the success payload if any.
+    #[must_use]
+    pub fn into_success(self) -> Option<AttackSuccess> {
+        match self {
+            AttackOutcome::Success(s) => Some(s),
+            AttackOutcome::Infeasible => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = AttackSuccess {
+            manipulation: Vector::zeros(3),
+            damage: 0.0,
+            estimate: Vector::zeros(2),
+            states: vec![LinkState::Normal, LinkState::Normal],
+            victims: vec![LinkId(1)],
+        };
+        let outcome = AttackOutcome::Success(s);
+        assert!(outcome.is_success());
+        assert!(outcome.success().is_some());
+        assert!(outcome.into_success().is_some());
+
+        let fail = AttackOutcome::Infeasible;
+        assert!(!fail.is_success());
+        assert!(fail.success().is_none());
+        assert!(fail.into_success().is_none());
+    }
+}

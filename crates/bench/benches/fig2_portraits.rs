@@ -1,0 +1,17 @@
+//! Fig. 2 — strategy portraits (illustrative figure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig2;
+
+fn bench_fig2(c: &mut Criterion) {
+    let result = fig2::run(BENCH_SEED).expect("fig2 runs");
+    println!("\n{}", fig2::render(&result));
+
+    c.bench_function("fig2_portraits", |b| {
+        b.iter(|| fig2::run(black_box(BENCH_SEED)).expect("fig2 runs"));
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 4 — chosen-victim scapegoating on the Fig. 1 network.
+//!
+//! Prints the regenerated figure once, then times one full experiment
+//! (tomography setup + LP attack + estimation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig4;
+
+fn bench_fig4(c: &mut Criterion) {
+    let result = fig4::run(BENCH_SEED).expect("fig4 runs");
+    println!("\n{}", fig4::render(&result));
+
+    c.bench_function("fig4_chosen_victim", |b| {
+        b.iter(|| fig4::run(black_box(BENCH_SEED)).expect("fig4 runs"));
+    });
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

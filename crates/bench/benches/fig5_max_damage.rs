@@ -1,0 +1,17 @@
+//! Fig. 5 — maximum-damage scapegoating on the Fig. 1 network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig5;
+
+fn bench_fig5(c: &mut Criterion) {
+    let result = fig5::run(BENCH_SEED).expect("fig5 runs");
+    println!("\n{}", fig5::render(&result));
+
+    c.bench_function("fig5_max_damage", |b| {
+        b.iter(|| fig5::run(black_box(BENCH_SEED)).expect("fig5 runs"));
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

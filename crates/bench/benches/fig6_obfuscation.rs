@@ -1,0 +1,17 @@
+//! Fig. 6 — obfuscation on the Fig. 1 network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig6;
+
+fn bench_fig6(c: &mut Criterion) {
+    let result = fig6::run(BENCH_SEED).expect("fig6 runs");
+    println!("\n{}", fig6::render(&result));
+
+    c.bench_function("fig6_obfuscation", |b| {
+        b.iter(|| fig6::run(black_box(BENCH_SEED)).expect("fig6 runs"));
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

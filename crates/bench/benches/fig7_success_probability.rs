@@ -1,0 +1,30 @@
+//! Fig. 7 — chosen-victim success probability vs attack presence ratio.
+//!
+//! Prints the full-size curve once; the timed loop uses a reduced
+//! configuration (one topology instance, fewer trials) so Criterion can
+//! iterate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig7::{self, Fig7Config};
+
+fn bench_fig7(c: &mut Criterion) {
+    let result = fig7::run(BENCH_SEED, &Fig7Config::default()).expect("fig7 runs");
+    println!("\n{}", fig7::render(&result));
+
+    let quick = Fig7Config {
+        num_systems: 1,
+        trials_per_system: 20,
+        max_attackers: 3,
+        bins: 10,
+    };
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("fig7_success_probability_quick", |b| {
+        b.iter(|| fig7::run(black_box(BENCH_SEED), &quick).expect("fig7 runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

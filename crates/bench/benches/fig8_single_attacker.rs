@@ -1,0 +1,29 @@
+//! Fig. 8 — single-attacker max-damage and obfuscation success
+//! probabilities.
+//!
+//! Prints the full-size table once; the timed loop uses a reduced
+//! configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tomo_bench::BENCH_SEED;
+use tomo_sim::fig8::{self, Fig8Config};
+
+fn bench_fig8(c: &mut Criterion) {
+    let result = fig8::run(BENCH_SEED, &Fig8Config::default()).expect("fig8 runs");
+    println!("\n{}", fig8::render(&result));
+
+    let quick = Fig8Config {
+        num_systems: 1,
+        trials_per_system: 4,
+        ..Fig8Config::default()
+    };
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fig8_single_attacker_quick", |b| {
+        b.iter(|| fig8::run(black_box(BENCH_SEED), &quick).expect("fig8 runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

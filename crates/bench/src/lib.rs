@@ -1,0 +1,22 @@
+//! Criterion benchmarks regenerating every evaluation figure of the
+//! paper, plus performance benches for the substrates.
+//!
+//! Each `fig*` bench first prints the regenerated figure (tables/series
+//! matching the paper's reported shapes) and then times the experiment,
+//! so `cargo bench` doubles as the reproduction runner. Quick
+//! configurations are used inside the timed loops; run the `tomo-sim`
+//! binary for full-size experiments.
+//!
+//! | Bench target | Paper figure |
+//! |--------------|--------------|
+//! | `fig4_chosen_victim` | Fig. 4 |
+//! | `fig5_max_damage` | Fig. 5 |
+//! | `fig6_obfuscation` | Fig. 6 |
+//! | `fig7_success_probability` | Fig. 7 |
+//! | `fig8_single_attacker` | Fig. 8 |
+//! | `fig9_detection` | Fig. 9 |
+//! | `substrates` | — (linalg / LP / graph / placement perf) |
+//! | `placement_ablation` | — (Section VI security-aware placement) |
+
+/// A seed shared by all benches so printed figures match EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 42;

@@ -1,0 +1,178 @@
+//! Link-delay and measurement-noise models (Section V-A).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_linalg::Vector;
+
+/// Uniform per-link delay model: each link's routine delay is drawn
+/// independently from `U(min, max)` milliseconds.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tomo_core::delay::DelayModel;
+///
+/// let model = DelayModel::uniform(1.0, 20.0).unwrap();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let x = model.sample(10, &mut rng);
+/// assert_eq!(x.len(), 10);
+/// assert!(x.iter().all(|&d| (1.0..=20.0).contains(&d)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    min_ms: f64,
+    max_ms: f64,
+}
+
+impl DelayModel {
+    /// Creates a uniform delay model on `[min_ms, max_ms]`.
+    ///
+    /// Returns `None` if the bounds are not finite, negative, or out of
+    /// order.
+    #[must_use]
+    pub fn uniform(min_ms: f64, max_ms: f64) -> Option<Self> {
+        if min_ms.is_finite() && max_ms.is_finite() && 0.0 <= min_ms && min_ms < max_ms {
+            Some(DelayModel { min_ms, max_ms })
+        } else {
+            None
+        }
+    }
+
+    /// Lower bound in ms.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min_ms
+    }
+
+    /// Upper bound in ms.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// Samples a per-link delay vector of length `num_links`.
+    pub fn sample<R: Rng + ?Sized>(&self, num_links: usize, rng: &mut R) -> Vector {
+        (0..num_links)
+            .map(|_| rng.gen_range(self.min_ms..self.max_ms))
+            .collect()
+    }
+}
+
+/// Zero-mean Gaussian measurement noise added to path measurements, used
+/// by the Remark-4 robust-detector experiments.
+///
+/// Sampling uses the Box-Muller transform (no extra dependency needed for
+/// one distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNoise {
+    std_ms: f64,
+}
+
+impl GaussianNoise {
+    /// Creates a noise model with standard deviation `std_ms ≥ 0`.
+    ///
+    /// Returns `None` for negative or non-finite values.
+    #[must_use]
+    pub fn new(std_ms: f64) -> Option<Self> {
+        if std_ms.is_finite() && std_ms >= 0.0 {
+            Some(GaussianNoise { std_ms })
+        } else {
+            None
+        }
+    }
+
+    /// Standard deviation in ms.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.std_ms
+    }
+
+    /// Draws one `N(0, std²)` sample.
+    pub fn sample_one<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_ms == 0.0 {
+            return 0.0;
+        }
+        // Box-Muller: two uniforms → one normal deviate.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        z * self.std_ms
+    }
+
+    /// Returns `measurements + noise`, never letting a noisy measurement
+    /// go negative (delays cannot be negative).
+    pub fn perturb<R: Rng + ?Sized>(&self, measurements: &Vector, rng: &mut R) -> Vector {
+        measurements
+            .iter()
+            .map(|&y| (y + self.sample_one(rng)).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn delay_model_validates() {
+        assert!(DelayModel::uniform(1.0, 20.0).is_some());
+        assert!(DelayModel::uniform(20.0, 1.0).is_none());
+        assert!(DelayModel::uniform(-1.0, 5.0).is_none());
+        assert!(DelayModel::uniform(1.0, f64::NAN).is_none());
+        assert!(DelayModel::uniform(5.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn samples_in_range_and_seeded() {
+        let m = DelayModel::uniform(1.0, 20.0).unwrap();
+        let a = m.sample(100, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = m.sample(100, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| (1.0..20.0).contains(&d)));
+        // Mean should be near (1+20)/2 for 100 samples (loose band).
+        let mean = a.mean().unwrap();
+        assert!((5.0..16.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn noise_validates() {
+        assert!(GaussianNoise::new(1.0).is_some());
+        assert!(GaussianNoise::new(0.0).is_some());
+        assert!(GaussianNoise::new(-0.1).is_none());
+        assert!(GaussianNoise::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let n = GaussianNoise::new(0.0).unwrap();
+        let y = Vector::from(vec![5.0, 10.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(n.perturb(&y, &mut rng), y);
+        assert_eq!(n.sample_one(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let n = GaussianNoise::new(3.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample_one(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn perturb_clamps_at_zero() {
+        let n = GaussianNoise::new(100.0).unwrap();
+        let y = Vector::from(vec![0.5; 100]);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let noisy = n.perturb(&y, &mut rng);
+        assert!(noisy.iter().all(|&v| v >= 0.0));
+        // With std 100 on 0.5-mean data, clamping must actually trigger.
+        assert!(noisy.iter().any(|&v| v == 0.0));
+    }
+}

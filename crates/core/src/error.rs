@@ -1,0 +1,131 @@
+use std::error::Error;
+use std::fmt;
+
+use tomo_graph::GraphError;
+use tomo_linalg::LinalgError;
+
+/// Errors produced by the tomography engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The selected measurement paths do not identify every link metric:
+    /// the routing matrix lacks full column rank.
+    NotIdentifiable {
+        /// Achieved rank.
+        rank: usize,
+        /// Required rank (number of links).
+        links: usize,
+    },
+    /// A measurement path does not start and end at (distinct) monitors.
+    PathNotBetweenMonitors {
+        /// Index of the offending path.
+        path_index: usize,
+    },
+    /// The system needs at least one measurement path.
+    NoPaths,
+    /// The system needs at least two monitors.
+    TooFewMonitors {
+        /// Number provided.
+        got: usize,
+    },
+    /// Monitor placement could not achieve identifiability within its
+    /// budget.
+    PlacementFailed {
+        /// Explanation.
+        reason: String,
+    },
+    /// A vector argument has the wrong length.
+    DimensionMismatch {
+        /// What was being measured/estimated.
+        context: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotIdentifiable { rank, links } => write!(
+                f,
+                "routing matrix rank {rank} < {links} links: link metrics not identifiable"
+            ),
+            CoreError::PathNotBetweenMonitors { path_index } => {
+                write!(
+                    f,
+                    "path {path_index} does not run between two distinct monitors"
+                )
+            }
+            CoreError::NoPaths => write!(f, "at least one measurement path is required"),
+            CoreError::TooFewMonitors { got } => {
+                write!(f, "at least 2 monitors are required, got {got}")
+            }
+            CoreError::PlacementFailed { reason } => {
+                write!(f, "monitor placement failed: {reason}")
+            }
+            CoreError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: expected length {expected}, got {got}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::NotIdentifiable { rank: 8, links: 10 };
+        assert!(e.to_string().contains("rank 8"));
+        assert!(e.source().is_none());
+
+        let g: CoreError = GraphError::SelfLoop {
+            node: tomo_graph::NodeId(1),
+        }
+        .into();
+        assert!(g.source().is_some());
+        assert!(g.to_string().contains("graph error"));
+
+        let l: CoreError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(l.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Metric-domain conversions.
+//!
+//! Network tomography requires *additive* path metrics (Section II-A).
+//! Delay is natively additive. Packet-loss/delivery ratios multiply along
+//! a path, so they become additive in the logarithmic domain: with
+//! per-link delivery ratio `d ∈ (0, 1]`, the additive metric is
+//! `x = −ln d`, and a path's delivery ratio is `exp(−Σ x)`.
+//!
+//! These helpers let every attack/detection routine stay metric-agnostic
+//! (they operate on additive values) while experiments present results in
+//! the natural unit.
+
+use tomo_linalg::Vector;
+
+/// Converts a per-link delivery ratio `d ∈ (0, 1]` to its additive
+/// log-domain metric `−ln d`.
+///
+/// Returns `None` outside `(0, 1]`.
+///
+/// ```
+/// let x = tomo_core::metrics::delivery_to_additive(0.9).unwrap();
+/// assert!((x - 0.10536).abs() < 1e-4);
+/// assert_eq!(tomo_core::metrics::delivery_to_additive(1.0), Some(0.0));
+/// ```
+#[must_use]
+pub fn delivery_to_additive(delivery_ratio: f64) -> Option<f64> {
+    if delivery_ratio > 0.0 && delivery_ratio <= 1.0 {
+        Some(-delivery_ratio.ln())
+    } else {
+        None
+    }
+}
+
+/// Converts an additive log-domain metric back to a delivery ratio.
+///
+/// Returns `None` for negative or non-finite metrics.
+#[must_use]
+pub fn additive_to_delivery(metric: f64) -> Option<f64> {
+    if metric.is_finite() && metric >= 0.0 {
+        Some((-metric).exp())
+    } else {
+        None
+    }
+}
+
+/// Converts a per-link loss ratio `p ∈ [0, 1)` to the additive metric of
+/// its delivery ratio `1 − p`.
+///
+/// Returns `None` outside `[0, 1)`.
+#[must_use]
+pub fn loss_to_additive(loss_ratio: f64) -> Option<f64> {
+    if (0.0..1.0).contains(&loss_ratio) {
+        delivery_to_additive(1.0 - loss_ratio)
+    } else {
+        None
+    }
+}
+
+/// Converts an additive metric to a loss ratio.
+///
+/// Returns `None` for negative or non-finite metrics.
+#[must_use]
+pub fn additive_to_loss(metric: f64) -> Option<f64> {
+    additive_to_delivery(metric).map(|d| 1.0 - d)
+}
+
+/// Converts a whole vector of loss ratios to additive metrics.
+///
+/// Returns `None` if any entry is outside `[0, 1)`.
+#[must_use]
+pub fn loss_vector_to_additive(losses: &Vector) -> Option<Vector> {
+    losses.iter().map(|&p| loss_to_additive(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_conversions() {
+        assert_eq!(delivery_to_additive(1.0), Some(0.0));
+        assert_eq!(loss_to_additive(0.0), Some(0.0));
+        assert!(delivery_to_additive(0.0).is_none());
+        assert!(delivery_to_additive(1.5).is_none());
+        assert!(loss_to_additive(1.0).is_none());
+        assert!(loss_to_additive(-0.1).is_none());
+        assert!(additive_to_delivery(-1.0).is_none());
+        assert!(additive_to_loss(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn additivity_along_a_path() {
+        // Two links with delivery 0.9 and 0.8: path delivery 0.72.
+        let x1 = delivery_to_additive(0.9).unwrap();
+        let x2 = delivery_to_additive(0.8).unwrap();
+        let path = additive_to_delivery(x1 + x2).unwrap();
+        assert!((path - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_conversion() {
+        let v = Vector::from(vec![0.0, 0.1, 0.5]);
+        let add = loss_vector_to_additive(&v).unwrap();
+        assert_eq!(add.len(), 3);
+        assert_eq!(add[0], 0.0);
+        let bad = Vector::from(vec![0.1, 1.0]);
+        assert!(loss_vector_to_additive(&bad).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrips(d in 0.0001f64..1.0) {
+            let x = delivery_to_additive(d).unwrap();
+            prop_assert!(x >= 0.0);
+            let back = additive_to_delivery(x).unwrap();
+            prop_assert!((back - d).abs() < 1e-9);
+
+            let p = 1.0 - d;
+            let xl = loss_to_additive(p).unwrap();
+            let back_l = additive_to_loss(xl).unwrap();
+            prop_assert!((back_l - p).abs() < 1e-9);
+        }
+
+        /// Higher loss ⇒ strictly larger additive metric (monotone).
+        #[test]
+        fn monotonicity(p1 in 0.0f64..0.98, delta in 0.001f64..0.01) {
+            let p2 = (p1 + delta).min(0.989);
+            let x1 = loss_to_additive(p1).unwrap();
+            let x2 = loss_to_additive(p2).unwrap();
+            prop_assert!(x2 > x1);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Identifiability-driven measurement-path selection.
+//!
+//! Monitors "only need to choose a sufficient number of paths to ensure
+//! identifiability" (paper, footnote 1). Given a candidate pool, the
+//! greedy selector accepts every path whose routing-matrix row increases
+//! the rank, reaching full column rank with the minimum-size prefix, and
+//! can then add *redundant* paths — which matter for security: a square
+//! `R` makes scapegoating undetectable (Theorem 3), so real deployments
+//! want `|P| > |L|`.
+
+use tomo_graph::Path;
+use tomo_linalg::rank::IncrementalRank;
+use tomo_linalg::Vector;
+
+/// Result of a greedy selection pass.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// Chosen paths (rank-increasing prefix first, then redundant fills).
+    pub paths: Vec<Path>,
+    /// Rank achieved (= number of identifiable link-metric dimensions).
+    pub rank: usize,
+    /// Number of redundant (non-rank-increasing) paths included.
+    pub redundant: usize,
+}
+
+/// Converts a path to its routing-matrix row over `num_links` links.
+#[must_use]
+pub fn path_row(path: &Path, num_links: usize) -> Vector {
+    let mut row = Vector::zeros(num_links);
+    for l in path.links() {
+        row[l.index()] = 1.0;
+    }
+    row
+}
+
+/// Greedy rank-first selection from an ordered candidate pool.
+///
+/// Scans `candidates` in order, accepting each path that increases the
+/// rank; afterwards appends up to `extra` of the skipped paths (in pool
+/// order) as redundant measurements.
+///
+/// The returned [`SelectionOutcome::rank`] may be less than `num_links`
+/// if the pool cannot identify every link — callers decide whether that
+/// is fatal (see `TomographySystem::new`) or a signal to add monitors
+/// (see [`crate::placement`]).
+#[must_use]
+pub fn select_identifiable_paths(
+    candidates: &[Path],
+    num_links: usize,
+    extra: usize,
+) -> SelectionOutcome {
+    let mut tracker = IncrementalRank::new(num_links);
+    let mut chosen = Vec::new();
+    let mut skipped = Vec::new();
+    for p in candidates {
+        if tracker.try_add(&path_row(p, num_links)) {
+            chosen.push(p.clone());
+        } else {
+            skipped.push(p.clone());
+        }
+    }
+    let rank = tracker.rank();
+    let redundant = skipped.len().min(extra);
+    chosen.extend(skipped.into_iter().take(extra));
+    SelectionOutcome {
+        paths: chosen,
+        rank,
+        redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::{enumerate, topology};
+
+    #[test]
+    fn path_row_marks_links() {
+        let f = topology::fig1();
+        let nodes = [f.node("M3"), f.node("D"), f.node("M2")];
+        let p = tomo_graph::Path::from_nodes(&f.graph, &nodes).unwrap();
+        let row = path_row(&p, 10);
+        // Links 9 and 10 (paper numbering) = indices 8 and 9.
+        assert_eq!(row[8], 1.0);
+        assert_eq!(row[9], 1.0);
+        assert_eq!(row.sum(), 2.0);
+    }
+
+    #[test]
+    fn fig1_pool_reaches_full_rank() {
+        let f = topology::fig1();
+        let pool =
+            enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 1000).unwrap();
+        assert_eq!(
+            pool.len(),
+            32,
+            "Fig. 1 has exactly 32 monitor-pair simple paths"
+        );
+        let outcome = select_identifiable_paths(&pool, 10, 0);
+        assert_eq!(outcome.rank, 10);
+        assert_eq!(outcome.paths.len(), 10);
+        assert_eq!(outcome.redundant, 0);
+    }
+
+    #[test]
+    fn extras_are_appended_up_to_budget() {
+        let f = topology::fig1();
+        let pool =
+            enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 1000).unwrap();
+        let outcome = select_identifiable_paths(&pool, 10, 13);
+        assert_eq!(outcome.rank, 10);
+        assert_eq!(outcome.paths.len(), 23);
+        assert_eq!(outcome.redundant, 13);
+        // Extras beyond the pool size are harmless.
+        let all = select_identifiable_paths(&pool, 10, 1000);
+        assert_eq!(all.paths.len(), 32);
+        assert_eq!(all.redundant, 22);
+    }
+
+    #[test]
+    fn insufficient_pool_reports_partial_rank() {
+        let f = topology::fig1();
+        // Only paths between M1 and M2 — cannot identify all 10 links.
+        let pool = enumerate::simple_paths(&f.graph, f.node("M1"), f.node("M2"), 10, 100).unwrap();
+        let outcome = select_identifiable_paths(&pool, 10, 0);
+        assert!(outcome.rank < 10);
+        assert_eq!(outcome.paths.len(), outcome.rank);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let outcome = select_identifiable_paths(&[], 5, 3);
+        assert_eq!(outcome.rank, 0);
+        assert!(outcome.paths.is_empty());
+        assert_eq!(outcome.redundant, 0);
+    }
+}

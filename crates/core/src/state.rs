@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+/// The three-state link classification of Definition 1.
+///
+/// A link is *normal* when its metric is below `b_l`, *abnormal* above
+/// `b_u`, and *uncertain* in between — the intermediate band the paper's
+/// obfuscation strategy exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Metric `< b_l`: the link looks healthy.
+    Normal,
+    /// Metric in `[b_l, b_u]`: cannot be clearly classified.
+    Uncertain,
+    /// Metric `> b_u`: the link looks like the root cause of a problem.
+    Abnormal,
+}
+
+impl std::fmt::Display for LinkState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LinkState::Normal => "normal",
+            LinkState::Uncertain => "uncertain",
+            LinkState::Abnormal => "abnormal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classification thresholds `(b_l, b_u)` of Definition 1.
+///
+/// The paper's experiments (Section V-A) use delays with
+/// `b_l = 100 ms` and `b_u = 800 ms`; see [`crate::params`].
+///
+/// ```
+/// use tomo_core::{LinkState, StateThresholds};
+///
+/// let t = StateThresholds::new(100.0, 800.0).unwrap();
+/// assert_eq!(t.classify(20.0), LinkState::Normal);
+/// assert_eq!(t.classify(400.0), LinkState::Uncertain);
+/// assert_eq!(t.classify(900.0), LinkState::Abnormal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateThresholds {
+    lower: f64,
+    upper: f64,
+}
+
+impl StateThresholds {
+    /// Creates thresholds with `lower ≤ upper`.
+    ///
+    /// Returns `None` if the ordering is violated or a bound is not
+    /// finite.
+    #[must_use]
+    pub fn new(lower: f64, upper: f64) -> Option<Self> {
+        if lower.is_finite() && upper.is_finite() && lower <= upper {
+            Some(StateThresholds { lower, upper })
+        } else {
+            None
+        }
+    }
+
+    /// Two-state variant (`b = b_l = b_u`, Remark 1): no uncertain band.
+    ///
+    /// Returns `None` if `threshold` is not finite.
+    #[must_use]
+    pub fn two_state(threshold: f64) -> Option<Self> {
+        StateThresholds::new(threshold, threshold)
+    }
+
+    /// The lower bound `b_l`.
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// The upper bound `b_u`.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Classifies a single metric value per Definition 1.
+    #[must_use]
+    pub fn classify(&self, metric: f64) -> LinkState {
+        if metric < self.lower {
+            LinkState::Normal
+        } else if metric > self.upper {
+            LinkState::Abnormal
+        } else {
+            LinkState::Uncertain
+        }
+    }
+
+    /// Classifies every entry of a metric vector.
+    #[must_use]
+    pub fn classify_all(&self, metrics: &tomo_linalg::Vector) -> Vec<LinkState> {
+        metrics.iter().map(|&m| self.classify(m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_linalg::Vector;
+
+    #[test]
+    fn boundaries_are_uncertain() {
+        let t = StateThresholds::new(100.0, 800.0).unwrap();
+        assert_eq!(t.classify(100.0), LinkState::Uncertain);
+        assert_eq!(t.classify(800.0), LinkState::Uncertain);
+        assert_eq!(t.classify(99.999), LinkState::Normal);
+        assert_eq!(t.classify(800.001), LinkState::Abnormal);
+        assert_eq!(t.lower(), 100.0);
+        assert_eq!(t.upper(), 800.0);
+    }
+
+    #[test]
+    fn two_state_has_no_band_interior() {
+        let t = StateThresholds::two_state(500.0).unwrap();
+        assert_eq!(t.classify(499.0), LinkState::Normal);
+        assert_eq!(t.classify(500.0), LinkState::Uncertain); // the single point
+        assert_eq!(t.classify(501.0), LinkState::Abnormal);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        assert!(StateThresholds::new(800.0, 100.0).is_none());
+        assert!(StateThresholds::new(f64::NAN, 1.0).is_none());
+        assert!(StateThresholds::new(0.0, f64::INFINITY).is_none());
+        assert!(StateThresholds::two_state(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn classify_all_matches_pointwise() {
+        let t = StateThresholds::new(100.0, 800.0).unwrap();
+        let v = Vector::from(vec![10.0, 400.0, 900.0]);
+        assert_eq!(
+            t.classify_all(&v),
+            vec![LinkState::Normal, LinkState::Uncertain, LinkState::Abnormal]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LinkState::Normal.to_string(), "normal");
+        assert_eq!(LinkState::Uncertain.to_string(), "uncertain");
+        assert_eq!(LinkState::Abnormal.to_string(), "abnormal");
+    }
+}

@@ -1,0 +1,416 @@
+use tomo_graph::{Graph, LinkId, NodeId, Path};
+use tomo_linalg::lstsq::NormalEquationsSolver;
+use tomo_linalg::{Matrix, Vector};
+
+use crate::{CoreError, LinkState, StateThresholds};
+
+/// A complete network-tomography measurement system: topology, monitors,
+/// measurement paths, and the (identifiable) routing matrix with its
+/// factorized estimator.
+///
+/// This is the object the paper calls "network tomography": it owns the
+/// linear model `y = R x` (Eq. 1) and computes `x̂ = (RᵀR)⁻¹Rᵀy` (Eq. 2).
+///
+/// Construction validates the assumptions of Section II:
+/// * every path runs between two distinct monitors,
+/// * `R` has full column rank (every link metric is identifiable).
+#[derive(Debug, Clone)]
+pub struct TomographySystem {
+    graph: Graph,
+    monitors: Vec<NodeId>,
+    paths: Vec<Path>,
+    routing: Matrix,
+    solver: NormalEquationsSolver,
+}
+
+impl TomographySystem {
+    /// Builds and validates a measurement system.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooFewMonitors`] with fewer than 2 monitors,
+    /// * [`CoreError::NoPaths`] with an empty path set,
+    /// * [`CoreError::PathNotBetweenMonitors`] if some path's endpoints
+    ///   are not two distinct monitors,
+    /// * [`CoreError::NotIdentifiable`] if `R` lacks full column rank.
+    pub fn new(graph: Graph, monitors: Vec<NodeId>, paths: Vec<Path>) -> Result<Self, CoreError> {
+        let mut unique = monitors.clone();
+        unique.sort();
+        unique.dedup();
+        if unique.len() < 2 {
+            return Err(CoreError::TooFewMonitors { got: unique.len() });
+        }
+        if paths.is_empty() {
+            return Err(CoreError::NoPaths);
+        }
+        for (i, p) in paths.iter().enumerate() {
+            let s = p.source();
+            let d = p.destination();
+            if s == d || !unique.contains(&s) || !unique.contains(&d) {
+                return Err(CoreError::PathNotBetweenMonitors { path_index: i });
+            }
+        }
+        let routing = build_routing_matrix(&paths, graph.num_links());
+        let rank = tomo_linalg::rank::rank(&routing);
+        if rank < graph.num_links() {
+            return Err(CoreError::NotIdentifiable {
+                rank,
+                links: graph.num_links(),
+            });
+        }
+        let solver = NormalEquationsSolver::new(routing.clone())?;
+        Ok(TomographySystem {
+            graph,
+            monitors: unique,
+            paths,
+            routing,
+            solver,
+        })
+    }
+
+    /// The network topology.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The monitor set (sorted, deduplicated).
+    #[must_use]
+    pub fn monitors(&self) -> &[NodeId] {
+        &self.monitors
+    }
+
+    /// The measurement paths (row order of `R`).
+    #[must_use]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// The routing matrix `R` (|paths| × |links|).
+    #[must_use]
+    pub fn routing_matrix(&self) -> &Matrix {
+        &self.routing
+    }
+
+    /// Number of measurement paths `|P|`.
+    #[must_use]
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of links `|L|`.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.graph.num_links()
+    }
+
+    /// Simulates clean end-to-end measurement: `y = R x` (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `x.len() ≠ |L|`.
+    pub fn measure(&self, link_metrics: &Vector) -> Result<Vector, CoreError> {
+        if link_metrics.len() != self.num_links() {
+            return Err(CoreError::DimensionMismatch {
+                context: "measure: link metric vector",
+                expected: self.num_links(),
+                got: link_metrics.len(),
+            });
+        }
+        Ok(self.routing.mul_vec(link_metrics)?)
+    }
+
+    /// The tomography inversion: `x̂ = (RᵀR)⁻¹Rᵀy` (Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `y.len() ≠ |P|`.
+    pub fn estimate(&self, measurements: &Vector) -> Result<Vector, CoreError> {
+        if measurements.len() != self.num_paths() {
+            return Err(CoreError::DimensionMismatch {
+                context: "estimate: measurement vector",
+                expected: self.num_paths(),
+                got: measurements.len(),
+            });
+        }
+        Ok(self.solver.solve(measurements)?)
+    }
+
+    /// The estimator matrix `A = (RᵀR)⁻¹Rᵀ` (|links| × |paths|), i.e. the
+    /// linear response of `x̂` to measurements. The attack LPs are built
+    /// directly on this matrix: `x̂(m) = x̂₀ + A m`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (cannot occur after successful
+    /// construction).
+    pub fn estimator_matrix(&self) -> Result<Matrix, CoreError> {
+        Ok(self.solver.pseudo_inverse()?)
+    }
+
+    /// Classifies the estimate per Definition 1.
+    #[must_use]
+    pub fn classify(&self, estimate: &Vector, thresholds: &StateThresholds) -> Vec<LinkState> {
+        thresholds.classify_all(estimate)
+    }
+
+    /// Indices (as [`LinkId`]) whose state matches `state` under
+    /// `thresholds`.
+    #[must_use]
+    pub fn links_in_state(
+        &self,
+        estimate: &Vector,
+        thresholds: &StateThresholds,
+        state: LinkState,
+    ) -> Vec<LinkId> {
+        estimate
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| thresholds.classify(m) == state)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Numerical health diagnostics of the measurement design.
+    ///
+    /// * `redundancy` — `|P| − |L|`, the number of consistency checks the
+    ///   detector has to work with (0 ⇒ Theorem 3 makes every attack
+    ///   invisible),
+    /// * `normal_equations_condition` — `κ₁(RᵀR)`; large values mean
+    ///   estimates amplify measurement noise,
+    /// * `mean_path_length` — average links per path (longer paths blur
+    ///   more links together).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (cannot occur after successful
+    /// construction).
+    pub fn diagnostics(&self) -> Result<SystemDiagnostics, CoreError> {
+        let gram = self.routing.gram();
+        let condition = tomo_linalg::lu::condition_number_1(&gram)?;
+        let mean_path_length =
+            self.paths.iter().map(|p| p.num_links() as f64).sum::<f64>() / self.num_paths() as f64;
+        Ok(SystemDiagnostics {
+            redundancy: self.num_paths() - self.num_links(),
+            normal_equations_condition: condition,
+            mean_path_length,
+        })
+    }
+
+    /// Paths (row indices) traversing any of `links`.
+    #[must_use]
+    pub fn paths_crossing_links(&self, links: &[LinkId]) -> Vec<usize> {
+        self.paths
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.contains_any_link(links))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Paths (row indices) visiting any of `nodes`.
+    #[must_use]
+    pub fn paths_through_nodes(&self, nodes: &[NodeId]) -> Vec<usize> {
+        self.paths
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.contains_any_node(nodes))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Numerical health summary of a measurement design
+/// (see [`TomographySystem::diagnostics`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemDiagnostics {
+    /// Consistency checks available to the detector: `|P| − |L|`.
+    pub redundancy: usize,
+    /// 1-norm condition number of the normal-equations matrix `RᵀR`.
+    pub normal_equations_condition: f64,
+    /// Average number of links per measurement path.
+    pub mean_path_length: f64,
+}
+
+/// Builds the 0/1 routing matrix `R` from a path list: `R[i][j] = 1` iff
+/// link `j` lies on path `i` (Eq. 1).
+#[must_use]
+pub fn build_routing_matrix(paths: &[Path], num_links: usize) -> Matrix {
+    let mut r = Matrix::zeros(paths.len(), num_links);
+    for (i, p) in paths.iter().enumerate() {
+        for l in p.links() {
+            r[(i, l.index())] = 1.0;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_graph::Path;
+
+    /// Triangle m0 - v - m1 (plus direct m0 - m1) where every node is a
+    /// monitor: 4 paths over 3 links, rank 3, one redundant row.
+    fn tiny_system() -> TomographySystem {
+        let mut g = Graph::new();
+        let m0 = g.add_node("m0");
+        let v = g.add_node("v");
+        let m1 = g.add_node("m1");
+        g.add_link(m0, v).unwrap(); // l0
+        g.add_link(v, m1).unwrap(); // l1
+        g.add_link(m0, m1).unwrap(); // l2
+        let paths = vec![
+            Path::from_nodes(&g, &[m0, v]).unwrap(),
+            Path::from_nodes(&g, &[v, m1]).unwrap(),
+            Path::from_nodes(&g, &[m0, m1]).unwrap(),
+            Path::from_nodes(&g, &[m0, v, m1]).unwrap(),
+        ];
+        TomographySystem::new(g, vec![m0, m1, v], paths).unwrap()
+    }
+
+    #[test]
+    fn routing_matrix_structure() {
+        let sys = tiny_system();
+        let r = sys.routing_matrix();
+        assert_eq!(r.shape(), (4, 3));
+        // Path 3 (m0-v-m1) covers links 0 and 1.
+        assert_eq!(r.row(3), &[1.0, 1.0, 0.0]);
+        assert_eq!(sys.num_paths(), 4);
+        assert_eq!(sys.num_links(), 3);
+        assert_eq!(sys.monitors().len(), 3);
+    }
+
+    #[test]
+    fn measure_then_estimate_roundtrips() {
+        let sys = tiny_system();
+        let x = Vector::from(vec![5.0, 7.0, 11.0]);
+        let y = sys.measure(&x).unwrap();
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[3], 12.0);
+        let x_hat = sys.estimate(&y).unwrap();
+        assert!(x_hat.approx_eq(&x, 1e-9));
+    }
+
+    #[test]
+    fn estimator_matrix_matches_estimate() {
+        let sys = tiny_system();
+        let a = sys.estimator_matrix().unwrap();
+        assert_eq!(a.shape(), (3, 4));
+        let y = Vector::from(vec![1.0, 2.0, 3.0, 4.0]);
+        let via_matrix = a.mul_vec(&y).unwrap();
+        let via_solver = sys.estimate(&y).unwrap();
+        assert!(via_matrix.approx_eq(&via_solver, 1e-9));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let sys = tiny_system();
+        assert!(matches!(
+            sys.measure(&Vector::zeros(2)),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            sys.estimate(&Vector::zeros(3)),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let sys = tiny_system();
+        let t = StateThresholds::new(100.0, 800.0).unwrap();
+        let est = Vector::from(vec![50.0, 400.0, 900.0]);
+        assert_eq!(
+            sys.classify(&est, &t),
+            vec![LinkState::Normal, LinkState::Uncertain, LinkState::Abnormal]
+        );
+        assert_eq!(
+            sys.links_in_state(&est, &t, LinkState::Abnormal),
+            vec![LinkId(2)]
+        );
+        assert_eq!(
+            sys.links_in_state(&est, &t, LinkState::Normal),
+            vec![LinkId(0)]
+        );
+    }
+
+    #[test]
+    fn path_queries() {
+        let sys = tiny_system();
+        // Paths crossing link 0 (m0-v): path 0 and path 3.
+        assert_eq!(sys.paths_crossing_links(&[LinkId(0)]), vec![0, 3]);
+        // Paths through node v: 0, 1, 3.
+        let v = sys.graph().node_by_label("v").unwrap();
+        assert_eq!(sys.paths_through_nodes(&[v]), vec![0, 1, 3]);
+        assert!(sys.paths_crossing_links(&[]).is_empty());
+    }
+
+    #[test]
+    fn rejects_rank_deficient_path_sets() {
+        let mut g = Graph::new();
+        let m0 = g.add_node("m0");
+        let v = g.add_node("v");
+        let m1 = g.add_node("m1");
+        g.add_link(m0, v).unwrap();
+        g.add_link(v, m1).unwrap();
+        let p = Path::from_nodes(&g, &[m0, v, m1]).unwrap();
+        let err = TomographySystem::new(g, vec![m0, m1], vec![p]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::NotIdentifiable { rank: 1, links: 2 }
+        ));
+    }
+
+    #[test]
+    fn rejects_path_not_between_monitors() {
+        let mut g = Graph::new();
+        let m0 = g.add_node("m0");
+        let v = g.add_node("v");
+        let m1 = g.add_node("m1");
+        g.add_link(m0, v).unwrap();
+        g.add_link(v, m1).unwrap();
+        let p_bad = Path::from_nodes(&g, &[m0, v]).unwrap(); // v not monitor
+        let err = TomographySystem::new(g, vec![m0, m1], vec![p_bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PathNotBetweenMonitors { path_index: 0 }
+        ));
+    }
+
+    #[test]
+    fn rejects_too_few_monitors_and_no_paths() {
+        let mut g = Graph::new();
+        let m0 = g.add_node("m0");
+        let v = g.add_node("v");
+        g.add_link(m0, v).unwrap();
+        assert!(matches!(
+            TomographySystem::new(g.clone(), vec![m0, m0], vec![]),
+            Err(CoreError::TooFewMonitors { got: 1 })
+        ));
+        assert!(matches!(
+            TomographySystem::new(g, vec![m0, v], vec![]),
+            Err(CoreError::NoPaths)
+        ));
+    }
+
+    #[test]
+    fn diagnostics_report_redundancy_and_conditioning() {
+        let sys = tiny_system();
+        let d = sys.diagnostics().unwrap();
+        assert_eq!(d.redundancy, 1); // 4 paths − 3 links
+        assert!(d.normal_equations_condition >= 1.0);
+        assert!(
+            d.normal_equations_condition < 1e6,
+            "tiny system is well-conditioned"
+        );
+        // Paths: 1 + 1 + 1 + 2 links = 5/4.
+        assert!((d.mean_path_length - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_routing_matrix_empty() {
+        let r = build_routing_matrix(&[], 5);
+        assert_eq!(r.shape(), (0, 5));
+    }
+}

@@ -1,0 +1,162 @@
+//! Threshold calibration for the consistency detector.
+//!
+//! Remark 4 says α "can be empirically determined" but the paper never
+//! says how. The principled recipe: simulate (or record) clean
+//! measurement rounds under the deployment's noise level and set α to a
+//! high quantile of the clean residual distribution — bounding the
+//! false-alarm rate by construction.
+
+use rand::Rng;
+
+use tomo_core::delay::{DelayModel, GaussianNoise};
+use tomo_core::{CoreError, TomographySystem};
+use tomo_linalg::norms;
+
+use crate::ConsistencyDetector;
+
+/// Calibrates α as the `quantile` (in `[0, 1]`) of clean-round residuals
+/// over `rounds` simulated measurement rounds, scaled by `headroom`
+/// (e.g. `1.25` for 25 % safety margin).
+///
+/// Returns the calibrated detector.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`]-style core errors from the
+/// underlying simulation; panics are reserved for invalid arguments.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`, `quantile ∉ [0, 1]`, or `headroom ≤ 0`.
+pub fn calibrate_alpha<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    delay_model: &DelayModel,
+    noise: &GaussianNoise,
+    quantile: f64,
+    headroom: f64,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<ConsistencyDetector, CoreError> {
+    assert!(rounds > 0, "calibration needs at least one round");
+    assert!(
+        (0.0..=1.0).contains(&quantile),
+        "quantile must be in [0, 1], got {quantile}"
+    );
+    assert!(headroom > 0.0, "headroom must be positive, got {headroom}");
+
+    let mut residuals = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let x = delay_model.sample(system.num_links(), rng);
+        let y = noise.perturb(&system.measure(&x)?, rng);
+        let estimate = system.estimate(&y)?;
+        let reproj = system.routing_matrix().mul_vec(&estimate)?;
+        residuals.push(norms::l1(&(&reproj - &y)));
+    }
+    residuals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((quantile * (rounds - 1) as f64).round() as usize).min(rounds - 1);
+    let alpha = residuals[idx] * headroom;
+    Ok(ConsistencyDetector::new(alpha).expect("non-negative by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tomo_core::{fig1, params};
+
+    #[test]
+    fn calibrated_alpha_controls_false_alarms() {
+        let system = fig1::fig1_system().unwrap();
+        let delays = params::default_delay_model();
+        let noise = GaussianNoise::new(2.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let detector =
+            calibrate_alpha(&system, &delays, &noise, 0.99, 1.25, 200, &mut rng).unwrap();
+        assert!(detector.alpha() > 0.0);
+
+        // Fresh clean rounds: false alarms should be rare (≤ 5 %).
+        let mut alarms = 0;
+        let rounds = 100;
+        for _ in 0..rounds {
+            let x = delays.sample(system.num_links(), &mut rng);
+            let y = noise.perturb(&system.measure(&x).unwrap(), &mut rng);
+            if detector.inspect(&system, &y).unwrap().detected {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 5, "{alarms} false alarms out of {rounds}");
+    }
+
+    #[test]
+    fn zero_noise_calibrates_to_tiny_alpha() {
+        let system = fig1::fig1_system().unwrap();
+        let delays = params::default_delay_model();
+        let noise = GaussianNoise::new(0.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let detector = calibrate_alpha(&system, &delays, &noise, 1.0, 2.0, 50, &mut rng).unwrap();
+        // Clean noise-free residuals are numerically zero.
+        assert!(detector.alpha() < 1e-6, "alpha {}", detector.alpha());
+    }
+
+    #[test]
+    fn higher_noise_calibrates_higher_alpha() {
+        let system = fig1::fig1_system().unwrap();
+        let delays = params::default_delay_model();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let low = calibrate_alpha(
+            &system,
+            &delays,
+            &GaussianNoise::new(1.0).unwrap(),
+            0.95,
+            1.0,
+            100,
+            &mut rng,
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let high = calibrate_alpha(
+            &system,
+            &delays,
+            &GaussianNoise::new(8.0).unwrap(),
+            0.95,
+            1.0,
+            100,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(high.alpha() > low.alpha());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let system = fig1::fig1_system().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let _ = calibrate_alpha(
+            &system,
+            &params::default_delay_model(),
+            &GaussianNoise::new(1.0).unwrap(),
+            0.9,
+            1.0,
+            0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let system = fig1::fig1_system().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = calibrate_alpha(
+            &system,
+            &params::default_delay_model(),
+            &GaussianNoise::new(1.0).unwrap(),
+            1.5,
+            1.0,
+            10,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,285 @@
+use serde::{Deserialize, Serialize};
+
+use tomo_core::{params, CoreError, TomographySystem};
+use tomo_linalg::{norms, Vector};
+
+/// The consistency-based scapegoating detector of Eq. (23) / Remark 4 —
+/// flag an attack when `‖R x̂ − y′‖₁ > α` — optionally paired with a
+/// **plausibility check** on the estimate itself.
+///
+/// The plausibility check closes a hole this reproduction found in the
+/// paper's Theorem 3 (see `tomo-sim::fig9` and DESIGN.md): the proof of
+/// the "detectable" branch tacitly assumes attackers only distort victim
+/// and own-link estimates. On AS-scale systems the damage-maximal LP can
+/// instead produce *consistent* manipulated measurements (`R x̂ = y′`
+/// exactly) whose estimates frame the victim while driving other links'
+/// estimated delays strongly **negative** — physically impossible values
+/// the pure Eq. (23) check never looks at. Flagging estimates below
+/// `−plausibility_tol` restores detection; stealthy perfect-cut attacks
+/// (which keep `x̂ ⪰ 0` by construction) remain invisible, exactly as
+/// Theorem 3's undetectable branch promises.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyDetector {
+    alpha: f64,
+    /// Flag estimates below `−plausibility_tol`; `None` disables the
+    /// check (the paper's literal Eq. 23 detector).
+    plausibility_tol: Option<f64>,
+}
+
+/// The detector's decision for one measurement round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The consistency residual `‖R x̂ − y′‖₁`.
+    pub residual_l1: f64,
+    /// The smallest entry of the estimate `x̂` (negative values are
+    /// physically impossible for delays).
+    pub min_estimate: f64,
+    /// `true` when the residual exceeds α, or — with the plausibility
+    /// check enabled — when some estimate is implausibly negative.
+    pub detected: bool,
+}
+
+impl ConsistencyDetector {
+    /// Creates a pure Eq. (23) detector with threshold `alpha ≥ 0`.
+    ///
+    /// Returns `None` for negative or non-finite thresholds.
+    #[must_use]
+    pub fn new(alpha: f64) -> Option<Self> {
+        if alpha.is_finite() && alpha >= 0.0 {
+            Some(ConsistencyDetector {
+                alpha,
+                plausibility_tol: None,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The paper's experimental setting: `α = 200 ms`, consistency check
+    /// only (Section V-D).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ConsistencyDetector {
+            alpha: params::ALPHA_MS,
+            plausibility_tol: None,
+        }
+    }
+
+    /// The recommended deployment: the paper's `α = 200 ms` consistency
+    /// check *plus* a tight plausibility check (1 ms).
+    ///
+    /// The plausibility tolerance must sit at the measurement-noise
+    /// floor, not at α: a consistent evader can spread its negative
+    /// offsets across several links of each attacker-free path, keeping
+    /// every individual estimate above any loose bound. With `tol` near
+    /// zero the evader would need `Δx̂ ⪰ 0` everywhere, and then
+    /// consistency forces `Δ = 0` along attacker-free victim paths —
+    /// Theorem 3's detectable branch, restored. Under real measurement
+    /// noise, calibrate the tolerance like α (a clean-round quantile,
+    /// see [`crate::calibrate`]).
+    #[must_use]
+    pub fn recommended() -> Self {
+        ConsistencyDetector {
+            alpha: params::ALPHA_MS,
+            plausibility_tol: Some(1.0),
+        }
+    }
+
+    /// Returns a copy with the plausibility check set to `tol` (flag when
+    /// any estimate drops below `−tol`), or disabled with `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is negative or non-finite.
+    #[must_use]
+    pub fn with_plausibility(mut self, tol: Option<f64>) -> Self {
+        if let Some(t) = tol {
+            assert!(t.is_finite() && t >= 0.0, "plausibility tol must be ≥ 0");
+        }
+        self.plausibility_tol = tol;
+        self
+    }
+
+    /// The threshold α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The plausibility tolerance, if the check is enabled.
+    #[must_use]
+    pub fn plausibility_tol(&self) -> Option<f64> {
+        self.plausibility_tol
+    }
+
+    /// Runs the check(s) on observed measurements `y′`: estimates `x̂`,
+    /// re-projects `R x̂`, compares against `y′`, and (optionally)
+    /// inspects `x̂` for implausibly negative entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `y′` has the wrong
+    /// length.
+    pub fn inspect(
+        &self,
+        system: &TomographySystem,
+        observed: &Vector,
+    ) -> Result<Verdict, CoreError> {
+        let estimate = system.estimate(observed)?;
+        let reprojected = system.routing_matrix().mul_vec(&estimate)?;
+        let residual_l1 = norms::l1(&(&reprojected - observed));
+        let min_estimate = estimate.min().unwrap_or(0.0);
+        let implausible = self.plausibility_tol.is_some_and(|tol| min_estimate < -tol);
+        Ok(Verdict {
+            residual_l1,
+            min_estimate,
+            detected: residual_l1 > self.alpha || implausible,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tomo_attack::attacker::AttackerSet;
+    use tomo_attack::scenario::AttackScenario;
+    use tomo_attack::{strategy, theory};
+    use tomo_core::fig1;
+
+    #[test]
+    fn validation() {
+        assert!(ConsistencyDetector::new(0.0).is_some());
+        assert!(ConsistencyDetector::new(-1.0).is_none());
+        assert!(ConsistencyDetector::new(f64::NAN).is_none());
+        assert_eq!(ConsistencyDetector::paper_default().alpha(), 200.0);
+        assert_eq!(
+            ConsistencyDetector::paper_default().plausibility_tol(),
+            None
+        );
+        assert_eq!(
+            ConsistencyDetector::recommended().plausibility_tol(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_plausibility_tol_panics() {
+        let _ = ConsistencyDetector::paper_default().with_plausibility(Some(-1.0));
+    }
+
+    #[test]
+    fn clean_measurements_pass() {
+        let system = fig1::fig1_system().unwrap();
+        for detector in [
+            ConsistencyDetector::paper_default(),
+            ConsistencyDetector::recommended(),
+        ] {
+            let y = system.measure(&Vector::filled(10, 15.0)).unwrap();
+            let v = detector.inspect(&system, &y).unwrap();
+            assert!(!v.detected);
+            assert!(v.residual_l1 < 1e-6);
+            assert!(v.min_estimate > 14.0);
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let system = fig1::fig1_system().unwrap();
+        let detector = ConsistencyDetector::paper_default();
+        assert!(detector.inspect(&system, &Vector::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn perfect_cut_attack_is_undetectable_even_with_plausibility() {
+        // Theorem 3, undetectable branch: the constructed perfect-cut
+        // attack satisfies R x̂ = y′ exactly AND keeps estimates
+        // non-negative, so even the recommended detector stays silent.
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let x = Vector::filled(10, 10.0);
+        let outcome = theory::perfect_cut_attack(
+            &system,
+            &attackers,
+            &AttackScenario::paper_defaults(),
+            &x,
+            &[topo.paper_link(1)],
+            900.0,
+        )
+        .unwrap();
+        let s = outcome.success().unwrap();
+        let y_attacked = &system.measure(&x).unwrap() + &s.manipulation;
+        let v = ConsistencyDetector::recommended()
+            .inspect(&system, &y_attacked)
+            .unwrap();
+        assert!(
+            !v.detected,
+            "residual {} min {}",
+            v.residual_l1, v.min_estimate
+        );
+        assert!(v.residual_l1 < 1e-6);
+        assert!(v.min_estimate >= -1e-6);
+    }
+
+    #[test]
+    fn imperfect_cut_attack_is_detected() {
+        // Theorem 3, detectable branch on Fig. 1: framing the imperfectly
+        // cut link 10 leaves a large residual.
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let x = Vector::filled(10, 10.0);
+        let outcome = strategy::chosen_victim(
+            &system,
+            &attackers,
+            &AttackScenario::paper_defaults(),
+            &x,
+            &[topo.paper_link(10)],
+        )
+        .unwrap();
+        let s = outcome.success().unwrap();
+        let y_attacked = &system.measure(&x).unwrap() + &s.manipulation;
+        for detector in [
+            ConsistencyDetector::paper_default(),
+            ConsistencyDetector::recommended(),
+        ] {
+            let v = detector.inspect(&system, &y_attacked).unwrap();
+            assert!(v.detected, "residual {}", v.residual_l1);
+        }
+    }
+
+    #[test]
+    fn plausibility_catches_negative_estimate_evasion() {
+        // Hand-built evasion shape: measurements consistent with an
+        // estimate that has a large negative entry. Construct x̂* with a
+        // negative coordinate and feed y′ = R x̂* — residual is zero, only
+        // the plausibility check can fire.
+        let system = fig1::fig1_system().unwrap();
+        let mut fake = Vector::filled(10, 10.0);
+        fake[0] = 900.0; // framed victim
+        fake[8] = -600.0; // the tell-tale negative estimate
+        let y = system.routing_matrix().mul_vec(&fake).unwrap();
+        let pure = ConsistencyDetector::paper_default()
+            .inspect(&system, &y)
+            .unwrap();
+        assert!(!pure.detected, "Eq. 23 alone is blind to this shape");
+        assert!(pure.residual_l1 < 1e-6);
+        let v = ConsistencyDetector::recommended()
+            .inspect(&system, &y)
+            .unwrap();
+        assert!(v.detected, "plausibility check must fire");
+        assert!(v.min_estimate < -500.0);
+    }
+
+    #[test]
+    fn zero_threshold_flags_any_inconsistency() {
+        let system = fig1::fig1_system().unwrap();
+        let detector = ConsistencyDetector::new(1e-6).unwrap();
+        let mut y = system.measure(&Vector::filled(10, 15.0)).unwrap();
+        // Perturb one redundant measurement out of the column space.
+        y[0] += 50.0;
+        let v = detector.inspect(&system, &y).unwrap();
+        assert!(v.detected);
+    }
+}

@@ -1,0 +1,357 @@
+//! Detection-ratio experiments — the machinery behind Fig. 9.
+//!
+//! Each trial samples attackers and routine delays, launches one of the
+//! three strategies (a *rational* attacker: it first tries the stealthy,
+//! consistency-preserving LP and falls back to the plain damage-maximal
+//! LP), then runs the Eq. (23) detector on the manipulated measurements.
+//! Results are tallied per (strategy × cut kind):
+//!
+//! * **perfect cut** ⇒ the stealthy LP is feasible ⇒ residual 0 ⇒
+//!   detection ratio ≈ 0 (Theorem 3, undetectable branch);
+//! * **imperfect cut** ⇒ only the plain LP succeeds ⇒ residual > α ⇒
+//!   detection ratio ≈ 1 (detectable branch).
+//!
+//! Note: the paper's prose in Section V-D states the ratios the other way
+//! around ("100% when attackers can perfectly cut"), which contradicts
+//! its own Theorem 3; we implement the theorem (see DESIGN.md).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_attack::attacker::AttackerSet;
+use tomo_attack::cut::{analyze_cut, CutKind};
+use tomo_attack::scenario::AttackScenario;
+use tomo_attack::{strategy, AttackError, AttackOutcome};
+use tomo_core::delay::DelayModel;
+use tomo_core::TomographySystem;
+use tomo_graph::{LinkId, NodeId};
+
+use crate::ConsistencyDetector;
+
+/// Which scapegoating strategy a trial used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Chosen-victim scapegoating (Eq. 4-7).
+    ChosenVictim,
+    /// Maximum-damage scapegoating (Eq. 8).
+    MaxDamage,
+    /// Obfuscation (Eq. 9-11).
+    Obfuscation,
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StrategyKind::ChosenVictim => "chosen-victim",
+            StrategyKind::MaxDamage => "maximum-damage",
+            StrategyKind::Obfuscation => "obfuscation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tally of one (strategy, cut-kind) cell of Fig. 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionCell {
+    /// Successful attacks executed.
+    pub attacks: usize,
+    /// Of those, attacks flagged by the detector.
+    pub detected: usize,
+}
+
+impl DetectionCell {
+    /// Detection ratio (`None` when no attack landed in this cell).
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        if self.attacks == 0 {
+            None
+        } else {
+            Some(self.detected as f64 / self.attacks as f64)
+        }
+    }
+}
+
+/// Aggregated results of a detection experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Per-strategy tallies under perfect cuts.
+    pub perfect: [DetectionCell; 3],
+    /// Per-strategy tallies under imperfect cuts.
+    pub imperfect: [DetectionCell; 3],
+    /// Clean (no-attack) rounds inspected.
+    pub clean_trials: usize,
+    /// Clean rounds incorrectly flagged (false alarms).
+    pub false_alarms: usize,
+}
+
+impl DetectionReport {
+    /// The cell for a strategy and cut kind (perfect = `true`).
+    #[must_use]
+    pub fn cell(&self, strategy: StrategyKind, perfect: bool) -> DetectionCell {
+        let idx = strategy_index(strategy);
+        if perfect {
+            self.perfect[idx]
+        } else {
+            self.imperfect[idx]
+        }
+    }
+
+    /// False-alarm ratio on clean rounds (`None` before any clean round).
+    #[must_use]
+    pub fn false_alarm_ratio(&self) -> Option<f64> {
+        if self.clean_trials == 0 {
+            None
+        } else {
+            Some(self.false_alarms as f64 / self.clean_trials as f64)
+        }
+    }
+}
+
+fn strategy_index(s: StrategyKind) -> usize {
+    match s {
+        StrategyKind::ChosenVictim => 0,
+        StrategyKind::MaxDamage => 1,
+        StrategyKind::Obfuscation => 2,
+    }
+}
+
+/// Configuration of a detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionConfig {
+    /// Trials per strategy.
+    pub trials: usize,
+    /// Attackers sampled per trial.
+    pub num_attackers: usize,
+    /// Attack parameters (evasion flag is managed internally).
+    pub scenario: AttackScenario,
+    /// Minimum uncertain victims for obfuscation success.
+    pub obfuscation_min_victims: usize,
+}
+
+/// Runs the rational attacker: stealthy LP first, plain LP as fallback.
+///
+/// Returns the outcome together with whether the *stealthy* variant was
+/// the one that succeeded.
+fn rational_attack<F>(run: F) -> Result<(AttackOutcome, bool), AttackError>
+where
+    F: Fn(bool) -> Result<AttackOutcome, AttackError>,
+{
+    let stealthy = run(true)?;
+    if stealthy.is_success() {
+        return Ok((stealthy, true));
+    }
+    Ok((run(false)?, false))
+}
+
+/// Runs the full Fig. 9 experiment on one measurement system.
+///
+/// # Errors
+///
+/// Propagates attack/tomography errors (infeasible attacks are not
+/// errors; they simply do not contribute to any cell).
+pub fn run_detection_experiment<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    detector: &ConsistencyDetector,
+    delay_model: &DelayModel,
+    config: &DetectionConfig,
+    rng: &mut R,
+) -> Result<DetectionReport, AttackError> {
+    let mut report = DetectionReport::default();
+    let nodes: Vec<NodeId> = system.graph().nodes().collect();
+
+    for _ in 0..config.trials {
+        // Fresh attacker set and routine delays per trial.
+        let mut shuffled = nodes.clone();
+        shuffled.shuffle(rng);
+        shuffled.truncate(config.num_attackers.max(1));
+        let attackers = AttackerSet::new(system, shuffled)?;
+        let x = delay_model.sample(system.num_links(), rng);
+        let y_clean = system.measure(&x)?;
+
+        // Clean round: false-alarm accounting.
+        let clean_verdict = detector.inspect(system, &y_clean)?;
+        report.clean_trials += 1;
+        if clean_verdict.detected {
+            report.false_alarms += 1;
+        }
+
+        // Chosen victim: a random non-controlled link.
+        let free: Vec<LinkId> = (0..system.num_links())
+            .map(LinkId)
+            .filter(|&l| !attackers.controls_link(l))
+            .collect();
+        if let Some(&victim) = free.as_slice().choose(rng) {
+            let (outcome, _) = rational_attack(|evade| {
+                strategy::chosen_victim(
+                    system,
+                    &attackers,
+                    &config.scenario.with_evasion(evade),
+                    &x,
+                    &[victim],
+                )
+            })?;
+            tally(
+                system,
+                detector,
+                &attackers,
+                &y_clean,
+                StrategyKind::ChosenVictim,
+                &outcome,
+                &mut report,
+            )?;
+        }
+
+        // Maximum damage.
+        let (outcome, _) = rational_attack(|evade| {
+            strategy::max_damage(system, &attackers, &config.scenario.with_evasion(evade), &x)
+        })?;
+        tally(
+            system,
+            detector,
+            &attackers,
+            &y_clean,
+            StrategyKind::MaxDamage,
+            &outcome,
+            &mut report,
+        )?;
+
+        // Obfuscation.
+        let (outcome, _) = rational_attack(|evade| {
+            strategy::obfuscation(
+                system,
+                &attackers,
+                &config.scenario.with_evasion(evade),
+                &x,
+                config.obfuscation_min_victims,
+            )
+        })?;
+        tally(
+            system,
+            detector,
+            &attackers,
+            &y_clean,
+            StrategyKind::Obfuscation,
+            &outcome,
+            &mut report,
+        )?;
+    }
+    Ok(report)
+}
+
+/// Applies the detector to a successful attack and files it under the
+/// right (strategy, cut) cell.
+fn tally(
+    system: &TomographySystem,
+    detector: &ConsistencyDetector,
+    attackers: &AttackerSet,
+    y_clean: &tomo_linalg::Vector,
+    strategy: StrategyKind,
+    outcome: &AttackOutcome,
+    report: &mut DetectionReport,
+) -> Result<(), AttackError> {
+    let Some(s) = outcome.success() else {
+        return Ok(());
+    };
+    let cut = analyze_cut(system, attackers, &s.victims);
+    let y_attacked = y_clean + &s.manipulation;
+    let verdict = detector
+        .inspect(system, &y_attacked)
+        .map_err(AttackError::Core)?;
+    let idx = strategy_index(strategy);
+    let cell = match cut.kind {
+        CutKind::Perfect => &mut report.perfect[idx],
+        CutKind::Imperfect | CutKind::NoCoverage => &mut report.imperfect[idx],
+    };
+    cell.attacks += 1;
+    if verdict.detected {
+        cell.detected += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tomo_core::{fig1, params};
+
+    #[test]
+    fn fig9_shape_on_fig1() {
+        let system = fig1::fig1_system().unwrap();
+        let detector = ConsistencyDetector::paper_default();
+        let config = DetectionConfig {
+            trials: 25,
+            num_attackers: 2,
+            scenario: AttackScenario::paper_defaults(),
+            obfuscation_min_victims: 2,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let report = run_detection_experiment(
+            &system,
+            &detector,
+            &params::default_delay_model(),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+
+        // No false alarms on clean rounds (noise-free).
+        assert_eq!(report.false_alarms, 0);
+        assert_eq!(report.clean_trials, 25);
+
+        let mut saw_perfect = false;
+        let mut saw_imperfect = false;
+        for s in [
+            StrategyKind::ChosenVictim,
+            StrategyKind::MaxDamage,
+            StrategyKind::Obfuscation,
+        ] {
+            // Theorem 3: perfect-cut attacks are never detected…
+            if let Some(r) = report.cell(s, true).ratio() {
+                assert!(r < 1e-9, "{s}: perfect-cut detection ratio {r}");
+                saw_perfect = true;
+            }
+            // …imperfect-cut attacks always are.
+            if let Some(r) = report.cell(s, false).ratio() {
+                assert!(r > 0.99, "{s}: imperfect-cut detection ratio {r}");
+                saw_imperfect = true;
+            }
+        }
+        assert!(saw_perfect, "no perfect-cut attack landed in 25 trials");
+        assert!(saw_imperfect, "no imperfect-cut attack landed in 25 trials");
+    }
+
+    #[test]
+    fn detection_cell_ratio() {
+        assert_eq!(DetectionCell::default().ratio(), None);
+        let c = DetectionCell {
+            attacks: 4,
+            detected: 1,
+        };
+        assert_eq!(c.ratio(), Some(0.25));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut r = DetectionReport::default();
+        assert_eq!(r.false_alarm_ratio(), None);
+        r.clean_trials = 10;
+        r.false_alarms = 1;
+        assert_eq!(r.false_alarm_ratio(), Some(0.1));
+        r.perfect[0] = DetectionCell {
+            attacks: 2,
+            detected: 0,
+        };
+        assert_eq!(r.cell(StrategyKind::ChosenVictim, true).ratio(), Some(0.0));
+        assert_eq!(r.cell(StrategyKind::ChosenVictim, false).ratio(), None);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(StrategyKind::ChosenVictim.to_string(), "chosen-victim");
+        assert_eq!(StrategyKind::MaxDamage.to_string(), "maximum-damage");
+        assert_eq!(StrategyKind::Obfuscation.to_string(), "obfuscation");
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz DOT export for topologies and attack scenarios.
+//!
+//! Operators and paper readers both think in pictures; this module emits
+//! `dot(1)` source so any scenario can be rendered with
+//! `dot -Tsvg topology.dot`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Graph, LinkId, NodeId};
+
+/// Visual role of a node in a rendered scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// A monitor (drawn as a double circle).
+    Monitor,
+    /// A malicious node (drawn filled).
+    Attacker,
+    /// Anything else.
+    Plain,
+}
+
+/// Visual role of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkRole {
+    /// A victim/scapegoat link (drawn bold and dashed).
+    Victim,
+    /// An attacker-controlled link.
+    Controlled,
+    /// Anything else.
+    Plain,
+}
+
+/// Renders `graph` as an undirected Graphviz document.
+///
+/// `node_roles` and `link_roles` override the default appearance for the
+/// listed elements; everything else renders plainly. Labels come from the
+/// graph.
+///
+/// ```
+/// use tomo_graph::{dot, topology};
+///
+/// let fig1 = topology::fig1();
+/// let out = dot::to_dot(&fig1.graph, &[], &[]);
+/// assert!(out.starts_with("graph tomography"));
+/// assert!(out.contains("\"M1\" -- \"A\""));
+/// ```
+#[must_use]
+pub fn to_dot(
+    graph: &Graph,
+    node_roles: &[(NodeId, NodeRole)],
+    link_roles: &[(LinkId, LinkRole)],
+) -> String {
+    let node_map: HashMap<NodeId, NodeRole> = node_roles.iter().copied().collect();
+    let link_map: HashMap<LinkId, LinkRole> = link_roles.iter().copied().collect();
+
+    let mut out = String::from("graph tomography {\n  layout=neato;\n  overlap=false;\n");
+    for v in graph.nodes() {
+        let label = graph.label(v).expect("node exists");
+        let attrs = match node_map.get(&v).copied().unwrap_or(NodeRole::Plain) {
+            NodeRole::Monitor => " [shape=doublecircle, color=blue]",
+            NodeRole::Attacker => " [style=filled, fillcolor=red]",
+            NodeRole::Plain => "",
+        };
+        writeln!(out, "  \"{label}\"{attrs};").expect("write to String");
+    }
+    for l in graph.links() {
+        let (a, b) = graph.endpoints(l).expect("link exists");
+        let la = graph.label(a).expect("node exists");
+        let lb = graph.label(b).expect("node exists");
+        let attrs = match link_map.get(&l).copied().unwrap_or(LinkRole::Plain) {
+            LinkRole::Victim => " [style=dashed, penwidth=3, color=orange]",
+            LinkRole::Controlled => " [color=red]",
+            LinkRole::Plain => "",
+        };
+        writeln!(out, "  \"{la}\" -- \"{lb}\"{attrs};").expect("write to String");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn plain_export_lists_all_elements() {
+        let f = topology::fig1();
+        let out = to_dot(&f.graph, &[], &[]);
+        assert!(out.starts_with("graph tomography {"));
+        assert!(out.trim_end().ends_with('}'));
+        for label in ["M1", "M2", "M3", "A", "B", "C", "D"] {
+            assert!(out.contains(&format!("\"{label}\"")), "{label} missing");
+        }
+        // 10 undirected edges.
+        assert_eq!(out.matches(" -- ").count(), 10);
+    }
+
+    #[test]
+    fn roles_change_attributes() {
+        let f = topology::fig1();
+        let nodes: Vec<_> = f
+            .monitors
+            .iter()
+            .map(|&m| (m, NodeRole::Monitor))
+            .chain(f.attackers.iter().map(|&a| (a, NodeRole::Attacker)))
+            .collect();
+        let links = vec![(f.paper_link(10), LinkRole::Victim)];
+        let out = to_dot(&f.graph, &nodes, &links);
+        assert_eq!(out.matches("doublecircle").count(), 3);
+        assert_eq!(out.matches("fillcolor=red").count(), 2);
+        assert_eq!(out.matches("penwidth=3").count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = to_dot(&Graph::new(), &[], &[]);
+        assert!(out.contains("graph tomography"));
+        assert_eq!(out.matches(" -- ").count(), 0);
+    }
+}

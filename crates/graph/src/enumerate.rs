@@ -1,0 +1,221 @@
+//! Bounded enumeration of simple paths.
+//!
+//! The Fig. 1 experiments use an explicit pool of monitor-to-monitor
+//! simple paths; larger topologies use bounded enumeration to build
+//! candidate pools for identifiability-driven path selection.
+
+use crate::{Graph, GraphError, NodeId, Path};
+
+/// Enumerates simple paths from `source` to `target` with at most
+/// `max_hops` links, stopping after `max_count` paths.
+///
+/// Results are returned sorted by `(hop count, node sequence)` so the
+/// output is canonical regardless of adjacency insertion order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] for missing endpoints.
+///
+/// ```
+/// use tomo_graph::{enumerate, Graph};
+///
+/// # fn main() -> Result<(), tomo_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let c = g.add_node("c");
+/// g.add_link(a, b)?;
+/// g.add_link(b, c)?;
+/// g.add_link(a, c)?;
+/// let paths = enumerate::simple_paths(&g, a, c, 5, 100)?;
+/// assert_eq!(paths.len(), 2); // a-c and a-b-c
+/// # Ok(())
+/// # }
+/// ```
+pub fn simple_paths(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    max_hops: usize,
+    max_count: usize,
+) -> Result<Vec<Path>, GraphError> {
+    let _ = graph.label(source)?;
+    let _ = graph.label(target)?;
+    let mut found: Vec<Vec<NodeId>> = Vec::new();
+    if max_count == 0 || max_hops == 0 || source == target {
+        return Ok(Vec::new());
+    }
+
+    let mut on_path = vec![false; graph.num_nodes()];
+    let mut stack: Vec<NodeId> = vec![source];
+    on_path[source.index()] = true;
+
+    fn dfs(
+        graph: &Graph,
+        target: NodeId,
+        max_hops: usize,
+        max_count: usize,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut Vec<bool>,
+        found: &mut Vec<Vec<NodeId>>,
+    ) -> Result<(), GraphError> {
+        if found.len() >= max_count {
+            return Ok(());
+        }
+        let current = *stack.last().expect("stack nonempty");
+        if current == target {
+            found.push(stack.clone());
+            return Ok(());
+        }
+        if stack.len() > max_hops {
+            return Ok(());
+        }
+        for &(next, _) in graph.neighbors(current)? {
+            if on_path[next.index()] {
+                continue;
+            }
+            stack.push(next);
+            on_path[next.index()] = true;
+            dfs(graph, target, max_hops, max_count, stack, on_path, found)?;
+            on_path[next.index()] = false;
+            stack.pop();
+            if found.len() >= max_count {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    dfs(
+        graph,
+        target,
+        max_hops,
+        max_count,
+        &mut stack,
+        &mut on_path,
+        &mut found,
+    )?;
+
+    found.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    found
+        .into_iter()
+        .map(|nodes| Path::from_nodes(graph, &nodes))
+        .collect()
+}
+
+/// Enumerates simple paths between every ordered pair of the given
+/// terminals (each unordered pair once, smaller id as source), sorted by
+/// `(source, dest, hop count, node sequence)`.
+///
+/// This is the pool construction used for monitor sets: tomography probes
+/// run between distinct monitors.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] if a terminal is missing.
+pub fn simple_paths_between_terminals(
+    graph: &Graph,
+    terminals: &[NodeId],
+    max_hops: usize,
+    max_count_per_pair: usize,
+) -> Result<Vec<Path>, GraphError> {
+    let mut sorted = terminals.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut all = Vec::new();
+    for (i, &s) in sorted.iter().enumerate() {
+        for &t in &sorted[i + 1..] {
+            all.extend(simple_paths(graph, s, t, max_hops, max_count_per_pair)?);
+        }
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| g.add_node(format!("v{i}"))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_link(ids[i], ids[j]).unwrap();
+            }
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn k4_path_counts() {
+        let (g, ids) = k4();
+        // Simple paths v0→v3 in K4: 1 direct + 2 two-hop + 2 three-hop = 5.
+        let paths = simple_paths(&g, ids[0], ids[3], 10, 100).unwrap();
+        assert_eq!(paths.len(), 5);
+        assert_eq!(paths[0].num_links(), 1);
+        assert_eq!(paths[4].num_links(), 3);
+    }
+
+    #[test]
+    fn max_hops_prunes() {
+        let (g, ids) = k4();
+        let paths = simple_paths(&g, ids[0], ids[3], 2, 100).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.num_links() <= 2));
+    }
+
+    #[test]
+    fn max_count_truncates() {
+        let (g, ids) = k4();
+        let paths = simple_paths(&g, ids[0], ids[3], 10, 2).unwrap();
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn same_source_target_empty() {
+        let (g, ids) = k4();
+        assert!(simple_paths(&g, ids[0], ids[0], 5, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disconnected_pair_empty() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert!(simple_paths(&g, a, b, 5, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (g, ids) = k4();
+        assert!(simple_paths(&g, ids[0], NodeId(99), 5, 10).is_err());
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let (g, ids) = k4();
+        let a = simple_paths(&g, ids[0], ids[3], 10, 100).unwrap();
+        let b = simple_paths(&g, ids[0], ids[3], 10, 100).unwrap();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(
+                w[0].num_links() < w[1].num_links()
+                    || (w[0].num_links() == w[1].num_links() && w[0].nodes() <= w[1].nodes())
+            );
+        }
+    }
+
+    #[test]
+    fn terminal_pool_covers_all_pairs() {
+        let (g, ids) = k4();
+        let terminals = [ids[0], ids[1], ids[2]];
+        let pool = simple_paths_between_terminals(&g, &terminals, 3, 100).unwrap();
+        // Each of the 3 pairs in K4 with ≤3 hops: direct(1) + 2 two-hop +
+        // 2 three-hop = 5 paths per pair.
+        assert_eq!(pool.len(), 15);
+        // Duplicated terminals are deduplicated.
+        let pool2 = simple_paths_between_terminals(&g, &[ids[0], ids[0], ids[1]], 3, 100).unwrap();
+        let pool3 = simple_paths_between_terminals(&g, &[ids[0], ids[1]], 3, 100).unwrap();
+        assert_eq!(pool2, pool3);
+    }
+}

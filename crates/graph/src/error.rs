@@ -1,0 +1,113 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{LinkId, NodeId};
+
+/// Errors produced by graph construction, queries, and parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id does not belong to the graph.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        count: usize,
+    },
+    /// A link id does not belong to the graph.
+    UnknownLink {
+        /// The offending link.
+        link: LinkId,
+        /// Number of links in the graph.
+        count: usize,
+    },
+    /// Attempted to add a self-loop (forbidden by the paper's model:
+    /// "no link for i = j").
+    SelfLoop {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// Attempted to add a duplicate link ("at most one link between
+    /// nodes").
+    DuplicateLink {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+    /// A path description is not a valid walk in the graph.
+    InvalidPath {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A topology file could not be parsed.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A generator could not satisfy its constraints
+    /// (e.g. could not produce a connected graph within the retry budget).
+    GenerationFailed {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { node, count } => {
+                write!(f, "unknown node {node} (graph has {count} nodes)")
+            }
+            GraphError::UnknownLink { link, count } => {
+                write!(f, "unknown link {link} (graph has {count} links)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} is not allowed")
+            }
+            GraphError::DuplicateLink { a, b } => {
+                write!(f, "link between {a} and {b} already exists")
+            }
+            GraphError::InvalidPath { reason } => write!(f, "invalid path: {reason}"),
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            GraphError::GenerationFailed { reason } => {
+                write!(f, "topology generation failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::UnknownNode {
+            node: NodeId(4),
+            count: 2,
+        };
+        assert!(e.to_string().contains("n4"));
+        assert!(GraphError::SelfLoop { node: NodeId(1) }
+            .to_string()
+            .contains("self-loop"));
+        assert!(GraphError::Parse {
+            line: 12,
+            reason: "bad token".into()
+        }
+        .to_string()
+        .contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,400 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, LinkId, NodeId};
+
+/// An undirected simple graph (no self-loops, at most one link per node
+/// pair), exactly the network model `G = (V, L)` of Section II-A of the
+/// paper.
+///
+/// Nodes carry string labels (e.g. `"M1"`, `"A"`); links are unlabeled but
+/// densely indexed so that link metrics can live in plain vectors.
+///
+/// ```
+/// use tomo_graph::Graph;
+///
+/// # fn main() -> Result<(), tomo_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let ab = g.add_link(a, b)?;
+/// assert_eq!(g.endpoints(ab)?, (a, b));
+/// assert_eq!(g.degree(a)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    labels: Vec<String>,
+    links: Vec<(NodeId, NodeId)>,
+    /// adjacency[v] = list of (neighbor, connecting link).
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` anonymous nodes labeled `"v0"… "v{n-1}"`
+    /// and no links.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_node(format!("v{i}"));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.labels.len());
+        self.labels.push(label.into());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if either endpoint is missing,
+    /// * [`GraphError::SelfLoop`] if `a == b`,
+    /// * [`GraphError::DuplicateLink`] if the link already exists.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> Result<LinkId, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if self.link_between(a, b).is_some() {
+            return Err(GraphError::DuplicateLink { a, b });
+        }
+        let id = LinkId(self.links.len());
+        self.links.push((a, b));
+        self.adjacency[a.index()].push((b, id));
+        self.adjacency[b.index()].push((a, id));
+        Ok(id)
+    }
+
+    /// Label of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node is missing.
+    pub fn label(&self, node: NodeId) -> Result<&str, GraphError> {
+        self.check_node(node)?;
+        Ok(&self.labels[node.index()])
+    }
+
+    /// Finds a node by label (linear scan; labels need not be unique, the
+    /// first match wins).
+    #[must_use]
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels.iter().position(|l| l == label).map(NodeId)
+    }
+
+    /// Endpoints of a link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownLink`] if the link is missing.
+    pub fn endpoints(&self, link: LinkId) -> Result<(NodeId, NodeId), GraphError> {
+        self.check_link(link)?;
+        Ok(self.links[link.index()])
+    }
+
+    /// Neighbors of `node` with the connecting links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node is missing.
+    pub fn neighbors(&self, node: NodeId) -> Result<&[(NodeId, LinkId)], GraphError> {
+        self.check_node(node)?;
+        Ok(&self.adjacency[node.index()])
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node is missing.
+    pub fn degree(&self, node: NodeId) -> Result<usize, GraphError> {
+        Ok(self.neighbors(node)?.len())
+    }
+
+    /// The link connecting `a` and `b`, if any.
+    #[must_use]
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        if a.index() >= self.num_nodes() || b.index() >= self.num_nodes() {
+            return None;
+        }
+        self.adjacency[a.index()]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// Links incident to `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if the node is missing.
+    pub fn incident_links(&self, node: NodeId) -> Result<Vec<LinkId>, GraphError> {
+        Ok(self.neighbors(node)?.iter().map(|(_, l)| *l).collect())
+    }
+
+    /// Returns `true` if `node` is an endpoint of `link`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownLink`] if the link is missing.
+    pub fn is_incident(&self, node: NodeId, link: LinkId) -> Result<bool, GraphError> {
+        let (a, b) = self.endpoints(link)?;
+        Ok(a == node || b == node)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// Iterator over all link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.num_links()).map(LinkId)
+    }
+
+    /// Map from label to node id (last duplicate wins).
+    #[must_use]
+    pub fn label_index(&self) -> HashMap<&str, NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.as_str(), NodeId(i)))
+            .collect()
+    }
+
+    /// Average node degree (0 for the empty graph).
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_links() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Builds the subgraph induced by `members`, with node ids densely
+    /// remapped in ascending order of the original ids. Returns the new
+    /// graph and the mapping `new_id -> old_id`.
+    ///
+    /// Labels are preserved. Duplicate members are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if any member is missing.
+    ///
+    /// ```
+    /// use tomo_graph::{Graph, NodeId};
+    ///
+    /// # fn main() -> Result<(), tomo_graph::GraphError> {
+    /// let mut g = Graph::new();
+    /// let a = g.add_node("a");
+    /// let b = g.add_node("b");
+    /// let c = g.add_node("c");
+    /// g.add_link(a, b)?;
+    /// g.add_link(b, c)?;
+    /// let (sub, mapping) = g.induced_subgraph(&[b, c])?;
+    /// assert_eq!(sub.num_nodes(), 2);
+    /// assert_eq!(sub.num_links(), 1); // only b-c survives
+    /// assert_eq!(mapping, vec![b, c]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn induced_subgraph(&self, members: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        let mut sorted = members.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &n in &sorted {
+            self.check_node(n)?;
+        }
+        let mut remap = vec![usize::MAX; self.num_nodes()];
+        let mut sub = Graph::new();
+        for (new_idx, &old) in sorted.iter().enumerate() {
+            remap[old.index()] = new_idx;
+            sub.add_node(self.labels[old.index()].clone());
+        }
+        for &(a, b) in &self.links {
+            let (ra, rb) = (remap[a.index()], remap[b.index()]);
+            if ra != usize::MAX && rb != usize::MAX {
+                sub.add_link(NodeId(ra), NodeId(rb))
+                    .expect("induced links are fresh non-loops");
+            }
+        }
+        Ok((sub, sorted))
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.num_nodes() {
+            Err(GraphError::UnknownNode {
+                node,
+                count: self.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_link(&self, link: LinkId) -> Result<(), GraphError> {
+        if link.index() >= self.num_links() {
+            Err(GraphError::UnknownLink {
+                link,
+                count: self.num_links(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, [NodeId; 3], [LinkId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let ab = g.add_link(a, b).unwrap();
+        let bc = g.add_link(b, c).unwrap();
+        let ca = g.add_link(c, a).unwrap();
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [a, b, c], [ab, bc, _ca]) = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_links(), 3);
+        assert_eq!(g.label(a).unwrap(), "a");
+        assert_eq!(g.endpoints(ab).unwrap(), (a, b));
+        assert_eq!(g.degree(b).unwrap(), 2);
+        assert_eq!(g.link_between(b, c), Some(bc));
+        assert_eq!(g.link_between(c, b), Some(bc));
+        assert!(g.is_incident(a, ab).unwrap());
+        assert!(!g.is_incident(c, ab).unwrap());
+        assert_eq!(g.node_by_label("c"), Some(c));
+        assert_eq!(g.node_by_label("zz"), None);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert!(matches!(g.add_link(a, a), Err(GraphError::SelfLoop { .. })));
+        g.add_link(a, b).unwrap();
+        assert!(matches!(
+            g.add_link(a, b),
+            Err(GraphError::DuplicateLink { .. })
+        ));
+        assert!(matches!(
+            g.add_link(b, a),
+            Err(GraphError::DuplicateLink { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let (g, _, _) = triangle();
+        assert!(g.label(NodeId(9)).is_err());
+        assert!(g.endpoints(LinkId(9)).is_err());
+        assert!(g.neighbors(NodeId(9)).is_err());
+        assert!(g.is_incident(NodeId(0), LinkId(9)).is_err());
+        assert_eq!(g.link_between(NodeId(0), NodeId(9)), None);
+        let mut g2 = Graph::new();
+        let a = g2.add_node("a");
+        assert!(g2.add_link(a, NodeId(5)).is_err());
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.nodes().count(), 3);
+        assert_eq!(g.links().count(), 3);
+        let idx = g.label_index();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx["b"], NodeId(1));
+    }
+
+    #[test]
+    fn with_nodes_labels() {
+        let g = Graph::with_nodes(3);
+        assert_eq!(g.label(NodeId(2)).unwrap(), "v2");
+        assert_eq!(g.num_links(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn incident_links_listing() {
+        let (g, [_, b, _], [ab, bc, _]) = triangle();
+        let mut incident = g.incident_links(b).unwrap();
+        incident.sort();
+        assert_eq!(incident, vec![ab, bc]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_links() {
+        let (g, [a, b, c], _) = triangle();
+        let (sub, mapping) = g.induced_subgraph(&[c, a, a]).unwrap();
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_links(), 1); // only c-a survives
+        assert_eq!(mapping, vec![a, c]);
+        assert_eq!(sub.label(NodeId(0)).unwrap(), "a");
+        assert_eq!(sub.label(NodeId(1)).unwrap(), "c");
+        // Full member set reproduces the graph.
+        let (full, _) = g.induced_subgraph(&[a, b, c]).unwrap();
+        assert_eq!(full.num_links(), 3);
+        // Unknown members rejected; empty set fine.
+        assert!(g.induced_subgraph(&[NodeId(9)]).is_err());
+        let (empty, mapping) = g.induced_subgraph(&[]).unwrap();
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, _, _) = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_links(), 3);
+        assert_eq!(back.link_between(NodeId(0), NodeId(1)), Some(LinkId(0)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Synthetic ISP backbone topologies — the wireline stand-in for the
+//! paper's Rocketfuel AS1221 (Telstra) dataset.
+//!
+//! The raw Rocketfuel maps are not redistributable with this repository,
+//! so wireline experiments default to a seeded generator that reproduces
+//! the structural features the scapegoating results depend on:
+//!
+//! * a small, densely meshed **backbone** (ring + random chords, so the
+//!   core is 2-connected and offers path diversity),
+//! * **access routers** attached by preferential attachment (heavy-tailed
+//!   degrees, like real ISP maps), each multi-homed with probability
+//!   `multihoming_prob` (so leaves are not trivially cut by one node).
+//!
+//! Users with the actual dataset can load it through
+//! [`rocketfuel`](crate::rocketfuel) instead; the experiment harness
+//! accepts either.
+
+use rand::Rng;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Configuration for the synthetic ISP topology generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspConfig {
+    /// Number of backbone (core) routers.
+    pub backbone_nodes: usize,
+    /// Extra random chords added to the backbone ring.
+    pub backbone_chords: usize,
+    /// Number of access routers attached to the core.
+    pub access_nodes: usize,
+    /// Probability that an access router gets a second uplink.
+    pub multihoming_prob: f64,
+}
+
+impl Default for IspConfig {
+    /// AS1221-like scale: ~100 routers with a 12-node core.
+    fn default() -> Self {
+        IspConfig {
+            backbone_nodes: 12,
+            backbone_chords: 8,
+            access_nodes: 88,
+            multihoming_prob: 0.45,
+        }
+    }
+}
+
+/// Generates an ISP-like topology.
+///
+/// The result is connected by construction: the backbone is a ring and
+/// every access router has at least one uplink into the already-connected
+/// component.
+///
+/// # Errors
+///
+/// Returns [`GraphError::GenerationFailed`] if `backbone_nodes < 3` or
+/// `multihoming_prob ∉ [0, 1]`.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tomo_graph::isp::{self, IspConfig};
+///
+/// # fn main() -> Result<(), tomo_graph::GraphError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let g = isp::generate(&IspConfig::default(), &mut rng)?;
+/// assert_eq!(g.num_nodes(), 100);
+/// assert!(tomo_graph::traversal::is_connected(&g));
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate<R: Rng + ?Sized>(config: &IspConfig, rng: &mut R) -> Result<Graph, GraphError> {
+    if config.backbone_nodes < 3 {
+        return Err(GraphError::GenerationFailed {
+            reason: format!(
+                "backbone needs at least 3 nodes, got {}",
+                config.backbone_nodes
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.multihoming_prob) {
+        return Err(GraphError::GenerationFailed {
+            reason: format!("multihoming_prob {} not in [0, 1]", config.multihoming_prob),
+        });
+    }
+
+    let mut graph = Graph::new();
+    let nb = config.backbone_nodes;
+
+    // Backbone ring.
+    let backbone: Vec<NodeId> = (0..nb).map(|i| graph.add_node(format!("bb{i}"))).collect();
+    for i in 0..nb {
+        graph
+            .add_link(backbone[i], backbone[(i + 1) % nb])
+            .expect("ring links are fresh");
+    }
+    // Random chords across the core (skip duplicates silently).
+    let mut added = 0;
+    let mut guard = 0;
+    while added < config.backbone_chords && guard < config.backbone_chords * 20 {
+        guard += 1;
+        let a = backbone[rng.gen_range(0..nb)];
+        let b = backbone[rng.gen_range(0..nb)];
+        if a != b && graph.link_between(a, b).is_none() {
+            graph.add_link(a, b).expect("checked fresh");
+            added += 1;
+        }
+    }
+
+    // Access routers by preferential attachment over current degrees.
+    for i in 0..config.access_nodes {
+        let new = graph.add_node(format!("ar{i}"));
+        let first = pick_preferential(&graph, rng, new);
+        graph
+            .add_link(new, first)
+            .expect("new node has no links yet");
+        if rng.gen_bool(config.multihoming_prob) {
+            // Second, distinct uplink.
+            for _ in 0..20 {
+                let second = pick_preferential(&graph, rng, new);
+                if second != first && graph.link_between(new, second).is_none() {
+                    graph.add_link(new, second).expect("checked fresh");
+                    break;
+                }
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Picks an existing node (≠ `exclude`) with probability proportional to
+/// `degree + 1`.
+fn pick_preferential<R: Rng + ?Sized>(graph: &Graph, rng: &mut R, exclude: NodeId) -> NodeId {
+    let total: usize = graph
+        .nodes()
+        .filter(|&n| n != exclude)
+        .map(|n| graph.degree(n).expect("node exists") + 1)
+        .sum();
+    let mut ticket = rng.gen_range(0..total);
+    for n in graph.nodes() {
+        if n == exclude {
+            continue;
+        }
+        let w = graph.degree(n).expect("node exists") + 1;
+        if ticket < w {
+            return n;
+        }
+        ticket -= w;
+    }
+    unreachable!("ticket drawn within total weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_config_generates_connected_as_scale_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1221);
+        let g = generate(&IspConfig::default(), &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert!(traversal::is_connected(&g));
+        // Ring(12) + ≤8 chords + ≥88 uplinks.
+        assert!(g.num_links() >= 100);
+        assert!(g.average_degree() > 2.0);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let g = generate(&IspConfig::default(), &mut rng).unwrap();
+        let max_degree = g.nodes().map(|n| g.degree(n).unwrap()).max().unwrap();
+        // Preferential attachment concentrates degree on hubs.
+        assert!(
+            max_degree >= 8,
+            "expected a hub with degree ≥ 8, max was {max_degree}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = IspConfig::default();
+        let a = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        assert_eq!(a.num_links(), b.num_links());
+        for l in a.links() {
+            assert_eq!(a.endpoints(l).unwrap(), b.endpoints(l).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(generate(
+            &IspConfig {
+                backbone_nodes: 2,
+                ..IspConfig::default()
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(generate(
+            &IspConfig {
+                multihoming_prob: 1.5,
+                ..IspConfig::default()
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_access_nodes_is_just_the_core() {
+        let cfg = IspConfig {
+            backbone_nodes: 5,
+            backbone_chords: 0,
+            access_nodes: 0,
+            multihoming_prob: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generate(&cfg, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_links(), 5); // the ring
+        assert!(traversal::is_connected(&g));
+    }
+}

@@ -1,0 +1,247 @@
+//! Parsers for Rocketfuel-style ISP topology files.
+//!
+//! The paper's wireline experiments run on Rocketfuel AS maps (AS1221 /
+//! Telstra). Two on-disk formats are supported:
+//!
+//! * **edge lists** — one `src dst` pair per line (comments with `#`),
+//!   the format of the weighted/simplified Rocketfuel releases;
+//! * **`.cch` router files** — the native Rocketfuel format
+//!   (`uid @loc … -> <nbr> <nbr> … =name rn`), from which we keep
+//!   internal routers and router-router adjacencies.
+//!
+//! The dataset itself is not bundled (see DESIGN.md); the synthetic
+//! [`isp`](crate::isp) generator is the default wireline substrate.
+
+use std::collections::HashMap;
+
+use crate::{Graph, GraphError};
+
+/// Parses an edge-list topology: one `src dst` pair of node names per
+/// line. Blank lines and `#` comments are ignored; duplicate edges and
+/// self-loops are skipped (Rocketfuel maps contain both).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] if a non-comment line does not contain
+/// at least two whitespace-separated tokens.
+///
+/// ```
+/// let input = "# AS65000\na b\nb c\na c\n";
+/// let g = tomo_graph::rocketfuel::from_edge_list_str(input).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_links(), 3);
+/// ```
+pub fn from_edge_list_str(input: &str) -> Result<Graph, GraphError> {
+    let mut graph = Graph::new();
+    let mut nodes: HashMap<String, crate::NodeId> = HashMap::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                reason: format!("expected `src dst`, got {line:?}"),
+            });
+        };
+        let ai = *nodes
+            .entry(a.to_string())
+            .or_insert_with(|| graph.add_node(a));
+        let bi = *nodes
+            .entry(b.to_string())
+            .or_insert_with(|| graph.add_node(b));
+        if ai != bi && graph.link_between(ai, bi).is_none() {
+            graph.add_link(ai, bi).expect("checked fresh non-loop");
+        }
+    }
+    Ok(graph)
+}
+
+/// Parses the native Rocketfuel `.cch` router-level format.
+///
+/// Each line describes one router:
+///
+/// ```text
+/// uid @loc [+] [bb] (num_neigh) [&ext] -> <nuid-1> … {-euid} … =name rn
+/// ```
+///
+/// We keep internal routers (`uid ≥ 0`) and the `<nuid>` internal
+/// adjacencies; external (`-euid`, `{…}`) links are dropped, matching how
+/// the paper uses the maps (a single AS's internal topology).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] if a line has no leading integer uid or
+/// no `->` separator.
+pub fn from_cch_str(input: &str) -> Result<Graph, GraphError> {
+    let mut graph = Graph::new();
+    let mut nodes: HashMap<i64, crate::NodeId> = HashMap::new();
+    let mut edges: Vec<(i64, i64)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let uid_tok = tokens.next().expect("non-empty line has a token");
+        let uid: i64 = uid_tok.parse().map_err(|_| GraphError::Parse {
+            line: lineno + 1,
+            reason: format!("expected integer uid, got {uid_tok:?}"),
+        })?;
+        if uid < 0 {
+            // External router line; irrelevant for the internal map.
+            continue;
+        }
+        let rest: Vec<&str> = tokens.collect();
+        let Some(arrow) = rest.iter().position(|t| *t == "->") else {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                reason: "missing `->` separator".into(),
+            });
+        };
+        nodes
+            .entry(uid)
+            .or_insert_with(|| graph.add_node(format!("r{uid}")));
+        for tok in &rest[arrow + 1..] {
+            if let Some(stripped) = tok.strip_prefix('<') {
+                if let Some(nbr) = stripped.strip_suffix('>') {
+                    if let Ok(nbr_uid) = nbr.parse::<i64>() {
+                        if nbr_uid >= 0 {
+                            edges.push((uid, nbr_uid));
+                        }
+                    }
+                }
+            }
+            // `{-euid}` external links and `=name`, `rN` suffixes ignored.
+        }
+    }
+
+    for (a, b) in edges {
+        let ai = *nodes
+            .entry(a)
+            .or_insert_with(|| graph.add_node(format!("r{a}")));
+        let bi = *nodes
+            .entry(b)
+            .or_insert_with(|| graph.add_node(format!("r{b}")));
+        if ai != bi && graph.link_between(ai, bi).is_none() {
+            graph.add_link(ai, bi).expect("checked fresh non-loop");
+        }
+    }
+    Ok(graph)
+}
+
+/// Reads an edge-list topology from a file.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] with line 0 if the file cannot be read,
+/// or the underlying parse error.
+pub fn from_edge_list_file(path: &std::path::Path) -> Result<Graph, GraphError> {
+    let input = std::fs::read_to_string(path).map_err(|e| GraphError::Parse {
+        line: 0,
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    from_edge_list_str(&input)
+}
+
+/// Reads a `.cch` topology from a file.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] with line 0 if the file cannot be read,
+/// or the underlying parse error.
+pub fn from_cch_file(path: &std::path::Path) -> Result<Graph, GraphError> {
+    let input = std::fs::read_to_string(path).map_err(|e| GraphError::Parse {
+        line: 0,
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    from_cch_str(&input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_basic() {
+        let g = from_edge_list_str("a b\nb c\n\n# comment\nc a\n").unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_links(), 3);
+    }
+
+    #[test]
+    fn edge_list_dedupes_and_skips_self_loops() {
+        let g = from_edge_list_str("a b\nb a\na a\n").unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_links(), 1);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed() {
+        let err = from_edge_list_str("a b\nonly_one_token\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn edge_list_extra_columns_tolerated() {
+        // Weighted format: third column ignored.
+        let g = from_edge_list_str("a b 3.5\nb c 1.0\n").unwrap();
+        assert_eq!(g.num_links(), 2);
+    }
+
+    #[test]
+    fn cch_basic() {
+        let input = "\
+1 @sydney,+australia bb (3) -> <2> <3> =r1.syd rn
+2 @sydney,+australia bb (2) -> <1> <3> =r2.syd rn
+3 @melbourne,+australia (2) -> <1> <2> =r1.mel rn
+";
+        let g = from_cch_str(input).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_links(), 3);
+        assert!(g.node_by_label("r1").is_some());
+    }
+
+    #[test]
+    fn cch_skips_external_routers_and_links() {
+        let input = "\
+1 @x bb (2) &1 -> <2> {-77} =r1 rn
+2 @x (1) -> <1> =r2 rn
+-77 @ext -> <1> =ext rn
+";
+        let g = from_cch_str(input).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_links(), 1);
+    }
+
+    #[test]
+    fn cch_forward_references_create_nodes() {
+        // Node 5 referenced before (never) being defined on its own line.
+        let input = "1 @x (1) -> <5> =r1 rn\n";
+        let g = from_cch_str(input).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_links(), 1);
+    }
+
+    #[test]
+    fn cch_rejects_bad_lines() {
+        assert!(matches!(
+            from_cch_str("notanint @x -> <1>\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_cch_str("1 @x (0) =r1 rn\n"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn files_missing_give_parse_error() {
+        let missing = std::path::Path::new("/nonexistent/rocketfuel.cch");
+        assert!(from_cch_file(missing).is_err());
+        assert!(from_edge_list_file(missing).is_err());
+    }
+}

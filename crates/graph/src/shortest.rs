@@ -1,0 +1,354 @@
+//! Shortest paths: Dijkstra and Yen's k-shortest loopless paths.
+//!
+//! Monitor pairs use these to build candidate measurement-path pools. Yen's
+//! algorithm provides path *diversity*, which identifiability-driven path
+//! selection needs (distinct paths must cover independent link
+//! combinations).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, GraphError, NodeId, Path};
+
+/// Max-heap entry flipped into a min-heap by reversing the comparison.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest distance first; ties by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra with optional per-link weights (unit weights when `None`) and
+/// optional node/link bans (used internally by Yen's spur computation).
+///
+/// Returns the shortest path from `source` to `target`, or `None` if
+/// unreachable.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] for missing endpoints, or
+/// [`GraphError::InvalidPath`] if `weights` has the wrong length or a
+/// negative entry.
+pub fn dijkstra_with_bans(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    weights: Option<&[f64]>,
+    banned_nodes: &[bool],
+    banned_links: &[bool],
+) -> Result<Option<Path>, GraphError> {
+    let _ = graph.label(source)?;
+    let _ = graph.label(target)?;
+    if let Some(w) = weights {
+        if w.len() != graph.num_links() {
+            return Err(GraphError::InvalidPath {
+                reason: format!(
+                    "weights length {} does not match link count {}",
+                    w.len(),
+                    graph.num_links()
+                ),
+            });
+        }
+        if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(GraphError::InvalidPath {
+                reason: "link weights must be finite and non-negative".into(),
+            });
+        }
+    }
+    if banned_nodes.get(source.index()).copied().unwrap_or(false)
+        || banned_nodes.get(target.index()).copied().unwrap_or(false)
+    {
+        return Ok(None);
+    }
+
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == target {
+            break;
+        }
+        for &(v, l) in graph.neighbors(u)? {
+            if done[v.index()]
+                || banned_nodes.get(v.index()).copied().unwrap_or(false)
+                || banned_links.get(l.index()).copied().unwrap_or(false)
+            {
+                continue;
+            }
+            let w = weights.map_or(1.0, |ws| ws[l.index()]);
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    if dist[target.index()].is_infinite() {
+        return Ok(None);
+    }
+    // Reconstruct node sequence.
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = prev[cur.index()].expect("reached nodes have predecessors");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Ok(Some(Path::from_nodes(graph, &nodes)?))
+}
+
+/// Shortest path by hop count (unit weights).
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] for missing endpoints.
+///
+/// ```
+/// use tomo_graph::{Graph, shortest};
+///
+/// # fn main() -> Result<(), tomo_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let c = g.add_node("c");
+/// g.add_link(a, b)?;
+/// g.add_link(b, c)?;
+/// g.add_link(a, c)?;
+/// let p = shortest::shortest_path(&g, a, c)?.expect("connected");
+/// assert_eq!(p.num_links(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shortest_path(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+) -> Result<Option<Path>, GraphError> {
+    dijkstra_with_bans(graph, source, target, None, &[], &[])
+}
+
+/// Yen's algorithm: up to `k` shortest loopless paths from `source` to
+/// `target` by hop count, in non-decreasing length order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] for missing endpoints.
+pub fn yen_k_shortest(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+) -> Result<Vec<Path>, GraphError> {
+    let mut result: Vec<Path> = Vec::new();
+    if k == 0 {
+        return Ok(result);
+    }
+    let Some(first) = shortest_path(graph, source, target)? else {
+        return Ok(result);
+    };
+    result.push(first);
+
+    // Candidate pool, kept sorted by (len, node sequence) for determinism.
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().expect("nonempty").clone();
+        // Each node of the previous path (except the final node) is a spur.
+        for spur_idx in 0..last.nodes().len() - 1 {
+            let spur_node = last.nodes()[spur_idx];
+            let root_nodes = &last.nodes()[..=spur_idx];
+
+            let mut banned_links = vec![false; graph.num_links()];
+            let mut banned_nodes = vec![false; graph.num_nodes()];
+
+            // Ban the next link of every accepted/candidate path sharing
+            // this root.
+            for p in result.iter() {
+                if p.nodes().len() > spur_idx && p.nodes()[..=spur_idx] == *root_nodes {
+                    if let Some(&l) = p.links().get(spur_idx) {
+                        banned_links[l.index()] = true;
+                    }
+                }
+            }
+            // Ban root nodes except the spur node (loopless requirement).
+            for &n in &root_nodes[..spur_idx] {
+                banned_nodes[n.index()] = true;
+            }
+
+            if let Some(spur_path) =
+                dijkstra_with_bans(graph, spur_node, target, None, &banned_nodes, &banned_links)?
+            {
+                // Total path = root + spur.
+                let mut nodes = root_nodes[..spur_idx].to_vec();
+                nodes.extend_from_slice(spur_path.nodes());
+                if let Ok(total) = Path::from_nodes(graph, &nodes) {
+                    if !result.contains(&total) && !candidates.contains(&total) {
+                        candidates.push(total);
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| {
+            a.num_links()
+                .cmp(&b.num_links())
+                .then_with(|| a.nodes().cmp(b.nodes()))
+        });
+        result.push(candidates.remove(0));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkId;
+
+    /// Diamond with a long detour:
+    /// a-b, b-d, a-c, c-d, a-d(direct), c-e, e-d
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|l| g.add_node(*l))
+            .collect();
+        g.add_link(ids[0], ids[1]).unwrap(); // l0 a-b
+        g.add_link(ids[1], ids[3]).unwrap(); // l1 b-d
+        g.add_link(ids[0], ids[2]).unwrap(); // l2 a-c
+        g.add_link(ids[2], ids[3]).unwrap(); // l3 c-d
+        g.add_link(ids[0], ids[3]).unwrap(); // l4 a-d
+        g.add_link(ids[2], ids[4]).unwrap(); // l5 c-e
+        g.add_link(ids[4], ids[3]).unwrap(); // l6 e-d
+        (g, ids)
+    }
+
+    #[test]
+    fn shortest_is_direct_link() {
+        let (g, ids) = diamond();
+        let p = shortest_path(&g, ids[0], ids[3]).unwrap().unwrap();
+        assert_eq!(p.num_links(), 1);
+        assert_eq!(p.links(), &[LinkId(4)]);
+    }
+
+    #[test]
+    fn weighted_shortest_avoids_heavy_link() {
+        let (g, ids) = diamond();
+        let mut w = vec![1.0; g.num_links()];
+        w[4] = 100.0; // direct a-d is expensive now
+        let p = dijkstra_with_bans(&g, ids[0], ids[3], Some(&w), &[], &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.num_links(), 2);
+    }
+
+    #[test]
+    fn weights_validated() {
+        let (g, ids) = diamond();
+        assert!(dijkstra_with_bans(&g, ids[0], ids[3], Some(&[1.0]), &[], &[]).is_err());
+        let neg = vec![-1.0; g.num_links()];
+        assert!(dijkstra_with_bans(&g, ids[0], ids[3], Some(&neg), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert!(shortest_path(&g, a, b).unwrap().is_none());
+    }
+
+    #[test]
+    fn banned_node_blocks_path() {
+        let (g, ids) = diamond();
+        let mut banned_nodes = vec![false; g.num_nodes()];
+        banned_nodes[ids[1].index()] = true; // ban b
+        let mut banned_links = vec![false; g.num_links()];
+        banned_links[4] = true; // ban direct a-d
+        let p = dijkstra_with_bans(&g, ids[0], ids[3], None, &banned_nodes, &banned_links)
+            .unwrap()
+            .unwrap();
+        // Must go a-c-d.
+        assert_eq!(p.num_links(), 2);
+        assert!(p.contains_node(ids[2]));
+    }
+
+    #[test]
+    fn banned_endpoint_returns_none() {
+        let (g, ids) = diamond();
+        let mut banned = vec![false; g.num_nodes()];
+        banned[ids[0].index()] = true;
+        assert!(dijkstra_with_bans(&g, ids[0], ids[3], None, &banned, &[])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn yen_returns_increasing_lengths_without_duplicates() {
+        let (g, ids) = diamond();
+        let paths = yen_k_shortest(&g, ids[0], ids[3], 5).unwrap();
+        // Paths a→d: direct (1), a-b-d (2), a-c-d (2), a-c-e-d (3) = 4 total.
+        assert_eq!(paths.len(), 4);
+        for w in paths.windows(2) {
+            assert!(w[0].num_links() <= w[1].num_links());
+            assert_ne!(w[0], w[1]);
+        }
+        assert_eq!(paths[0].num_links(), 1);
+        assert_eq!(paths[3].num_links(), 3);
+        // All simple & valid (constructor guarantees, spot-check endpoints).
+        for p in &paths {
+            assert_eq!(p.source(), ids[0]);
+            assert_eq!(p.destination(), ids[3]);
+        }
+    }
+
+    #[test]
+    fn yen_k_zero_and_disconnected() {
+        let (g, ids) = diamond();
+        assert!(yen_k_shortest(&g, ids[0], ids[3], 0).unwrap().is_empty());
+        let mut g2 = Graph::new();
+        let a = g2.add_node("a");
+        let b = g2.add_node("b");
+        assert!(yen_k_shortest(&g2, a, b, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn yen_more_than_available_paths() {
+        let (g, ids) = diamond();
+        let paths = yen_k_shortest(&g, ids[0], ids[3], 100).unwrap();
+        assert_eq!(paths.len(), 4);
+    }
+}

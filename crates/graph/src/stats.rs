@@ -1,0 +1,266 @@
+//! Topology statistics.
+//!
+//! Used to sanity-check generated topologies against the families the
+//! paper evaluates on (AS-like heavy-tailed degrees vs. geometric
+//! wireless graphs) and to analyze attack exposure: articulation points
+//! are exactly the nodes that can perfectly cut some victim from parts
+//! of the network on their own.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traversal;
+use crate::{Graph, NodeId};
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Link count.
+    pub links: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Hop diameter of the graph (`None` if disconnected or empty).
+    pub diameter: Option<usize>,
+    /// Average shortest-path length in hops (`None` if disconnected).
+    pub avg_path_length: Option<f64>,
+    /// Number of articulation points (cut vertices).
+    pub articulation_points: usize,
+}
+
+/// Computes [`GraphStats`] (all-pairs BFS; fine for the ≤ few-hundred
+/// node graphs used in tomography experiments).
+#[must_use]
+pub fn stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_nodes();
+    let degrees: Vec<usize> = graph
+        .nodes()
+        .map(|v| graph.degree(v).expect("node exists"))
+        .collect();
+    let (mut diameter, mut sum, mut pairs) = (Some(0usize), 0usize, 0usize);
+    if n == 0 || !traversal::is_connected(graph) {
+        diameter = None;
+    } else {
+        for v in graph.nodes() {
+            let dist = traversal::bfs_distances(graph, v).expect("node exists");
+            for d in dist.into_iter().flatten() {
+                if let Some(dia) = diameter.as_mut() {
+                    *dia = (*dia).max(d);
+                }
+                if d > 0 {
+                    sum += d;
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    GraphStats {
+        nodes: n,
+        links: graph.num_links(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: graph.average_degree(),
+        diameter,
+        avg_path_length: if diameter.is_some() && pairs > 0 {
+            Some(sum as f64 / pairs as f64)
+        } else {
+            None
+        },
+        articulation_points: articulation_points(graph).len(),
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+#[must_use]
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in graph.nodes() {
+        let d = graph.degree(v).expect("node exists");
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Articulation points (cut vertices) via Tarjan's low-link algorithm,
+/// implemented iteratively to stay stack-safe on path-like graphs.
+///
+/// An articulation point inside a measurement infrastructure is a
+/// one-node perfect cut for everything behind it — the structurally
+/// most dangerous place for an attacker to sit.
+#[must_use]
+pub fn articulation_points(graph: &Graph) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut disc = vec![usize::MAX; n]; // discovery times
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_ap = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: stack of (node, neighbor cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let neighbors = graph.neighbors(NodeId(u)).expect("node exists");
+            if *cursor < neighbors.len() {
+                let (w, _) = neighbors[*cursor];
+                *cursor += 1;
+                let w = w.index();
+                if disc[w] == usize::MAX {
+                    parent[w] = u;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    stack.push((w, 0));
+                } else if w != parent[u] {
+                    low[u] = low[u].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if p != root && low[u] >= disc[p] {
+                        is_ap[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_ap[root] = true;
+        }
+    }
+    (0..n).filter(|&v| is_ap[v]).map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("v{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_link(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn cycle_graph(n: usize) -> Graph {
+        let mut g = path_graph(n);
+        g.add_link(NodeId(n - 1), NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn stats_of_path_graph() {
+        let s = stats(&path_graph(5));
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter, Some(4));
+        // 3 interior nodes are articulation points.
+        assert_eq!(s.articulation_points, 3);
+        // Average path length of P5: known value 2.0.
+        assert!((s.avg_path_length.unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_cycle_graph() {
+        let s = stats(&cycle_graph(6));
+        assert_eq!(s.diameter, Some(3));
+        assert_eq!(s.articulation_points, 0);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn disconnected_and_empty() {
+        let mut g = path_graph(3);
+        g.add_node("island");
+        let s = stats(&g);
+        assert_eq!(s.diameter, None);
+        assert_eq!(s.avg_path_length, None);
+        assert_eq!(s.min_degree, 0);
+
+        let s = stats(&Graph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.diameter, None);
+        assert_eq!(s.articulation_points, 0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let hist = degree_histogram(&path_graph(4));
+        // P4: two degree-1 ends, two degree-2 interiors.
+        assert_eq!(hist, vec![0, 2, 2]);
+        assert_eq!(degree_histogram(&Graph::new()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn articulation_points_of_barbell() {
+        // Two triangles joined by a bridge node:
+        //   0-1-2-0   2-3   3-4-5-3
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..6).map(|i| g.add_node(format!("v{i}"))).collect();
+        g.add_link(ids[0], ids[1]).unwrap();
+        g.add_link(ids[1], ids[2]).unwrap();
+        g.add_link(ids[2], ids[0]).unwrap();
+        g.add_link(ids[2], ids[3]).unwrap();
+        g.add_link(ids[3], ids[4]).unwrap();
+        g.add_link(ids[4], ids[5]).unwrap();
+        g.add_link(ids[5], ids[3]).unwrap();
+        let aps = articulation_points(&g);
+        assert_eq!(aps, vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn fig1_has_no_articulation_points() {
+        // The Fig. 1 network is 2-connected: no single node can cut it.
+        let f = crate::topology::fig1();
+        assert!(articulation_points(&f.graph).is_empty());
+    }
+
+    #[test]
+    fn isp_topology_is_heavy_tailed_and_connected() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let g = crate::isp::generate(&crate::isp::IspConfig::default(), &mut rng).unwrap();
+        let s = stats(&g);
+        assert!(s.diameter.is_some(), "connected");
+        assert!(s.max_degree >= 4 * s.min_degree.max(1), "heavy tail");
+        // Leaf-heavy access layer ⇒ articulation points exist.
+        assert!(s.articulation_points > 0);
+    }
+
+    #[test]
+    fn star_center_is_articulation_point() {
+        let mut g = Graph::new();
+        let c = g.add_node("c");
+        for i in 0..4 {
+            let v = g.add_node(format!("v{i}"));
+            g.add_link(c, v).unwrap();
+        }
+        assert_eq!(articulation_points(&g), vec![c]);
+        let s = stats(&g);
+        assert_eq!(s.diameter, Some(2));
+        assert_eq!(s.max_degree, 4);
+    }
+}

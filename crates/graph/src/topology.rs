@@ -1,0 +1,328 @@
+//! Canonical topologies from the paper's figures.
+//!
+//! * [`fig1`] — the running example: 7 nodes, 10 links, monitors
+//!   `M1, M2, M3`, attackers `B, C`.
+//! * [`fig3_perfect_cut`] / [`fig3_imperfect_cut`] — the cut-structure
+//!   illustrations behind Theorems 1 and 3.
+//!
+//! The paper never prints its 23-path list for Fig. 1; path selection is
+//! reconstructed in `tomo-core` (see `fig1_paths` there). What *is* pinned
+//! down by the text is the link structure, which this module encodes:
+//! path 3 = links 1,4,7,10 = `M1-A-C-D-M2`; path 5 = links 8,7,5,3; path
+//! 17 = links 9,10; links 2-8 all touch B or C; {B, C} perfectly cut
+//! link 1 (every neighbor of A other than M1 is an attacker, so any path
+//! continuing past A meets B or C); and — required for the paper's
+//! claimed identifiability — no internal non-monitor node has degree 2
+//! (a degree-2 relay would make its two links linearly inseparable).
+
+use crate::{Graph, LinkId, NodeId};
+
+/// The Fig. 1 example network with its roles annotated.
+#[derive(Debug, Clone)]
+pub struct Fig1Topology {
+    /// The 7-node, 10-link graph.
+    pub graph: Graph,
+    /// Monitors `[M1, M2, M3]`.
+    pub monitors: Vec<NodeId>,
+    /// The malicious nodes `[B, C]` from the running example.
+    pub attackers: Vec<NodeId>,
+}
+
+impl Fig1Topology {
+    /// Node id for a label (`"M1"`, `"A"`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not one of the Fig. 1 node names.
+    #[must_use]
+    pub fn node(&self, label: &str) -> NodeId {
+        self.graph
+            .node_by_label(label)
+            .unwrap_or_else(|| panic!("{label} is not a Fig. 1 node"))
+    }
+
+    /// Link id for the paper's 1-based link number (1..=10).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ number ≤ 10`.
+    #[must_use]
+    pub fn paper_link(&self, number: usize) -> LinkId {
+        assert!(
+            (1..=10).contains(&number),
+            "Fig. 1 links are numbered 1..=10, got {number}"
+        );
+        LinkId(number - 1)
+    }
+
+    /// The paper's 1-based number for a link id.
+    #[must_use]
+    pub fn paper_number(&self, link: LinkId) -> usize {
+        link.index() + 1
+    }
+}
+
+/// Builds the Fig. 1 example network.
+///
+/// Link numbering (paper 1-based → endpoints):
+///
+/// | # | endpoints | # | endpoints |
+/// |---|-----------|---|-----------|
+/// | 1 | M1-A      | 6 | A-B       |
+/// | 2 | M1-B      | 7 | C-D       |
+/// | 3 | B-M2      | 8 | M3-C      |
+/// | 4 | A-C       | 9 | M3-D      |
+/// | 5 | B-D       | 10| D-M2      |
+///
+/// ```
+/// let fig1 = tomo_graph::topology::fig1();
+/// // Links 2-8 all touch an attacker (B or C), as the paper states.
+/// for n in 2..=8 {
+///     let l = fig1.paper_link(n);
+///     let (a, b) = fig1.graph.endpoints(l).unwrap();
+///     assert!(fig1.attackers.contains(&a) || fig1.attackers.contains(&b));
+/// }
+/// ```
+#[must_use]
+pub fn fig1() -> Fig1Topology {
+    let mut g = Graph::new();
+    let m1 = g.add_node("M1");
+    let m2 = g.add_node("M2");
+    let m3 = g.add_node("M3");
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+
+    // Insertion order defines LinkId = paper number − 1.
+    g.add_link(m1, a).expect("fresh"); // 1
+    g.add_link(m1, b).expect("fresh"); // 2
+    g.add_link(b, m2).expect("fresh"); // 3
+    g.add_link(a, c).expect("fresh"); // 4
+    g.add_link(b, d).expect("fresh"); // 5
+    g.add_link(a, b).expect("fresh"); // 6
+    g.add_link(c, d).expect("fresh"); // 7
+    g.add_link(m3, c).expect("fresh"); // 8
+    g.add_link(m3, d).expect("fresh"); // 9
+    g.add_link(d, m2).expect("fresh"); // 10
+
+    Fig1Topology {
+        graph: g,
+        monitors: vec![m1, m2, m3],
+        attackers: vec![b, c],
+    }
+}
+
+/// A Fig. 3 cut illustration: graph, monitors, attackers, victim link.
+#[derive(Debug, Clone)]
+pub struct Fig3Topology {
+    /// The graph.
+    pub graph: Graph,
+    /// Monitor nodes.
+    pub monitors: Vec<NodeId>,
+    /// Attacker nodes `A1`, `A2`.
+    pub attackers: Vec<NodeId>,
+    /// The victim link `C-D`.
+    pub victim_link: LinkId,
+}
+
+/// Fig. 3(a): attackers `A1`, `A2` **perfectly cut** the victim link
+/// `C-D` — every monitor-to-monitor path crossing `C-D` passes an
+/// attacker.
+#[must_use]
+pub fn fig3_perfect_cut() -> Fig3Topology {
+    let mut g = Graph::new();
+    let m1 = g.add_node("M1");
+    let m2 = g.add_node("M2");
+    let m3 = g.add_node("M3");
+    let a1 = g.add_node("A1");
+    let a2 = g.add_node("A2");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+
+    g.add_link(m1, a1).expect("fresh");
+    g.add_link(a1, c).expect("fresh");
+    let victim = g.add_link(c, d).expect("fresh");
+    g.add_link(d, a2).expect("fresh");
+    g.add_link(a2, m2).expect("fresh");
+    g.add_link(d, m3).expect("fresh");
+
+    Fig3Topology {
+        graph: g,
+        monitors: vec![m1, m2, m3],
+        attackers: vec![a1, a2],
+        victim_link: victim,
+    }
+}
+
+/// Fig. 3(b): the cut is **imperfect** — the path `M1-B-C-D-M4` crosses
+/// the victim link `C-D` without passing any attacker.
+#[must_use]
+pub fn fig3_imperfect_cut() -> Fig3Topology {
+    let mut g = Graph::new();
+    let m1 = g.add_node("M1");
+    let m2 = g.add_node("M2");
+    let m3 = g.add_node("M3");
+    let m4 = g.add_node("M4");
+    let a1 = g.add_node("A1");
+    let a2 = g.add_node("A2");
+    let b = g.add_node("B");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+
+    g.add_link(m1, a1).expect("fresh");
+    g.add_link(a1, c).expect("fresh");
+    let victim = g.add_link(c, d).expect("fresh");
+    g.add_link(d, a2).expect("fresh");
+    g.add_link(a2, m2).expect("fresh");
+    g.add_link(d, m3).expect("fresh");
+    g.add_link(m1, b).expect("fresh");
+    g.add_link(b, c).expect("fresh");
+    g.add_link(d, m4).expect("fresh");
+
+    Fig3Topology {
+        graph: g,
+        monitors: vec![m1, m2, m3, m4],
+        attackers: vec![a1, a2],
+        victim_link: victim,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate;
+    use crate::traversal;
+
+    #[test]
+    fn fig1_structure_matches_paper() {
+        let f = fig1();
+        assert_eq!(f.graph.num_nodes(), 7);
+        assert_eq!(f.graph.num_links(), 10);
+        assert!(traversal::is_connected(&f.graph));
+        assert_eq!(f.monitors.len(), 3);
+
+        // Links 2-8 all touch B or C (the paper: "links 2-8 … connecting
+        // to them").
+        for n in 2..=8 {
+            let (a, b) = f.graph.endpoints(f.paper_link(n)).unwrap();
+            assert!(
+                f.attackers.contains(&a) || f.attackers.contains(&b),
+                "paper link {n} must touch an attacker"
+            );
+        }
+        // Links 1, 9, 10 touch neither attacker.
+        for n in [1, 9, 10] {
+            let (a, b) = f.graph.endpoints(f.paper_link(n)).unwrap();
+            assert!(!f.attackers.contains(&a) && !f.attackers.contains(&b));
+        }
+    }
+
+    #[test]
+    fn fig1_path3_is_m1_a_c_d_m2() {
+        // Paper: "path 3 is formed by links 1, 4, 7, 10 (probe packets go
+        // through M1, A, C, D, M2)".
+        let f = fig1();
+        let nodes = [
+            f.node("M1"),
+            f.node("A"),
+            f.node("C"),
+            f.node("D"),
+            f.node("M2"),
+        ];
+        let p = crate::Path::from_nodes(&f.graph, &nodes).unwrap();
+        let expect: Vec<_> = [1, 4, 7, 10].iter().map(|&n| f.paper_link(n)).collect();
+        assert_eq!(p.links(), expect.as_slice());
+    }
+
+    #[test]
+    fn fig1_path5_is_m3_c_d_b_m2() {
+        // Paper: "path 5 consisting of links 8, 7, 5, and 3".
+        let f = fig1();
+        let nodes = [
+            f.node("M3"),
+            f.node("C"),
+            f.node("D"),
+            f.node("B"),
+            f.node("M2"),
+        ];
+        let p = crate::Path::from_nodes(&f.graph, &nodes).unwrap();
+        let expect: Vec<_> = [8, 7, 5, 3].iter().map(|&n| f.paper_link(n)).collect();
+        assert_eq!(p.links(), expect.as_slice());
+    }
+
+    #[test]
+    fn fig1_path17_is_m3_d_m2() {
+        // Paper: "path 17 (formed by links 9 and 10)".
+        let f = fig1();
+        let nodes = [f.node("M3"), f.node("D"), f.node("M2")];
+        let p = crate::Path::from_nodes(&f.graph, &nodes).unwrap();
+        let expect: Vec<_> = [9, 10].iter().map(|&n| f.paper_link(n)).collect();
+        assert_eq!(p.links(), expect.as_slice());
+    }
+
+    #[test]
+    fn fig1_attackers_perfectly_cut_link_1() {
+        // Every monitor-to-monitor simple path crossing link 1 (M1-A)
+        // visits B or C: A's only other neighbor is C.
+        let f = fig1();
+        let link1 = f.paper_link(1);
+        let pool =
+            enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 10_000).unwrap();
+        assert!(!pool.is_empty());
+        let crossing: Vec<_> = pool.iter().filter(|p| p.contains_link(link1)).collect();
+        assert!(!crossing.is_empty());
+        for p in crossing {
+            assert!(
+                p.contains_any_node(&f.attackers),
+                "path {:?} crosses link 1 without an attacker",
+                p.display_with(&f.graph).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1..=10")]
+    fn fig1_paper_link_out_of_range() {
+        let _ = fig1().paper_link(11);
+    }
+
+    #[test]
+    fn fig1_roundtrip_numbering() {
+        let f = fig1();
+        for n in 1..=10 {
+            assert_eq!(f.paper_number(f.paper_link(n)), n);
+        }
+    }
+
+    #[test]
+    fn fig3a_is_a_perfect_cut() {
+        let f = fig3_perfect_cut();
+        let pool =
+            enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 10_000).unwrap();
+        let crossing: Vec<_> = pool
+            .iter()
+            .filter(|p| p.contains_link(f.victim_link))
+            .collect();
+        assert!(!crossing.is_empty());
+        for p in crossing {
+            assert!(p.contains_any_node(&f.attackers));
+        }
+    }
+
+    #[test]
+    fn fig3b_is_an_imperfect_cut() {
+        let f = fig3_imperfect_cut();
+        let pool =
+            enumerate::simple_paths_between_terminals(&f.graph, &f.monitors, 10, 10_000).unwrap();
+        // At least one path crosses the victim link with no attacker
+        // (M1-B-C-D-M4 from the paper).
+        assert!(pool
+            .iter()
+            .any(|p| p.contains_link(f.victim_link) && !p.contains_any_node(&f.attackers)));
+        // And at least one crossing path does contain an attacker.
+        assert!(pool
+            .iter()
+            .any(|p| p.contains_link(f.victim_link) && p.contains_any_node(&f.attackers)));
+    }
+}

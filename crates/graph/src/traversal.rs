@@ -1,0 +1,160 @@
+//! Breadth-first traversal, connectivity, and component analysis.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Nodes reachable from `start` (including `start`), in BFS order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] if `start` is missing.
+///
+/// ```
+/// use tomo_graph::{Graph, traversal};
+///
+/// # fn main() -> Result<(), tomo_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let _lonely = g.add_node("c");
+/// g.add_link(a, b)?;
+/// assert_eq!(traversal::bfs_reachable(&g, a)?.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bfs_reachable(graph: &Graph, start: NodeId) -> Result<Vec<NodeId>, GraphError> {
+    let _ = graph.label(start)?;
+    let mut visited = vec![false; graph.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &(v, _) in graph.neighbors(u)? {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Returns `true` if the graph is connected (the empty graph counts as
+/// connected).
+#[must_use]
+pub fn is_connected(graph: &Graph) -> bool {
+    if graph.num_nodes() == 0 {
+        return true;
+    }
+    match bfs_reachable(graph, NodeId(0)) {
+        Ok(reach) => reach.len() == graph.num_nodes(),
+        Err(_) => false,
+    }
+}
+
+/// Partitions nodes into connected components; each component is a list of
+/// node ids, components ordered by their smallest member.
+#[must_use]
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let mut assigned = vec![false; graph.num_nodes()];
+    let mut components = Vec::new();
+    for start in graph.nodes() {
+        if assigned[start.index()] {
+            continue;
+        }
+        let comp = bfs_reachable(graph, start).expect("node exists by construction");
+        for &n in &comp {
+            assigned[n.index()] = true;
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// Hop distance from `start` to every node (`None` where unreachable).
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownNode`] if `start` is missing.
+pub fn bfs_distances(graph: &Graph, start: NodeId) -> Result<Vec<Option<usize>>, GraphError> {
+    let _ = graph.label(start)?;
+    let mut dist = vec![None; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &(v, _) in graph.neighbors(u)? {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let _e = g.add_node("e"); // isolated
+        g.add_link(a, b).unwrap();
+        g.add_link(b, c).unwrap();
+        g.add_link(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn reachability_and_connectivity() {
+        let g = two_components();
+        assert_eq!(bfs_reachable(&g, NodeId(0)).unwrap().len(), 4);
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[1], vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_start() {
+        let g = two_components();
+        let order = bfs_reachable(&g, NodeId(2)).unwrap();
+        assert_eq!(order[0], NodeId(2));
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&Graph::new()));
+        let mut g = Graph::new();
+        g.add_node("a");
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn distances() {
+        let g = two_components();
+        let dist = bfs_distances(&g, NodeId(0)).unwrap();
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[1], Some(1));
+        assert_eq!(dist[3], Some(3));
+        assert_eq!(dist[4], None);
+    }
+
+    #[test]
+    fn unknown_start_rejected() {
+        let g = Graph::new();
+        assert!(bfs_reachable(&g, NodeId(0)).is_err());
+        assert!(bfs_distances(&g, NodeId(3)).is_err());
+    }
+}

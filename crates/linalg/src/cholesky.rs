@@ -1,0 +1,234 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! The normal-equations matrix `RᵀR` of the tomography estimator (Eq. (2) of
+//! the paper) is SPD whenever `R` has full column rank, which monitor/path
+//! selection guarantees; Cholesky is then the cheapest stable solver.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// A Cholesky factorization `A = L Lᵀ` of an SPD matrix.
+///
+/// ```
+/// use tomo_linalg::{Matrix, Vector, cholesky::Cholesky};
+///
+/// # fn main() -> Result<(), tomo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&Vector::from(vec![8.0, 7.0]))?;
+/// let b = a.mul_vec(&x)?;
+/// assert!(b.approx_eq(&Vector::from(vec![8.0, 7.0]), 1e-10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (entries above the diagonal are zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is assumed, matching the usual LAPACK convention.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is
+    ///   non-positive (within a relative tolerance).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { dims: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        let tol = 1e-12 * (1.0 + a.max_abs());
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= tol {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factorized matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward: L z = b.
+        let mut x = b.clone();
+        for i in 0..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.l[(i, j)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = z.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.l[(j, i)] * x[j];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factorized matrix (product of squared pivots).
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..self.dim() {
+            det *= self.l[(i, i)] * self.l[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // Gram matrix of a full-column-rank matrix is SPD.
+        let r = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        r.gram()
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.l();
+        let recon = l.mul_mat(&l.transpose()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd();
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x_chol = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        assert!(x_chol.approx_eq(&x_lu, 1e-9));
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_singular_gram() {
+        // Rank-deficient R gives a singular (PSD, not PD) Gram matrix.
+        let r = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        assert!(Cholesky::new(&r.gram()).is_err());
+    }
+
+    #[test]
+    fn det_matches_lu() {
+        let a = spd();
+        let chol_det = Cholesky::new(&a).unwrap().det();
+        let lu_det = crate::lu::Lu::new(&a).unwrap().det();
+        assert!((chol_det - lu_det).abs() < 1e-8 * lu_det.abs().max(1.0));
+    }
+
+    #[test]
+    fn solve_mat_identity_gives_inverse() {
+        let a = spd();
+        let inv = Cholesky::new(&a)
+            .unwrap()
+            .solve_mat(&Matrix::identity(3))
+            .unwrap();
+        assert!(a
+            .mul_mat(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let chol = Cholesky::new(&spd()).unwrap();
+        assert!(chol.solve(&Vector::zeros(2)).is_err());
+        assert!(chol.solve_mat(&Matrix::zeros(2, 1)).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized / inverted.
+    Singular {
+        /// Index of the pivot where singularity was detected.
+        pivot: usize,
+    },
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// The matrix is not square but the operation requires a square matrix.
+    NotSquare {
+        /// Actual dimensions, `(rows, cols)`.
+        dims: (usize, usize),
+    },
+    /// The matrix does not have full column rank but the operation
+    /// (e.g. least squares via QR) requires it.
+    RankDeficient {
+        /// Numerical rank detected.
+        rank: usize,
+        /// Number of columns (required rank).
+        cols: usize,
+    },
+    /// A matrix or vector was constructed from inconsistent input
+    /// (e.g. ragged rows).
+    InvalidShape {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(
+                    f,
+                    "matrix is not positive definite at diagonal index {index}"
+                )
+            }
+            LinalgError::NotSquare { dims } => {
+                write!(f, "matrix is {}x{}, expected square", dims.0, dims.1)
+            }
+            LinalgError::RankDeficient { rank, cols } => {
+                write!(
+                    f,
+                    "matrix has rank {rank}, expected full column rank {cols}"
+                )
+            }
+            LinalgError::InvalidShape { reason } => {
+                write!(f, "invalid shape: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+
+        assert!(LinalgError::Singular { pivot: 3 }
+            .to_string()
+            .contains("pivot 3"));
+        assert!(LinalgError::NotSquare { dims: (2, 5) }
+            .to_string()
+            .contains("2x5"));
+        assert!(LinalgError::RankDeficient { rank: 2, cols: 4 }
+            .to_string()
+            .contains("rank 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

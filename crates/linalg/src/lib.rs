@@ -1,0 +1,67 @@
+//! Focused dense linear algebra for network tomography.
+//!
+//! This crate provides exactly the numerical toolkit the scapegoating
+//! reproduction needs, implemented from scratch and tested exhaustively:
+//!
+//! * [`Matrix`] / [`Vector`] — dense row-major matrices and column vectors,
+//! * [`lu::Lu`] — LU decomposition with partial pivoting (solve, inverse,
+//!   determinant),
+//! * [`cholesky::Cholesky`] — SPD factorization used for the normal
+//!   equations `RᵀR`,
+//! * [`qr::Qr`] — Householder QR and column-pivoted QR (rank-revealing),
+//! * [`lstsq`] — least-squares solvers (QR-based, normal equations),
+//! * [`rank`] — numerical rank and the incremental rank tracker used by
+//!   greedy measurement-path selection.
+//!
+//! # Example
+//!
+//! Solve the tomography inversion `x̂ = (RᵀR)⁻¹Rᵀy` for a tiny system:
+//!
+//! ```
+//! use tomo_linalg::{Matrix, Vector, lstsq};
+//!
+//! # fn main() -> Result<(), tomo_linalg::LinalgError> {
+//! // Two paths over two links: path 1 = {l1}, path 2 = {l1, l2}.
+//! let r = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0]])?;
+//! let y = Vector::from(vec![3.0, 8.0]);
+//! let x_hat = lstsq::solve(&r, &y)?;
+//! assert!((x_hat[0] - 3.0).abs() < 1e-9);
+//! assert!((x_hat[1] - 5.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+mod vector;
+
+pub mod cholesky;
+pub mod lstsq;
+pub mod lu;
+pub mod norms;
+pub mod qr;
+pub mod rank;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Default absolute tolerance used by rank decisions and singularity checks.
+///
+/// Routing matrices are small 0/1 matrices, so a fixed absolute tolerance
+/// (scaled by matrix magnitude where appropriate) is adequate.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` if two floats are equal within `tol`.
+///
+/// ```
+/// assert!(tomo_linalg::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!tomo_linalg::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,304 @@
+//! Least-squares solvers for the tomography inversion (Eq. (2) of the
+//! paper): `x̂ = (RᵀR)⁻¹ Rᵀ y`.
+//!
+//! Two routes are provided and cross-checked in tests:
+//!
+//! * [`solve`] — Householder QR (numerically robust, the default),
+//! * [`solve_normal_equations`] — Cholesky on `RᵀR` (the paper's literal
+//!   formula; faster when the same `R` is reused, see
+//!   [`NormalEquationsSolver`]).
+
+use crate::cholesky::Cholesky;
+use crate::qr::Qr;
+use crate::{LinalgError, Matrix, Vector};
+
+/// Solves `min ‖A x − b‖₂` via Householder QR.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()`.
+/// * [`LinalgError::RankDeficient`] if `A` lacks full column rank.
+///
+/// ```
+/// use tomo_linalg::{lstsq, Matrix, Vector};
+///
+/// # fn main() -> Result<(), tomo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]])?;
+/// let b = Vector::from(vec![1.0, 2.0, 3.0]);
+/// let x = lstsq::solve(&a, &b)?;
+/// assert!((x[0] - 1.0).abs() < 1e-9);
+/// assert!((x[1] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
+    Qr::new(a).solve_lstsq(b)
+}
+
+/// Solves `min ‖A x − b‖₂` via the normal equations `(AᵀA) x = Aᵀ b`,
+/// exactly the paper's Eq. (2).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if `A` lacks full column rank
+///   (the Gram matrix is then singular).
+pub fn solve_normal_equations(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
+    let atb = a.mul_transpose_vec(b)?;
+    Cholesky::new(&a.gram())?.solve(&atb)
+}
+
+/// A reusable least-squares solver that factorizes `A` once and then solves
+/// for many right-hand sides — the common pattern in Monte-Carlo attack
+/// experiments where the routing matrix `R` is fixed per instance.
+///
+/// Also exposes the *estimator matrix* `A⁺ = (AᵀA)⁻¹Aᵀ`, which the attack
+/// LPs need explicitly (the estimate responds linearly to manipulations:
+/// `x̂(m) = x̂₀ + A⁺ m`).
+#[derive(Debug, Clone)]
+pub struct NormalEquationsSolver {
+    a: Matrix,
+    chol: Cholesky,
+}
+
+impl NormalEquationsSolver {
+    /// Factorizes the Gram matrix of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if `a` lacks full
+    /// column rank.
+    pub fn new(a: Matrix) -> Result<Self, LinalgError> {
+        let chol = Cholesky::new(&a.gram())?;
+        Ok(NormalEquationsSolver { a, chol })
+    }
+
+    /// The matrix being inverted (design/routing matrix).
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Solves `min ‖A x − b‖₂` for one right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let atb = self.a.mul_transpose_vec(b)?;
+        self.chol.solve(&atb)
+    }
+
+    /// Materializes the Moore-Penrose pseudo-inverse `(AᵀA)⁻¹Aᵀ`
+    /// (size `n × m`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal solve errors (cannot occur after successful
+    /// construction).
+    pub fn pseudo_inverse(&self) -> Result<Matrix, LinalgError> {
+        // Solve (AᵀA) Z = Aᵀ columnwise.
+        let at = self.a.transpose();
+        self.chol.solve_mat(&at)
+    }
+}
+
+/// The component of `b` orthogonal to the column space of `a` — the
+/// least-squares residual vector, computed without requiring `a` to have
+/// full column rank (modified Gram-Schmidt over the columns, dependent
+/// columns skipped).
+///
+/// A zero result means `b` is *consistent* with the linear model `a·x`;
+/// this is the primitive behind consistency checking on rank-deficient
+/// measurement subsets (e.g. attacker localization).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `b.len() != a.rows()`.
+///
+/// ```
+/// use tomo_linalg::{lstsq, Matrix, Vector, norms};
+///
+/// # fn main() -> Result<(), tomo_linalg::LinalgError> {
+/// // Rank-1 matrix; b inside the column space leaves no residual.
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]])?;
+/// let consistent = Vector::from(vec![3.0, 6.0]);
+/// let r = lstsq::residual_outside_column_space(&a, &consistent)?;
+/// assert!(norms::l2(&r) < 1e-9);
+/// let inconsistent = Vector::from(vec![3.0, 0.0]);
+/// let r = lstsq::residual_outside_column_space(&a, &inconsistent)?;
+/// assert!(norms::l2(&r) > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn residual_outside_column_space(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "residual_outside_column_space",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut basis: Vec<Vector> = Vec::new();
+    let tol = crate::DEFAULT_TOL * (1.0 + a.max_abs());
+    for j in 0..a.cols() {
+        let mut q = a.col(j);
+        // Two MGS passes for robustness.
+        for _ in 0..2 {
+            for e in &basis {
+                let c = q.dot(e).expect("same length");
+                if c != 0.0 {
+                    q = q.axpy(-c, e).expect("same length");
+                }
+            }
+        }
+        let norm = crate::norms::l2(&q);
+        if norm > tol {
+            basis.push(q.scaled(1.0 / norm));
+        }
+    }
+    let mut r = b.clone();
+    for _ in 0..2 {
+        for e in &basis {
+            let c = r.dot(e).expect("same length");
+            if c != 0.0 {
+                r = r.axpy(-c, e).expect("same length");
+            }
+        }
+    }
+    Ok(r)
+}
+
+/// Numerical rank of the column space (byproduct of the same
+/// Gram-Schmidt pass; cheaper than pivoted QR for tall-thin matrices and
+/// sufficient for redundancy checks).
+#[must_use]
+pub fn column_space_rank(a: &Matrix) -> usize {
+    crate::qr::PivotedQr::new(a).rank()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn routing_like(seed: u64, rows: usize, cols: usize) -> Option<Matrix> {
+        // Random 0/1 matrix; retry densities until full column rank.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let m = Matrix::from_fn(rows, cols, |_, _| if rng.gen_bool(0.4) { 1.0 } else { 0.0 });
+            if crate::rank::rank(&m) == cols {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn qr_and_normal_equations_agree() {
+        let a = routing_like(7, 12, 6).expect("full-rank instance");
+        let b: Vector = (0..12).map(|i| (i as f64) * 1.7 - 3.0).collect();
+        let x_qr = solve(&a, &b).unwrap();
+        let x_ne = solve_normal_equations(&a, &b).unwrap();
+        assert!(x_qr.approx_eq(&x_ne, 1e-8));
+    }
+
+    #[test]
+    fn exact_system_recovered() {
+        let a = routing_like(11, 10, 5).expect("full-rank instance");
+        let x_true = Vector::from(vec![5.0, 1.0, 9.0, 2.0, 7.0]);
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn reusable_solver_matches_one_shot() {
+        let a = routing_like(3, 9, 4).expect("full-rank instance");
+        let solver = NormalEquationsSolver::new(a.clone()).unwrap();
+        for k in 0..5 {
+            let b: Vector = (0..9).map(|i| ((i * k) as f64).sin() * 10.0).collect();
+            let x1 = solver.solve(&b).unwrap();
+            let x2 = solve(&a, &b).unwrap();
+            assert!(x1.approx_eq(&x2, 1e-8), "rhs {k}");
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_is_left_inverse() {
+        let a = routing_like(5, 11, 6).expect("full-rank instance");
+        let solver = NormalEquationsSolver::new(a.clone()).unwrap();
+        let pinv = solver.pseudo_inverse().unwrap();
+        assert_eq!(pinv.shape(), (6, 11));
+        let prod = pinv.mul_mat(&a).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn pseudo_inverse_reproduces_estimates() {
+        let a = routing_like(9, 10, 5).expect("full-rank instance");
+        let solver = NormalEquationsSolver::new(a.clone()).unwrap();
+        let pinv = solver.pseudo_inverse().unwrap();
+        let b: Vector = (0..10).map(|i| i as f64 * 0.3).collect();
+        let via_pinv = pinv.mul_vec(&b).unwrap();
+        let via_solve = solver.solve(&b).unwrap();
+        assert!(via_pinv.approx_eq(&via_solve, 1e-9));
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        assert!(solve(&a, &Vector::zeros(3)).is_err());
+        assert!(solve_normal_equations(&a, &Vector::zeros(3)).is_err());
+        assert!(NormalEquationsSolver::new(a).is_err());
+    }
+
+    #[test]
+    fn residual_outside_column_space_matches_lstsq_residual() {
+        let a = routing_like(21, 12, 5).expect("full-rank instance");
+        let b: Vector = (0..12).map(|i| (i as f64) * 1.3 - 4.0).collect();
+        let x = solve(&a, &b).unwrap();
+        let classic = &b - &a.mul_vec(&x).unwrap();
+        let via_projection = residual_outside_column_space(&a, &b).unwrap();
+        assert!(classic.approx_eq(&via_projection, 1e-8));
+    }
+
+    #[test]
+    fn residual_outside_column_space_handles_rank_deficiency() {
+        // Two identical columns: rank 1, but the routine must not error.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        assert_eq!(column_space_rank(&a), 1);
+        let consistent = Vector::from(vec![2.0, 2.0, 0.0]);
+        let r = residual_outside_column_space(&a, &consistent).unwrap();
+        assert!(crate::norms::l2(&r) < 1e-9);
+        let inconsistent = Vector::from(vec![2.0, 0.0, 1.0]);
+        let r = residual_outside_column_space(&a, &inconsistent).unwrap();
+        assert!(crate::norms::l2(&r) > 0.5);
+        // Dimension check.
+        assert!(residual_outside_column_space(&a, &Vector::zeros(2)).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Least-squares residuals are orthogonal to the column space, and
+        /// the two solver routes agree, on random full-rank 0/1 systems.
+        #[test]
+        fn residual_orthogonality(seed in 0u64..500) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead_beef);
+            if let Some(a) = routing_like(seed, 14, 6) {
+                let b: Vector = (0..14).map(|_| rng.gen_range(-50.0..50.0)).collect();
+                let x = solve(&a, &b).unwrap();
+                let r = &b - &a.mul_vec(&x).unwrap();
+                let atr = a.mul_transpose_vec(&r).unwrap();
+                prop_assert!(atr.approx_eq(&Vector::zeros(6), 1e-7));
+
+                let x_ne = solve_normal_equations(&a, &b).unwrap();
+                prop_assert!(x.approx_eq(&x_ne, 1e-6));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Vector norms.
+//!
+//! The paper measures attack damage by the ℓ1 norm of the manipulation
+//! vector (`‖m‖₁`, Definition 2) and detection by the ℓ1 norm of the
+//! consistency residual (`‖R x̂ − y′‖₁ > α`, Remark 4).
+
+use crate::Vector;
+
+/// ℓ1 norm: `Σ |aᵢ|`.
+///
+/// ```
+/// use tomo_linalg::{norms, Vector};
+/// assert_eq!(norms::l1(&Vector::from(vec![3.0, -4.0])), 7.0);
+/// ```
+#[must_use]
+pub fn l1(v: &Vector) -> f64 {
+    v.iter().map(|a| a.abs()).sum()
+}
+
+/// ℓ2 (Euclidean) norm: `sqrt(Σ aᵢ²)`.
+///
+/// ```
+/// use tomo_linalg::{norms, Vector};
+/// assert_eq!(norms::l2(&Vector::from(vec![3.0, -4.0])), 5.0);
+/// ```
+#[must_use]
+pub fn l2(v: &Vector) -> f64 {
+    v.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+/// ℓ∞ norm: `max |aᵢ|` (0 for the empty vector).
+///
+/// ```
+/// use tomo_linalg::{norms, Vector};
+/// assert_eq!(norms::linf(&Vector::from(vec![3.0, -4.0])), 4.0);
+/// ```
+#[must_use]
+pub fn linf(v: &Vector) -> f64 {
+    v.iter().fold(0.0, |acc, a| acc.max(a.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norms_of_known_vectors() {
+        let v = Vector::from(vec![1.0, -2.0, 2.0]);
+        assert_eq!(l1(&v), 5.0);
+        assert_eq!(l2(&v), 3.0);
+        assert_eq!(linf(&v), 2.0);
+    }
+
+    #[test]
+    fn norms_of_empty_and_zero() {
+        let empty = Vector::zeros(0);
+        assert_eq!(l1(&empty), 0.0);
+        assert_eq!(l2(&empty), 0.0);
+        assert_eq!(linf(&empty), 0.0);
+        let zero = Vector::zeros(5);
+        assert_eq!(l1(&zero), 0.0);
+    }
+
+    proptest! {
+        /// Norm axioms and the standard chain linf ≤ l2 ≤ l1 ≤ n·linf.
+        #[test]
+        fn norm_inequalities(data in proptest::collection::vec(-1e6f64..1e6, 0..32)) {
+            let n = data.len() as f64;
+            let v = Vector::from(data);
+            let (n1, n2, ni) = (l1(&v), l2(&v), linf(&v));
+            prop_assert!(n1 >= 0.0 && n2 >= 0.0 && ni >= 0.0);
+            prop_assert!(ni <= n2 * (1.0 + 1e-12) + 1e-9);
+            prop_assert!(n2 <= n1 * (1.0 + 1e-12) + 1e-9);
+            prop_assert!(n1 <= n * ni * (1.0 + 1e-12) + 1e-9);
+        }
+
+        /// Absolute homogeneity: ‖αv‖ = |α|·‖v‖.
+        #[test]
+        fn homogeneity(
+            data in proptest::collection::vec(-1e3f64..1e3, 1..16),
+            alpha in -100.0f64..100.0,
+        ) {
+            let v = Vector::from(data);
+            let scaled = v.scaled(alpha);
+            let tol = 1e-9 * (1.0 + l1(&v)) * (1.0 + alpha.abs());
+            prop_assert!((l1(&scaled) - alpha.abs() * l1(&v)).abs() <= tol);
+            prop_assert!((l2(&scaled) - alpha.abs() * l2(&v)).abs() <= tol);
+            prop_assert!((linf(&scaled) - alpha.abs() * linf(&v)).abs() <= tol);
+        }
+
+        /// Triangle inequality for all three norms.
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-1e3f64..1e3, 8),
+            b in proptest::collection::vec(-1e3f64..1e3, 8),
+        ) {
+            let va = Vector::from(a);
+            let vb = Vector::from(b);
+            let sum = &va + &vb;
+            prop_assert!(l1(&sum) <= l1(&va) + l1(&vb) + 1e-9);
+            prop_assert!(l2(&sum) <= l2(&va) + l2(&vb) + 1e-9);
+            prop_assert!(linf(&sum) <= linf(&va) + linf(&vb) + 1e-9);
+        }
+    }
+}

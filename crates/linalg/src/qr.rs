@@ -1,0 +1,422 @@
+//! Householder QR decomposition, plain and column-pivoted.
+//!
+//! QR is the numerically robust way to solve the tomography least-squares
+//! problem `min ‖R x − y‖₂` and — in its column-pivoted form — the
+//! rank-revealing tool behind identifiability checks on routing matrices.
+
+use crate::{LinalgError, Matrix, Vector, DEFAULT_TOL};
+
+/// A Householder QR factorization `A = Q R` with `A` of size `m × n`,
+/// `m ≥ n` not required (wide matrices factor too, but least squares
+/// requires `m ≥ n` and full column rank).
+///
+/// The factorization is stored in compact form (Householder vectors below
+/// the diagonal of the packed matrix plus the upper-triangular `R`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors + R.
+    packed: Matrix,
+    /// Householder beta coefficients.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` using Householder reflections.
+    #[must_use]
+    pub fn new(a: &Matrix) -> Self {
+        let (m, n) = a.shape();
+        let mut packed = a.clone();
+        let steps = m.min(n);
+        let mut betas = vec![0.0; steps];
+
+        for k in 0..steps {
+            // Build the Householder vector for column k, rows k..m.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += packed[(i, k)] * packed[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if packed[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = packed[(k, k)] - alpha;
+            // v = (v0, a[k+1..m, k]); beta = 2 / (vᵀv)
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += packed[(i, k)] * packed[(i, k)];
+            }
+            if vtv == 0.0 {
+                betas[k] = 0.0;
+                packed[(k, k)] = alpha;
+                continue;
+            }
+            let beta = 2.0 / vtv;
+            betas[k] = beta;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = v0 * packed[(k, j)];
+                for i in (k + 1)..m {
+                    dot += packed[(i, k)] * packed[(i, j)];
+                }
+                let s = beta * dot;
+                packed[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = packed[(i, k)];
+                    packed[(i, j)] -= s * vik;
+                }
+            }
+            // Store R diagonal entry; keep v (scaled so v0 is implicit) below.
+            packed[(k, k)] = alpha;
+            // Normalize stored vector so that the implicit head is v0:
+            // we store v_i directly for i > k and remember v0 via recomputation.
+            // To avoid recomputation we rescale: store v_i / v0 so head = 1.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    packed[(i, k)] /= v0;
+                }
+                betas[k] = beta * v0 * v0;
+            }
+        }
+        Qr { packed, betas }
+    }
+
+    /// Shape `(m, n)` of the factorized matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.packed.shape()
+    }
+
+    /// Applies `Qᵀ` to a vector in place (length `m`).
+    fn apply_qt(&self, x: &mut Vector) {
+        let (m, n) = self.packed.shape();
+        for k in 0..m.min(n) {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            // v = (1, packed[k+1..m, k])
+            let mut dot = x[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * x[i];
+            }
+            let s = beta * dot;
+            x[k] -= s;
+            for i in (k + 1)..m {
+                x[i] -= s * self.packed[(i, k)];
+            }
+        }
+    }
+
+    /// Applies `Q` to a vector in place (length `m`).
+    fn apply_q(&self, x: &mut Vector) {
+        let (m, n) = self.packed.shape();
+        for k in (0..m.min(n)).rev() {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut dot = x[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * x[i];
+            }
+            let s = beta * dot;
+            x[k] -= s;
+            for i in (k + 1)..m {
+                x[i] -= s * self.packed[(i, k)];
+            }
+        }
+    }
+
+    /// Materializes the orthogonal factor `Q` (size `m × m`).
+    #[must_use]
+    pub fn q(&self) -> Matrix {
+        let m = self.packed.rows();
+        let mut q = Matrix::zeros(m, m);
+        for j in 0..m {
+            let mut e = Vector::basis(m, j);
+            self.apply_q(&mut e);
+            for i in 0..m {
+                q[(i, j)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Materializes the upper-triangular/trapezoidal factor `R` (size `m × n`).
+    #[must_use]
+    pub fn r(&self) -> Matrix {
+        let (m, n) = self.packed.shape();
+        Matrix::from_fn(m, n, |i, j| if j >= i { self.packed[(i, j)] } else { 0.0 })
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` for a tall
+    /// full-column-rank `A`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    /// * [`LinalgError::RankDeficient`] if a diagonal entry of `R` is
+    ///   numerically zero.
+    pub fn solve_lstsq(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let (m, n) = self.packed.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr_lstsq",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let tol = DEFAULT_TOL * (1.0 + self.packed.max_abs());
+        let mut qtb = b.clone();
+        self.apply_qt(&mut qtb);
+        // Back substitution on the top n×n triangle of R.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let rii = self.packed[(i, i)];
+            if rii.abs() <= tol {
+                let rank = (0..n).filter(|&k| self.packed[(k, k)].abs() > tol).count();
+                return Err(LinalgError::RankDeficient { rank, cols: n });
+            }
+            let mut sum = qtb[i];
+            for j in (i + 1)..n {
+                sum -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// A column-pivoted (rank-revealing) QR factorization `A P = Q R`.
+///
+/// The diagonal of `R` is non-increasing in magnitude, so the numerical
+/// rank is the number of diagonal entries above tolerance.
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    r: Matrix,
+    /// Column permutation: `perm[j]` is the original column at position `j`.
+    perm: Vec<usize>,
+    rank: usize,
+}
+
+impl PivotedQr {
+    /// Factorizes with column pivoting, using `tol` (absolute, scaled by the
+    /// largest column norm) to decide the numerical rank.
+    #[must_use]
+    pub fn with_tol(a: &Matrix, tol: f64) -> Self {
+        let (m, n) = a.shape();
+        let mut work = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let steps = m.min(n);
+        let scale = 1.0 + a.max_abs();
+        let effective_tol = tol * scale;
+        let mut rank = 0;
+
+        for k in 0..steps {
+            // Pick the remaining column with the largest norm below row k.
+            let mut best_j = k;
+            let mut best_norm = 0.0;
+            for j in k..n {
+                let mut norm2 = 0.0;
+                for i in k..m {
+                    norm2 += work[(i, j)] * work[(i, j)];
+                }
+                if norm2 > best_norm {
+                    best_norm = norm2;
+                    best_j = j;
+                }
+            }
+            if best_norm.sqrt() <= effective_tol {
+                break;
+            }
+            if best_j != k {
+                for i in 0..m {
+                    let tmp = work[(i, k)];
+                    work[(i, k)] = work[(i, best_j)];
+                    work[(i, best_j)] = tmp;
+                }
+                perm.swap(k, best_j);
+            }
+            // Householder step on column k.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += work[(i, k)] * work[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            let alpha = if work[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = work[(k, k)] - alpha;
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += work[(i, k)] * work[(i, k)];
+            }
+            if vtv > 0.0 {
+                let beta = 2.0 / vtv;
+                for j in (k + 1)..n {
+                    let mut dot = v0 * work[(k, j)];
+                    for i in (k + 1)..m {
+                        dot += work[(i, k)] * work[(i, j)];
+                    }
+                    let s = beta * dot;
+                    work[(k, j)] -= s * v0;
+                    for i in (k + 1)..m {
+                        let vik = work[(i, k)];
+                        work[(i, j)] -= s * vik;
+                    }
+                }
+            }
+            work[(k, k)] = alpha;
+            for i in (k + 1)..m {
+                work[(i, k)] = 0.0;
+            }
+            rank += 1;
+        }
+        PivotedQr {
+            r: work,
+            perm,
+            rank,
+        }
+    }
+
+    /// Factorizes with the default tolerance [`DEFAULT_TOL`].
+    #[must_use]
+    pub fn new(a: &Matrix) -> Self {
+        PivotedQr::with_tol(a, DEFAULT_TOL)
+    }
+
+    /// Numerical rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Column permutation applied during pivoting.
+    #[must_use]
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The (permuted) upper-trapezoidal factor, with Householder storage
+    /// zeroed out below the diagonal.
+    #[must_use]
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn q_is_orthogonal_and_qr_reconstructs() {
+        let a = tall();
+        let qr = Qr::new(&a);
+        let q = qr.q();
+        let qtq = q.transpose().mul_mat(&q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(a.rows()), 1e-10));
+        let recon = q.mul_mat(&qr.r()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = Qr::new(&tall());
+        let r = qr.r();
+        for i in 0..r.rows() {
+            for j in 0..i.min(r.cols()) {
+                assert!(r[(i, j)].abs() < 1e-12, "R[{i},{j}] = {}", r[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_solves_exact_system() {
+        let a = tall();
+        let x_true = Vector::from(vec![2.0, -1.0, 0.5]);
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = Qr::new(&a).solve_lstsq(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns() {
+        let a = tall();
+        // Perturbed RHS, not in the column space.
+        let b = Vector::from(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let x = Qr::new(&a).solve_lstsq(&b).unwrap();
+        let residual = &b - &a.mul_vec(&x).unwrap();
+        let atr = a.mul_transpose_vec(&residual).unwrap();
+        assert!(atr.approx_eq(&Vector::zeros(3), 1e-9));
+    }
+
+    #[test]
+    fn lstsq_rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            Qr::new(&a).solve_lstsq(&Vector::zeros(3)),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn lstsq_rejects_wrong_rhs_length() {
+        assert!(Qr::new(&tall()).solve_lstsq(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn pivoted_qr_rank_full() {
+        assert_eq!(PivotedQr::new(&tall()).rank(), 3);
+        assert_eq!(PivotedQr::new(&Matrix::identity(4)).rank(), 4);
+    }
+
+    #[test]
+    fn pivoted_qr_rank_deficient() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        assert_eq!(PivotedQr::new(&a).rank(), 2);
+        assert_eq!(PivotedQr::new(&Matrix::zeros(3, 3)).rank(), 0);
+    }
+
+    #[test]
+    fn pivoted_qr_permutation_is_valid() {
+        let qr = PivotedQr::new(&tall());
+        let mut seen = qr.permutation().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wide_matrix_rank() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0, 3.0]]).unwrap();
+        assert_eq!(PivotedQr::new(&a).rank(), 2);
+    }
+
+    #[test]
+    fn zero_column_handled() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        assert_eq!(PivotedQr::new(&a).rank(), 1);
+        // Plain QR on a matrix whose first column is zero must not blow up.
+        let qr = Qr::new(&a);
+        let q = qr.q();
+        let qtq = q.transpose().mul_mat(&q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+}

@@ -1,0 +1,262 @@
+//! Numerical rank utilities.
+//!
+//! Identifiability in network tomography requires the routing matrix `R` to
+//! have full column rank (Section II-B of the paper). Measurement-path
+//! selection builds `R` one path (row) at a time, so alongside the one-shot
+//! [`rank`] function this module provides [`IncrementalRank`], which answers
+//! "does adding this row increase the rank?" in `O(rank · n)` per query via
+//! modified Gram-Schmidt.
+
+use crate::qr::PivotedQr;
+use crate::{Matrix, Vector, DEFAULT_TOL};
+
+/// Numerical rank of a matrix via column-pivoted QR with the default
+/// tolerance.
+///
+/// ```
+/// use tomo_linalg::{rank, Matrix};
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+/// assert_eq!(rank::rank(&a), 1);
+/// ```
+#[must_use]
+pub fn rank(a: &Matrix) -> usize {
+    PivotedQr::new(a).rank()
+}
+
+/// Numerical rank with an explicit tolerance.
+#[must_use]
+pub fn rank_with_tol(a: &Matrix, tol: f64) -> usize {
+    PivotedQr::with_tol(a, tol).rank()
+}
+
+/// Returns `true` if `a` has full column rank (is "identifiable" in the
+/// tomography sense when `a` is a routing matrix).
+#[must_use]
+pub fn has_full_column_rank(a: &Matrix) -> bool {
+    rank(a) == a.cols()
+}
+
+/// Incrementally tracks the rank of a growing set of row vectors.
+///
+/// Maintains an orthonormal basis of the row span via modified
+/// Gram-Schmidt with reorthogonalization; [`IncrementalRank::try_add`]
+/// reports whether a candidate row is (numerically) independent of the
+/// rows accepted so far and, if so, absorbs it.
+///
+/// ```
+/// use tomo_linalg::{rank::IncrementalRank, Vector};
+///
+/// let mut tracker = IncrementalRank::new(3);
+/// assert!(tracker.try_add(&Vector::from(vec![1.0, 0.0, 1.0])));
+/// assert!(tracker.try_add(&Vector::from(vec![0.0, 1.0, 0.0])));
+/// // Dependent on the first two: rejected.
+/// assert!(!tracker.try_add(&Vector::from(vec![1.0, 1.0, 1.0])));
+/// assert_eq!(tracker.rank(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalRank {
+    dim: usize,
+    basis: Vec<Vector>,
+    tol: f64,
+}
+
+impl IncrementalRank {
+    /// Creates a tracker for rows of length `dim` with the default
+    /// tolerance.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        IncrementalRank {
+            dim,
+            basis: Vec::new(),
+            tol: DEFAULT_TOL,
+        }
+    }
+
+    /// Creates a tracker with an explicit independence tolerance.
+    #[must_use]
+    pub fn with_tol(dim: usize, tol: f64) -> Self {
+        IncrementalRank {
+            dim,
+            basis: Vec::new(),
+            tol,
+        }
+    }
+
+    /// Row dimension this tracker accepts.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current rank (number of accepted independent rows).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Returns `true` if the tracked span already covers all of ℝⁿ.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.basis.len() == self.dim
+    }
+
+    /// Checks whether `row` is independent of the accepted rows *without*
+    /// absorbing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim()`.
+    #[must_use]
+    pub fn would_increase(&self, row: &Vector) -> bool {
+        self.residual(row).is_some()
+    }
+
+    /// Attempts to add `row`; returns `true` (and increases the rank) if it
+    /// was independent of the rows accepted so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim()`.
+    pub fn try_add(&mut self, row: &Vector) -> bool {
+        match self.residual(row) {
+            Some(q) => {
+                self.basis.push(q);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Orthogonalizes `row` against the basis; returns the normalized
+    /// residual if it is numerically nonzero.
+    fn residual(&self, row: &Vector) -> Option<Vector> {
+        assert_eq!(
+            row.len(),
+            self.dim,
+            "row length {} does not match tracker dimension {}",
+            row.len(),
+            self.dim
+        );
+        let scale = crate::norms::l2(row);
+        if scale == 0.0 {
+            return None;
+        }
+        let mut r = row.clone();
+        // Two passes of modified Gram-Schmidt for numerical robustness.
+        for _ in 0..2 {
+            for q in &self.basis {
+                let c = r.dot(q).expect("dimensions match by construction");
+                if c != 0.0 {
+                    r = r.axpy(-c, q).expect("dimensions match");
+                }
+            }
+        }
+        let norm = crate::norms::l2(&r);
+        if norm <= self.tol * (1.0 + scale) {
+            None
+        } else {
+            Some(r.scaled(1.0 / norm))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(rank(&Matrix::identity(5)), 5);
+        assert_eq!(rank(&Matrix::zeros(4, 3)), 0);
+        assert!(has_full_column_rank(&Matrix::identity(3)));
+        assert!(!has_full_column_rank(&Matrix::zeros(3, 2)));
+    }
+
+    #[test]
+    fn rank_is_transpose_invariant_on_samples() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(rank(&a), 2);
+        assert_eq!(rank(&a.transpose()), 2);
+    }
+
+    #[test]
+    fn incremental_matches_batch_rank() {
+        let rows = vec![
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 2.0, 0.0], // dependent
+            vec![0.0, 0.0, 0.0, 1.0],
+        ];
+        let mut tracker = IncrementalRank::new(4);
+        let mut accepted = 0;
+        for r in &rows {
+            if tracker.try_add(&Vector::from(r.clone())) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 3);
+        assert_eq!(tracker.rank(), 3);
+        assert_eq!(rank(&Matrix::from_rows(&rows).unwrap()), 3);
+        assert!(!tracker.is_full());
+        assert!(tracker.try_add(&Vector::from(vec![5.0, 0.0, 0.0, 0.0])));
+        assert!(tracker.is_full());
+        // Nothing can increase a full-rank tracker.
+        assert!(!tracker.would_increase(&Vector::from(vec![1.0, 2.0, 3.0, 4.0])));
+    }
+
+    #[test]
+    fn would_increase_does_not_mutate() {
+        let mut tracker = IncrementalRank::new(2);
+        let v = Vector::from(vec![1.0, 1.0]);
+        assert!(tracker.would_increase(&v));
+        assert_eq!(tracker.rank(), 0);
+        assert!(tracker.try_add(&v));
+        assert!(!tracker.would_increase(&v.scaled(3.0)));
+    }
+
+    #[test]
+    fn zero_row_rejected() {
+        let mut tracker = IncrementalRank::new(3);
+        assert!(!tracker.try_add(&Vector::zeros(3)));
+        assert_eq!(tracker.rank(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match tracker dimension")]
+    fn wrong_dimension_panics() {
+        let mut tracker = IncrementalRank::new(3);
+        let _ = tracker.try_add(&Vector::zeros(2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The incremental tracker's final rank always equals the batch
+        /// QR rank of the same row set (random 0/1 rows like routing-matrix
+        /// rows).
+        #[test]
+        fn incremental_agrees_with_pivoted_qr(seed in 0u64..1000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(2usize..8);
+            let m = rng.gen_range(1usize..16);
+            let rows: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect())
+                .collect();
+            let mut tracker = IncrementalRank::new(n);
+            for r in &rows {
+                let _ = tracker.try_add(&Vector::from(r.clone()));
+            }
+            let batch = rank(&Matrix::from_rows(&rows).unwrap());
+            prop_assert_eq!(tracker.rank(), batch);
+        }
+    }
+}

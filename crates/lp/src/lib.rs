@@ -1,0 +1,53 @@
+//! A self-contained linear-programming solver for the scapegoating
+//! reproduction.
+//!
+//! Every attack strategy in the paper — chosen-victim (Eq. 4-7),
+//! maximum-damage (Eq. 8) and obfuscation (Eq. 9-11) — is a linear program
+//! in the attack manipulation vector `m`: the objective `‖m‖₁ = Σ mᵢ` is
+//! linear because `m ⪰ 0`, and the link-state constraints are linear
+//! because the tomography estimate responds linearly to manipulations.
+//! *Feasibility of the LP is the paper's notion of attack success*, so the
+//! solver must report [`LpStatus::Infeasible`] reliably, not merely find
+//! optima.
+//!
+//! The implementation is a dense two-phase primal simplex with Dantzig
+//! pricing and an automatic fallback to Bland's rule to guarantee
+//! termination under degeneracy.
+//!
+//! # Example
+//!
+//! ```
+//! use tomo_lp::{LpProblem, Objective, Relation};
+//!
+//! # fn main() -> Result<(), tomo_lp::LpError> {
+//! // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2,  x,y ≥ 0
+//! let mut lp = LpProblem::new(Objective::Maximize);
+//! let x = lp.add_variable("x", 0.0, None)?;
+//! let y = lp.add_variable("y", 0.0, None)?;
+//! lp.set_objective_coefficient(x, 3.0);
+//! lp.set_objective_coefficient(y, 2.0);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)?;
+//! lp.add_constraint(&[(x, 1.0)], Relation::Le, 2.0)?;
+//! let sol = lp.solve()?;
+//! assert!(sol.is_optimal());
+//! assert!((sol.objective_value() - 10.0).abs() < 1e-7);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-7);
+//! assert!((sol.value(y) - 2.0).abs() < 1e-7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use model::{ConstraintActivity, LpProblem, Objective, Relation, VarId};
+pub use solution::{LpSolution, LpStatus};
+
+/// Feasibility/optimality tolerance used throughout the solver.
+pub const LP_TOL: f64 = 1e-7;

@@ -1,0 +1,533 @@
+//! Dense two-phase primal simplex.
+//!
+//! Works on the standard form `min cᵀx, Ax = b, x ≥ 0` obtained from the
+//! user model by shifting lower bounds, adding upper-bound rows, and adding
+//! slack/surplus/artificial columns. Pricing is Dantzig (most negative
+//! reduced cost) with an automatic switch to Bland's rule after a fixed
+//! number of iterations, which guarantees termination under degeneracy.
+
+use crate::model::{LpProblem, Objective, Relation};
+use crate::solution::{LpSolution, LpStatus};
+use crate::{LpError, LP_TOL};
+
+/// Hard safety bound on simplex iterations per phase.
+const MAX_ITER_BASE: usize = 20_000;
+/// After this many iterations in a phase, switch from Dantzig to Bland.
+const BLAND_SWITCH: usize = 2_000;
+
+struct Tableau {
+    /// (m+1) × (ncols+1); last row = reduced costs, last col = rhs.
+    t: Vec<Vec<f64>>,
+    /// Basis: for each of the m rows, the column index of its basic variable.
+    basis: Vec<usize>,
+    m: usize,
+    ncols: usize,
+    /// Columns that may never enter the basis (artificials in phase 2).
+    banned: Vec<bool>,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.t[i][self.ncols]
+    }
+
+    /// One pivot: column `col` enters, row `row`'s basic variable leaves.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.t[row][col];
+        debug_assert!(pivot.abs() > LP_TOL, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for v in self.t[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.t[row].clone();
+        for (i, r) in self.t.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (a, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                *a -= factor * p;
+            }
+            // Kill residual round-off in the pivot column.
+            r[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Chooses the entering column, or `None` if optimal.
+    fn entering(&self, iter: usize) -> Option<usize> {
+        let costs = &self.t[self.m];
+        if iter >= BLAND_SWITCH {
+            // Bland: first improving column.
+            (0..self.ncols).find(|&j| !self.banned[j] && costs[j] < -LP_TOL)
+        } else {
+            // Dantzig: most improving column.
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &c) in costs.iter().take(self.ncols).enumerate() {
+                if self.banned[j] {
+                    continue;
+                }
+                if c < -LP_TOL && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((j, c));
+                }
+            }
+            best.map(|(j, _)| j)
+        }
+    }
+
+    /// Ratio test: row whose basic variable leaves, or `None` if the
+    /// column is unbounded.
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.t[i][col];
+            if a > LP_TOL {
+                let ratio = self.rhs(i).max(0.0) / a;
+                let better = match best {
+                    None => true,
+                    Some((bi, br)) => {
+                        ratio < br - LP_TOL
+                            || (ratio < br + LP_TOL && self.basis[i] < self.basis[bi])
+                    }
+                };
+                if better {
+                    best = Some((i, ratio));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Runs simplex iterations until optimal/unbounded/iteration limit.
+    fn optimize(&mut self) -> Result<bool, LpError> {
+        let limit = MAX_ITER_BASE + 100 * (self.m + self.ncols);
+        for iter in 0..limit {
+            let Some(col) = self.entering(iter) else {
+                return Ok(true); // optimal
+            };
+            let Some(row) = self.leaving(col) else {
+                return Ok(false); // unbounded
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit { limit })
+    }
+
+    /// Installs a cost row and eliminates basic-variable costs.
+    fn install_costs(&mut self, costs: &[f64]) {
+        let n = self.ncols;
+        self.t[self.m][..n].copy_from_slice(&costs[..n]);
+        self.t[self.m][n] = 0.0;
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let cb = self.t[self.m][b];
+            if cb != 0.0 {
+                let row_i = self.t[i].clone();
+                for (c, &a) in self.t[self.m].iter_mut().zip(row_i.iter()) {
+                    *c -= cb * a;
+                }
+                self.t[self.m][b] = 0.0;
+            }
+        }
+    }
+}
+
+/// Solves the model; see [`LpProblem::solve`].
+pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let n_struct = problem.variables.len();
+
+    // Assemble rows in (dense coeffs, relation, rhs) form over the shifted
+    // structural variables x' = x − lower ≥ 0.
+    struct Row {
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len() + n_struct);
+
+    for c in &problem.constraints {
+        let mut coeffs = vec![0.0; n_struct];
+        let mut shift = 0.0;
+        for &(j, a) in &c.terms {
+            coeffs[j] += a;
+            shift += a * problem.variables[j].lower;
+        }
+        rows.push(Row {
+            coeffs,
+            relation: c.relation,
+            rhs: c.rhs - shift,
+        });
+    }
+    // Upper bounds become explicit rows: x'_j ≤ upper_j − lower_j.
+    for (j, v) in problem.variables.iter().enumerate() {
+        if let Some(u) = v.upper {
+            let mut coeffs = vec![0.0; n_struct];
+            coeffs[j] = 1.0;
+            rows.push(Row {
+                coeffs,
+                relation: Relation::Le,
+                rhs: u - v.lower,
+            });
+        }
+    }
+
+    let m = rows.len();
+
+    // Normalize to rhs ≥ 0.
+    for r in rows.iter_mut() {
+        if r.rhs < 0.0 {
+            for a in r.coeffs.iter_mut() {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.relation = match r.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Eq => Relation::Eq,
+                Relation::Ge => Relation::Le,
+            };
+        }
+    }
+
+    // Column layout: [structural | slacks/surplus | artificials].
+    let n_slack = rows.iter().filter(|r| r.relation != Relation::Eq).count();
+    let n_art = rows.iter().filter(|r| r.relation != Relation::Le).count();
+    let ncols = n_struct + n_slack + n_art;
+
+    let mut t = vec![vec![0.0; ncols + 1]; m + 1];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n_struct;
+    let mut art_idx = n_struct + n_slack;
+    let mut artificial_cols: Vec<usize> = Vec::with_capacity(n_art);
+
+    for (i, r) in rows.iter().enumerate() {
+        t[i][..n_struct].copy_from_slice(&r.coeffs);
+        t[i][ncols] = r.rhs;
+        match r.relation {
+            Relation::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        t,
+        basis,
+        m,
+        ncols,
+        banned: vec![false; ncols],
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut phase1_costs = vec![0.0; ncols];
+        for &j in &artificial_cols {
+            phase1_costs[j] = 1.0;
+        }
+        tab.install_costs(&phase1_costs);
+        let optimal = tab.optimize()?;
+        debug_assert!(optimal, "phase-1 LP is bounded below by 0");
+        // Objective value = −cost-row rhs.
+        let phase1_obj = -tab.t[tab.m][ncols];
+        if phase1_obj > LP_TOL * (1.0 + phase1_obj.abs()) {
+            return Ok(LpSolution::new(
+                LpStatus::Infeasible,
+                0.0,
+                vec![0.0; n_struct],
+            ));
+        }
+        // Pivot zero-valued artificials out of the basis where possible.
+        let is_artificial = |j: usize| j >= n_struct + n_slack;
+        for i in 0..tab.m {
+            if is_artificial(tab.basis[i]) {
+                if let Some(j) = (0..n_struct + n_slack).find(|&j| tab.t[i][j].abs() > LP_TOL) {
+                    tab.pivot(i, j);
+                }
+                // Otherwise the row is redundant; the artificial stays
+                // basic at value 0 and (being banned below) can never grow.
+            }
+        }
+        for &j in &artificial_cols {
+            tab.banned[j] = true;
+        }
+    }
+
+    // Phase 2: real objective (converted to minimization over x').
+    let sign = match problem.objective() {
+        Objective::Maximize => -1.0,
+        Objective::Minimize => 1.0,
+    };
+    let mut phase2_costs = vec![0.0; ncols];
+    for (j, v) in problem.variables.iter().enumerate() {
+        phase2_costs[j] = sign * v.objective;
+    }
+    tab.install_costs(&phase2_costs);
+    let optimal = tab.optimize()?;
+    if !optimal {
+        return Ok(LpSolution::new(
+            LpStatus::Unbounded,
+            0.0,
+            vec![0.0; n_struct],
+        ));
+    }
+
+    // Extract structural values (undo the lower-bound shift).
+    let mut values = vec![0.0; n_struct];
+    for i in 0..tab.m {
+        let b = tab.basis[i];
+        if b < n_struct {
+            values[b] = tab.rhs(i).max(0.0);
+        }
+    }
+    for (j, v) in problem.variables.iter().enumerate() {
+        values[j] += v.lower;
+    }
+    let objective: f64 = problem
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.objective * values[j])
+        .sum();
+
+    Ok(LpSolution::new(LpStatus::Optimal, objective, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpProblem, LpStatus, Objective, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        let y = lp.add_variable("y", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 5.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 4.0).unwrap();
+        lp.add_constraint(&[(y, 2.0)], Relation::Le, 12.0).unwrap();
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints_needs_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → (10 − y)... optimum (10, 0)?
+        // 2·10 = 20 vs using y: y costs more per unit, so x = 10, y = 0, z = 20.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        let y = lp.add_variable("y", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 20.0);
+        assert_close(sol.value(x), 10.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + 2y = 8 → x = 2, y = 1, z = 3.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        let y = lp.add_variable("y", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], Relation::Eq, 8.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 1.0);
+        assert_close(sol.objective_value(), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2 simultaneously.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(&[(x, -1.0)], Relation::Le, 5.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, Some(3.5)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.value(x), 3.5);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shifted_correctly() {
+        // min x + y, x ≥ 2, y ∈ [1, 5], x + y ≥ 6 → x = 5? No:
+        // cheapest is any combination summing to 6 with x ≥ 2, y ≥ 1;
+        // objective is symmetric, optimum value 6.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_variable("x", 2.0, None).unwrap();
+        let y = lp.add_variable("y", 1.0, Some(5.0)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 6.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 6.0);
+        assert!(sol.value(x) >= 2.0 - 1e-9);
+        assert!(sol.value(y) >= 1.0 - 1e-9);
+        assert!(sol.value(y) <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // x − y ≤ −2 with x,y ≥ 0: feasible (e.g. y ≥ 2).
+        // max x s.t. x − y ≤ −2, y ≤ 10 → x = 8.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        let y = lp.add_variable("y", 0.0, Some(10.0)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, -2.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.value(x), 8.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        let y = lp.add_variable("y", 0.0, None).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(y, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(x, 2.0), (y, 1.0)], Relation::Le, 2.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 1.0);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // The same equality twice: phase 1 leaves a redundant artificial.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, Some(9.0)).unwrap();
+        let y = lp.add_variable("y", 0.0, Some(9.0)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 5.0)
+            .unwrap();
+        lp.add_constraint(&[(x, 2.0), (y, 2.0)], Relation::Eq, 10.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.value(y), 5.0);
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.objective_value(), 10.0);
+    }
+
+    #[test]
+    fn empty_objective_still_finds_feasible_point() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_variable("x", 0.0, None).unwrap();
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 3.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!(sol.value(x) >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn no_constraints_bounded_by_upper_bounds() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 1.0, Some(2.0)).unwrap();
+        lp.set_objective_coefficient(x, 4.0);
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 8.0);
+    }
+
+    #[test]
+    fn infeasible_through_bounds_and_constraint() {
+        // x ∈ [0, 1] but x ≥ 2 required.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, Some(1.0)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap().status(), LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn many_variable_chain() {
+        // max Σ xᵢ with chain constraints xᵢ + xᵢ₊₁ ≤ 1: optimum is
+        // ⌈n/2⌉ (alternating 1,0,1,0,…).
+        let n = 21;
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_variable(format!("x{i}"), 0.0, Some(1.0)).unwrap())
+            .collect();
+        for &v in &vars {
+            lp.set_objective_coefficient(v, 1.0);
+        }
+        for w in vars.windows(2) {
+            lp.add_constraint(&[(w[0], 1.0), (w[1], 1.0)], Relation::Le, 1.0)
+                .unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_close(sol.objective_value(), 11.0);
+    }
+}

@@ -1,0 +1,95 @@
+use serde::{Deserialize, Serialize};
+
+use crate::model::VarId;
+
+/// Outcome of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraint set has no feasible point. For the attack LPs this
+    /// means "scapegoating with these attackers/victims is impossible".
+    Infeasible,
+    /// The feasible region is unbounded in the optimization direction.
+    /// (Attack LPs with per-path caps are never unbounded.)
+    Unbounded,
+}
+
+/// Result of solving an [`LpProblem`](crate::LpProblem).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LpSolution {
+    status: LpStatus,
+    objective: f64,
+    values: Vec<f64>,
+}
+
+impl LpSolution {
+    pub(crate) fn new(status: LpStatus, objective: f64, values: Vec<f64>) -> Self {
+        LpSolution {
+            status,
+            objective,
+            values,
+        }
+    }
+
+    /// Solver status.
+    #[must_use]
+    pub fn status(&self) -> LpStatus {
+        self.status
+    }
+
+    /// `true` iff the status is [`LpStatus::Optimal`].
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+
+    /// Objective value in the problem's own optimization direction.
+    ///
+    /// Meaningful only when [`Self::is_optimal`]; `0.0` otherwise.
+    #[must_use]
+    pub fn objective_value(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable in the optimal solution.
+    ///
+    /// Meaningful only when [`Self::is_optimal`]; `0.0` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved problem.
+    #[must_use]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let sol = LpSolution::new(LpStatus::Optimal, 4.5, vec![1.0, 3.5]);
+        assert!(sol.is_optimal());
+        assert_eq!(sol.status(), LpStatus::Optimal);
+        assert_eq!(sol.objective_value(), 4.5);
+        assert_eq!(sol.value(VarId(1)), 3.5);
+        assert_eq!(sol.values(), &[1.0, 3.5]);
+    }
+
+    #[test]
+    fn non_optimal_statuses() {
+        let inf = LpSolution::new(LpStatus::Infeasible, 0.0, vec![]);
+        assert!(!inf.is_optimal());
+        let unb = LpSolution::new(LpStatus::Unbounded, 0.0, vec![]);
+        assert_eq!(unb.status(), LpStatus::Unbounded);
+    }
+}

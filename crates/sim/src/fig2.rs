@@ -1,0 +1,168 @@
+//! Fig. 2 — illustrative strategy portraits.
+//!
+//! The paper's Fig. 2 sketches how the per-link delay estimates look
+//! under each strategy on one network: chosen-victim spikes the chosen
+//! links, maximum-damage spikes whichever victims maximize `‖m‖₁`, and
+//! obfuscation flattens everything into the uncertain band. This module
+//! regenerates that picture concretely on the Fig. 1 network with one
+//! shared draw of routine delays.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_attack::attacker::AttackerSet;
+use tomo_attack::scenario::AttackScenario;
+use tomo_attack::strategy;
+use tomo_core::{fig1, params, LinkState};
+
+use crate::{report, SimError};
+
+/// One strategy's per-link portrait.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyPortrait {
+    /// Strategy name.
+    pub name: String,
+    /// Estimated delay per link (paper numbering order).
+    pub estimated_delays: Vec<f64>,
+    /// Per-link states.
+    pub states: Vec<LinkState>,
+    /// Damage `‖m‖₁`.
+    pub damage: f64,
+}
+
+/// Structured Fig. 2 result: the baseline plus all three strategies on
+/// identical routine delays.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// Seed used for the routine delays.
+    pub seed: u64,
+    /// True routine delays.
+    pub true_delays: Vec<f64>,
+    /// Portraits: `[baseline, chosen-victim, maximum-damage, obfuscation]`.
+    pub portraits: Vec<StrategyPortrait>,
+}
+
+/// Runs the Fig. 2 regeneration.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any attack is unexpectedly infeasible.
+pub fn run(seed: u64) -> Result<Fig2Result, SimError> {
+    let system = fig1::fig1_system()?;
+    let topo = fig1::fig1_topology();
+    let attackers = AttackerSet::new(&system, topo.attackers.clone())?;
+    let scenario = AttackScenario::paper_defaults();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+
+    let baseline_estimate = system.estimate(&system.measure(&x)?)?;
+    let baseline = StrategyPortrait {
+        name: "baseline (no attack)".into(),
+        states: system.classify(&baseline_estimate, &scenario.thresholds),
+        estimated_delays: baseline_estimate.into_inner(),
+        damage: 0.0,
+    };
+
+    let cv = strategy::chosen_victim(&system, &attackers, &scenario, &x, &[topo.paper_link(10)])?
+        .into_success()
+        .ok_or_else(|| SimError("Fig. 2 chosen-victim infeasible".into()))?;
+    let md = strategy::max_damage(&system, &attackers, &scenario, &x)?
+        .into_success()
+        .ok_or_else(|| SimError("Fig. 2 maximum-damage infeasible".into()))?;
+    let ob = strategy::obfuscation(&system, &attackers, &scenario, &x, 3)?
+        .into_success()
+        .ok_or_else(|| SimError("Fig. 2 obfuscation infeasible".into()))?;
+
+    let portraits = vec![
+        baseline,
+        StrategyPortrait {
+            name: "chosen-victim (link 10)".into(),
+            estimated_delays: cv.estimate.as_slice().to_vec(),
+            states: cv.states,
+            damage: cv.damage,
+        },
+        StrategyPortrait {
+            name: "maximum-damage".into(),
+            estimated_delays: md.estimate.as_slice().to_vec(),
+            states: md.states,
+            damage: md.damage,
+        },
+        StrategyPortrait {
+            name: "obfuscation".into(),
+            estimated_delays: ob.estimate.as_slice().to_vec(),
+            states: ob.states,
+            damage: ob.damage,
+        },
+    ];
+    Ok(Fig2Result {
+        seed,
+        true_delays: x.into_inner(),
+        portraits,
+    })
+}
+
+/// Renders all four portraits.
+#[must_use]
+pub fn render(result: &Fig2Result) -> String {
+    let mut out = String::from("Fig. 2 — strategy portraits on the Fig. 1 network\n");
+    for p in &result.portraits {
+        let labels: Vec<String> = (1..=p.estimated_delays.len())
+            .map(|n| format!("link {n:>2}"))
+            .collect();
+        out.push('\n');
+        out.push_str(&report::bar_series(
+            &format!("{} (damage {:.0} ms)", p.name, p.damage),
+            &labels,
+            &p.estimated_delays,
+            "ms",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_has_the_papers_qualitative_shapes() {
+        let r = run(7).unwrap();
+        assert_eq!(r.portraits.len(), 4);
+        let [baseline, cv, md, ob] = &r.portraits[..] else {
+            panic!("expected 4 portraits");
+        };
+        // Baseline: everything normal, zero damage.
+        assert!(baseline.states.iter().all(|&s| s == LinkState::Normal));
+        assert_eq!(baseline.damage, 0.0);
+        // Chosen-victim: link 10 abnormal.
+        assert_eq!(cv.states[9], LinkState::Abnormal);
+        // Maximum-damage dominates chosen-victim.
+        assert!(md.damage >= cv.damage - 1e-6);
+        assert!(md.states.contains(&LinkState::Abnormal));
+        // Obfuscation: no abnormal outlier, all uncertain.
+        assert!(ob.states.iter().all(|&s| s == LinkState::Uncertain));
+        assert!(ob.damage > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(3).unwrap();
+        let b = run(3).unwrap();
+        assert_eq!(a.true_delays, b.true_delays);
+        assert_eq!(
+            a.portraits[2].estimated_delays,
+            b.portraits[2].estimated_delays
+        );
+    }
+
+    #[test]
+    fn render_shows_all_four() {
+        let r = run(7).unwrap();
+        let s = render(&r);
+        assert!(s.contains("baseline"));
+        assert!(s.contains("chosen-victim"));
+        assert!(s.contains("maximum-damage"));
+        assert!(s.contains("obfuscation"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig. 5 — maximum-damage scapegoating on the Fig. 1 network.
+//!
+//! Attackers B and C search all victim candidates for the most damaging
+//! feasible frame-up. The paper reports an average end-to-end delay of
+//! ≈ 1239.4 ms — the highest among all chosen-victim attacks — with links
+//! 1 and 9 misleadingly identified as abnormal.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_attack::attacker::AttackerSet;
+use tomo_attack::scenario::AttackScenario;
+use tomo_attack::strategy;
+use tomo_core::{fig1, params, LinkState};
+
+use crate::{report, SimError};
+
+/// Structured Fig. 5 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Seed used for the routine delays.
+    pub seed: u64,
+    /// True routine delays per link.
+    pub true_delays: Vec<f64>,
+    /// Estimated delays under the attack.
+    pub estimated_delays: Vec<f64>,
+    /// Per-link states.
+    pub states: Vec<LinkState>,
+    /// Damage `‖m‖₁` in ms.
+    pub damage: f64,
+    /// Average end-to-end path delay under attack (paper: ≈ 1239.4 ms).
+    pub avg_path_delay: f64,
+    /// Paper numbers of links classified abnormal (paper: 1 and 9).
+    pub abnormal_links: Vec<usize>,
+    /// Damage of every feasible chosen-victim attack, for the dominance
+    /// check (paper: maximum-damage is the highest).
+    pub chosen_victim_damages: Vec<(usize, f64)>,
+}
+
+/// Runs the Fig. 5 experiment with seeded routine delays.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the attack is unexpectedly infeasible.
+pub fn run(seed: u64) -> Result<Fig5Result, SimError> {
+    let system = fig1::fig1_system()?;
+    let topo = fig1::fig1_topology();
+    let attackers = AttackerSet::new(&system, topo.attackers.clone())?;
+    let scenario = AttackScenario::paper_defaults();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+
+    let outcome = strategy::max_damage(&system, &attackers, &scenario, &x)?;
+    let s = outcome
+        .into_success()
+        .ok_or_else(|| SimError("Fig. 5 maximum-damage attack infeasible".into()))?;
+
+    let y_attacked = &system.measure(&x)? + &s.manipulation;
+    let avg_path_delay = y_attacked.mean().unwrap_or(0.0);
+    let abnormal_links: Vec<usize> = s
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, &st)| st == LinkState::Abnormal)
+        .map(|(j, _)| j + 1)
+        .collect();
+
+    // Per-victim chosen-victim damages for the dominance series.
+    let mut chosen_victim_damages = Vec::new();
+    for n in 1..=system.num_links() {
+        let link = topo.paper_link(n);
+        if attackers.controls_link(link) {
+            continue;
+        }
+        let o = strategy::chosen_victim(&system, &attackers, &scenario, &x, &[link])?;
+        if let Some(cv) = o.success() {
+            chosen_victim_damages.push((n, cv.damage));
+        }
+    }
+
+    Ok(Fig5Result {
+        seed,
+        true_delays: x.into_inner(),
+        estimated_delays: s.estimate.as_slice().to_vec(),
+        states: s.states,
+        damage: s.damage,
+        avg_path_delay,
+        abnormal_links,
+        chosen_victim_damages,
+    })
+}
+
+/// Renders the per-link delay chart plus the summary.
+#[must_use]
+pub fn render(result: &Fig5Result) -> String {
+    let labels: Vec<String> = (1..=result.estimated_delays.len())
+        .map(|n| format!("link {n:>2}"))
+        .collect();
+    let mut out = report::bar_series(
+        "Fig. 5 — maximum-damage scapegoating (attackers: B, C)",
+        &labels,
+        &result.estimated_delays,
+        "ms",
+    );
+    out.push_str(&format!(
+        "abnormal links: {:?} | damage ‖m‖₁: {:.2} ms | avg path delay: {:.2} ms\n",
+        result.abnormal_links, result.damage, result.avg_path_delay,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_holds() {
+        let r = run(1).unwrap();
+        // At least one innocent link framed.
+        assert!(!r.abnormal_links.is_empty());
+        // Attacker links (2-8) normal.
+        for n in 2..=8 {
+            assert_eq!(r.states[n - 1], LinkState::Normal, "link {n}");
+            assert!(!r.abnormal_links.contains(&n));
+        }
+        // Dominance: maximum damage ≥ every chosen-victim damage.
+        for &(n, d) in &r.chosen_victim_damages {
+            assert!(r.damage >= d - 1e-6, "victim {n} beats max damage");
+        }
+        // Fig. 5's avg delay exceeds Fig. 4's on the same seed (max-damage
+        // is the most damaging chosen-victim attack).
+        let fig4 = crate::fig4::run(1).unwrap();
+        assert!(r.avg_path_delay >= fig4.avg_path_delay - 1e-6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run(3).unwrap().damage, run(3).unwrap().damage);
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let r = run(1).unwrap();
+        let s = render(&r);
+        assert!(s.contains("Fig. 5"));
+        assert!(s.contains("abnormal links"));
+    }
+}

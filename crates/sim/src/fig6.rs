@@ -1,0 +1,132 @@
+//! Fig. 6 — obfuscation on the Fig. 1 network.
+//!
+//! Attackers B and C push **every** link's estimate into the uncertain
+//! band (the paper observes all delays between roughly 200 ms and
+//! 1000 ms, i.e. no link clearly normal or clearly abnormal), leaving the
+//! operator unable to tell which link is actually problematic.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_attack::attacker::AttackerSet;
+use tomo_attack::scenario::AttackScenario;
+use tomo_attack::strategy;
+use tomo_core::{fig1, params, LinkState};
+
+use crate::{report, SimError};
+
+/// Structured Fig. 6 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Seed used for the routine delays.
+    pub seed: u64,
+    /// True routine delays per link.
+    pub true_delays: Vec<f64>,
+    /// Estimated delays under the attack.
+    pub estimated_delays: Vec<f64>,
+    /// Per-link states (all should be `Uncertain`).
+    pub states: Vec<LinkState>,
+    /// Damage `‖m‖₁` in ms.
+    pub damage: f64,
+    /// Number of links in the uncertain band.
+    pub uncertain_count: usize,
+}
+
+/// Runs the Fig. 6 experiment with seeded routine delays.
+///
+/// Fig. 1 has exactly 3 non-attacker links, so the victim quota is 3
+/// (`L_o` then covers all 10 links; the paper's ≥5 quota belongs to the
+/// 100-node Fig. 8 experiments).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the attack is unexpectedly infeasible.
+pub fn run(seed: u64) -> Result<Fig6Result, SimError> {
+    let system = fig1::fig1_system()?;
+    let topo = fig1::fig1_topology();
+    let attackers = AttackerSet::new(&system, topo.attackers.clone())?;
+    let scenario = AttackScenario::paper_defaults();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+
+    let outcome = strategy::obfuscation(&system, &attackers, &scenario, &x, 3)?;
+    let s = outcome
+        .into_success()
+        .ok_or_else(|| SimError("Fig. 6 obfuscation attack infeasible".into()))?;
+
+    let uncertain_count = s
+        .states
+        .iter()
+        .filter(|&&st| st == LinkState::Uncertain)
+        .count();
+
+    Ok(Fig6Result {
+        seed,
+        true_delays: x.into_inner(),
+        estimated_delays: s.estimate.as_slice().to_vec(),
+        states: s.states,
+        damage: s.damage,
+        uncertain_count,
+    })
+}
+
+/// Renders the per-link delay chart plus the summary.
+#[must_use]
+pub fn render(result: &Fig6Result) -> String {
+    let labels: Vec<String> = (1..=result.estimated_delays.len())
+        .map(|n| format!("link {n:>2}"))
+        .collect();
+    let mut out = report::bar_series(
+        "Fig. 6 — obfuscation (attackers: B, C): everything looks uncertain",
+        &labels,
+        &result.estimated_delays,
+        "ms",
+    );
+    out.push_str(&format!(
+        "links in uncertain band [{}, {}] ms: {}/{} | damage ‖m‖₁: {:.2} ms\n",
+        params::B_L_MS,
+        params::B_U_MS,
+        result.uncertain_count,
+        result.estimated_delays.len(),
+        result.damage,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let r = run(1).unwrap();
+        // Every link uncertain: estimates inside [b_l, b_u].
+        assert_eq!(r.uncertain_count, 10);
+        for (j, &d) in r.estimated_delays.iter().enumerate() {
+            assert!(
+                (params::B_L_MS..=params::B_U_MS).contains(&d),
+                "link {}: {d}",
+                j + 1
+            );
+            assert_eq!(r.states[j], LinkState::Uncertain);
+        }
+        assert!(r.damage > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            run(2).unwrap().estimated_delays,
+            run(2).unwrap().estimated_delays
+        );
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let r = run(1).unwrap();
+        let s = render(&r);
+        assert!(s.contains("Fig. 6"));
+        assert!(s.contains("uncertain"));
+    }
+}

@@ -1,0 +1,246 @@
+//! `tomo-sim` — command-line runner for the paper's evaluation figures.
+//!
+//! ```text
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick]
+//! tomo-sim list
+//! ```
+//!
+//! Every run prints the figure's table/series to stdout; with `--out DIR`
+//! it also writes a JSON artifact per figure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tomo_sim::{
+    ablation, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report, SimError,
+};
+
+struct Args {
+    command: String,
+    target: String,
+    seed: u64,
+    out: Option<PathBuf>,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage());
+    }
+    let command = argv[0].clone();
+    if command == "list" {
+        return Ok(Args {
+            command,
+            target: String::new(),
+            seed: 42,
+            out: None,
+            quick: false,
+        });
+    }
+    if command != "run" {
+        return Err(format!("unknown command {command:?}\n{}", usage()));
+    }
+    let target = argv
+        .get(1)
+        .cloned()
+        .ok_or_else(|| format!("missing figure name\n{}", usage()))?;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut quick = false;
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => {
+                let v = argv.get(i + 1).ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+                i += 2;
+            }
+            "--out" => {
+                let v = argv.get(i + 1).ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        target,
+        seed,
+        out,
+        quick,
+    })
+}
+
+fn usage() -> String {
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick]\n  tomo-sim list".to_string()
+}
+
+fn fig7_config(quick: bool) -> fig7::Fig7Config {
+    if quick {
+        fig7::Fig7Config {
+            num_systems: 1,
+            trials_per_system: 40,
+            ..fig7::Fig7Config::default()
+        }
+    } else {
+        fig7::Fig7Config::default()
+    }
+}
+
+fn fig8_config(quick: bool) -> fig8::Fig8Config {
+    if quick {
+        fig8::Fig8Config {
+            num_systems: 1,
+            trials_per_system: 8,
+            ..fig8::Fig8Config::default()
+        }
+    } else {
+        fig8::Fig8Config::default()
+    }
+}
+
+fn fig9_config(quick: bool) -> fig9::Fig9Config {
+    if quick {
+        fig9::Fig9Config {
+            trials: 15,
+            ..fig9::Fig9Config::default()
+        }
+    } else {
+        fig9::Fig9Config::default()
+    }
+}
+
+fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
+    let seed = args.seed;
+    let artifact = |suffix: &str| args.out.as_ref().map(|d| d.join(suffix));
+    match name {
+        "fig2" => {
+            let r = fig2::run(seed)?;
+            println!("{}", fig2::render(&r));
+            if let Some(p) = artifact("fig2.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig4" => {
+            let r = fig4::run(seed)?;
+            println!("{}", fig4::render(&r));
+            if let Some(p) = artifact("fig4.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig5" => {
+            let r = fig5::run(seed)?;
+            println!("{}", fig5::render(&r));
+            if let Some(p) = artifact("fig5.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig6" => {
+            let r = fig6::run(seed)?;
+            println!("{}", fig6::render(&r));
+            if let Some(p) = artifact("fig6.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig7" => {
+            let r = fig7::run(seed, &fig7_config(args.quick))?;
+            println!("{}", fig7::render(&r));
+            if let Some(p) = artifact("fig7.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig8" => {
+            let r = fig8::run(seed, &fig8_config(args.quick))?;
+            println!("{}", fig8::render(&r));
+            if let Some(p) = artifact("fig8.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "fig9" => {
+            let r = fig9::run(seed, &fig9_config(args.quick))?;
+            println!("{}", fig9::render(&r));
+            if let Some(p) = artifact("fig9.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "gap" => {
+            let draws = if args.quick { 8 } else { 30 };
+            let r = gap::run_gap(seed, draws)?;
+            println!("{}", gap::render_gap(&r));
+            if let Some(p) = artifact("gap.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "noise" => {
+            let (trials, rounds) = if args.quick { (8, 8) } else { (30, 24) };
+            let r = noise::run_noise_sweep(seed, &[0.0, 1.0, 4.0, 16.0, 64.0], trials, rounds)?;
+            println!("{}", noise::render_noise_sweep(&r));
+            if let Some(p) = artifact("noise.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "defense" => {
+            let (trials, placements) = if args.quick { (6, 3) } else { (25, 8) };
+            let r = defense::run_defense(seed, trials, placements)?;
+            println!("{}", defense::render_defense(&r));
+            if let Some(p) = artifact("defense.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        "stealth-tax" => {
+            let r = ablation::run_stealth_tax(seed, if args.quick { 3 } else { 10 })?;
+            println!("{}", ablation::render_stealth_tax(&r));
+            if let Some(p) = artifact("stealth_tax.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
+        other => return Err(SimError(format!("unknown figure {other:?}"))),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.command == "list" {
+        println!(
+            "fig2  strategy portraits on the Fig. 1 network\n\
+             fig4  chosen-victim scapegoating on the Fig. 1 network\n\
+             fig5  maximum-damage scapegoating on the Fig. 1 network\n\
+             fig6  obfuscation on the Fig. 1 network\n\
+             fig7  success probability vs attack presence ratio (wireline/wireless)\n\
+             fig8  single-attacker success probabilities (wireline/wireless)\n\
+             fig9  detection ratios per strategy and cut type\n\
+             stealth-tax  ablation: damage given up for undetectability\n\
+             defense  Section VI security-aware placement vs random\n\
+             noise  detector robustness vs measurement noise\n\
+             gap  Theorem 3 gap: consistency-only evasion rates\n\
+             all   everything above (figures only)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let figures: Vec<&str> = if args.target == "all" {
+        vec!["fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
+    } else {
+        vec![args.target.as_str()]
+    };
+    for f in figures {
+        if let Err(e) = run_one(f, &args) {
+            eprintln!("{f}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

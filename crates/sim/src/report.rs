@@ -1,0 +1,112 @@
+//! Rendering helpers: ASCII tables/series for the terminal, JSON
+//! artifacts for machine consumption.
+
+use serde::Serialize;
+
+use crate::SimError;
+
+/// Renders a two-column table with a title.
+#[must_use]
+pub fn two_column_table(title: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let w0 = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([header.0.len()])
+        .max()
+        .unwrap_or(0);
+    let w1 = rows
+        .iter()
+        .map(|(_, b)| b.len())
+        .chain([header.1.len()])
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<w0$}  {:<w1$}\n", header.0, header.1));
+    out.push_str(&format!("{}  {}\n", "-".repeat(w0), "-".repeat(w1)));
+    for (a, b) in rows {
+        out.push_str(&format!("{a:<w0$}  {b:<w1$}\n"));
+    }
+    out
+}
+
+/// Renders a labelled numeric series (e.g. per-link estimated delays)
+/// with a proportional ASCII bar, mirroring the paper's bar figures.
+#[must_use]
+pub fn bar_series(title: &str, labels: &[String], values: &[f64], unit: &str) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values mismatch");
+    let max = values.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let lw = labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, &v) in labels.iter().zip(values.iter()) {
+        let bar_len = ((v / max) * 40.0).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<lw$}  {v:>10.2} {unit}  |{}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Writes a serializable result as pretty JSON to `path`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on serialization or I/O failure.
+pub fn write_json<T: Serialize>(value: &T, path: &std::path::Path) -> Result<(), SimError> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| SimError(format!("serialize: {e}")))?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| SimError(format!("mkdir {}: {e}", parent.display())))?;
+    }
+    std::fs::write(path, json).map_err(|e| SimError(format!("write {}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = two_column_table(
+            "Title",
+            ("col-a", "b"),
+            &[("x".into(), "1".into()), ("longer".into(), "2.5".into())],
+        );
+        assert!(t.contains("Title"));
+        assert!(t.contains("col-a"));
+        assert!(t.contains("longer"));
+        // Header separator present.
+        assert!(t.contains("-----"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_series("Delays", &["l1".into(), "l2".into()], &[10.0, 20.0], "ms");
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(lines[2]), 40); // max bar
+        assert_eq!(count(lines[1]), 20); // half bar
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn bar_series_validates_lengths() {
+        let _ = bar_series("x", &["a".into()], &[1.0, 2.0], "ms");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("tomo_sim_report_test");
+        let path = dir.join("artifact.json");
+        write_json(&vec![1, 2, 3], &path).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end tests of the `tomo-sim` command-line interface.
+
+use std::process::Command;
+
+fn tomo_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tomo-sim"))
+}
+
+#[test]
+fn list_prints_every_experiment() {
+    let out = tomo_sim().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "fig2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "stealth-tax",
+        "defense",
+        "noise",
+        "gap",
+    ] {
+        assert!(stdout.contains(name), "{name} missing from list");
+    }
+}
+
+#[test]
+fn run_fig4_prints_figure_and_writes_artifact() {
+    let dir = std::env::temp_dir().join("tomo_sim_cli_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = tomo_sim()
+        .args(["run", "fig4", "--seed", "7", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Fig. 4"));
+    assert!(stdout.contains("link 10"));
+    let artifact = dir.join("fig4.json");
+    assert!(artifact.exists(), "artifact not written");
+    let json = std::fs::read_to_string(artifact).unwrap();
+    assert!(json.contains("\"seed\": 7"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quick_flag_runs_fig9() {
+    let out = tomo_sim()
+        .args(["run", "fig9", "--seed", "3", "--quick"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Fig. 9"));
+    assert!(stdout.contains("false alarms"));
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = tomo_sim().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage"));
+
+    let out = tomo_sim()
+        .args(["run", "fig99"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = tomo_sim()
+        .args(["run", "fig4", "--seed", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = tomo_sim().output().expect("binary runs");
+    assert!(!out.status.success());
+}

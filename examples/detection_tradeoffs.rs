@@ -1,0 +1,52 @@
+//! Detector threshold tuning under measurement noise (Remark 4).
+//!
+//! The paper's detector compares `‖R x̂ − y′‖₁` against α = 200 ms and
+//! reports clean 100%/0% splits because its simulations are noise-free.
+//! Real measurements are noisy, so α trades false alarms against missed
+//! attacks. This example sweeps α at several noise levels and prints the
+//! operating points.
+//!
+//! Run with: `cargo run --example detection_tradeoffs`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scapegoat_tomography::detect::roc::collect_residuals;
+use scapegoat_tomography::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = fig1_system()?;
+    let scenario = AttackScenario::paper_defaults();
+    let delays = params::default_delay_model();
+    let alphas = [0.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+
+    println!("detector operating points on the Fig. 1 network (chosen-victim attacks)");
+    for noise_std in [0.5, 2.0, 8.0] {
+        let noise = GaussianNoise::new(noise_std).expect("positive std");
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let samples = collect_residuals(&system, &scenario, &delays, &noise, 2, 120, &mut rng)?;
+        println!(
+            "\nmeasurement noise σ = {noise_std} ms ({} clean / {} attacked rounds)",
+            samples.clean.len(),
+            samples.attacked.len()
+        );
+        println!(
+            "  {:>8}  {:>12}  {:>12}",
+            "α (ms)", "detect rate", "false alarms"
+        );
+        for point in samples.sweep(&alphas) {
+            println!(
+                "  {:>8.0}  {:>11.1}%  {:>11.1}%",
+                point.alpha,
+                point.true_positive * 100.0,
+                point.false_positive * 100.0
+            );
+        }
+    }
+    println!(
+        "\nreading: the paper's α = 200 ms stays false-alarm-free even at σ = 8 ms \
+         while catching every imperfect-cut attack; perfect-cut attacks are \
+         invisible at any α (Theorem 3)."
+    );
+    Ok(())
+}

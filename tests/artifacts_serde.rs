@@ -1,0 +1,94 @@
+//! JSON artifact round-trips: every experiment result type must
+//! serialize and deserialize losslessly (operators archive these;
+//! breaking the format silently would corrupt longitudinal studies).
+
+use scapegoat_tomography::sim;
+
+#[test]
+fn fig2_artifact_roundtrip() {
+    let r = sim::fig2::run(3).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: sim::fig2::Fig2Result = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.seed, r.seed);
+    assert_eq!(back.true_delays, r.true_delays);
+    assert_eq!(back.portraits.len(), r.portraits.len());
+    for (a, b) in back.portraits.iter().zip(r.portraits.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.estimated_delays, b.estimated_delays);
+        assert_eq!(a.states, b.states);
+    }
+}
+
+#[test]
+fn fig4_artifact_roundtrip() {
+    let r = sim::fig4::run(3).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: sim::fig4::Fig4Result = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.estimated_delays, r.estimated_delays);
+    assert_eq!(back.states, r.states);
+    assert_eq!(back.damage, r.damage);
+    assert_eq!(back.victim_paper_number, 10);
+}
+
+#[test]
+fn fig9_artifact_roundtrip() {
+    let config = sim::fig9::Fig9Config {
+        trials: 6,
+        ..sim::fig9::Fig9Config::default()
+    };
+    let r = sim::fig9::run(3, &config).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: sim::fig9::Fig9Result = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.report.perfect, r.report.perfect);
+    assert_eq!(back.report.imperfect, r.report.imperfect);
+    assert_eq!(back.report.clean_trials, r.report.clean_trials);
+}
+
+#[test]
+fn attack_outcome_roundtrip() {
+    use scapegoat_tomography::prelude::*;
+    let system = fig1_system().unwrap();
+    let topo = fig1_topology();
+    let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+    let x = Vector::filled(10, 10.0);
+    let outcome = chosen_victim(
+        &system,
+        &attackers,
+        &AttackScenario::paper_defaults(),
+        &x,
+        &[topo.paper_link(10)],
+    )
+    .unwrap();
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: AttackOutcome = serde_json::from_str(&json).unwrap();
+    let (a, b) = (outcome.success().unwrap(), back.success().unwrap());
+    assert_eq!(a.damage, b.damage);
+    assert_eq!(a.manipulation, b.manipulation);
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.victims, b.victims);
+}
+
+#[test]
+fn scenario_and_thresholds_roundtrip() {
+    use scapegoat_tomography::prelude::*;
+    let s = AttackScenario::paper_defaults_stealthy();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: AttackScenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+    assert!(back.evade_detection);
+    assert_eq!(back.thresholds.lower(), 100.0);
+}
+
+#[test]
+fn detection_report_and_noise_sweep_roundtrip() {
+    let r = sim::noise::run_noise_sweep(2, &[0.0, 8.0], 4, 4).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: sim::noise::NoiseSweepResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.levels, r.levels);
+
+    let d = sim::defense::run_defense(2, 3, 2).unwrap();
+    let json = serde_json::to_string(&d).unwrap();
+    let back: sim::defense::DefenseResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.random, d.random);
+    assert_eq!(back.secure, d.secure);
+}

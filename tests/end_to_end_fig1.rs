@@ -1,0 +1,134 @@
+//! End-to-end integration tests on the paper's Fig. 1 running example:
+//! topology → monitors/paths → attack → misled tomography → detection.
+
+use scapegoat_tomography::prelude::*;
+
+fn setup() -> (
+    TomographySystem,
+    scapegoat_tomography::graph::topology::Fig1Topology,
+    AttackerSet,
+    AttackScenario,
+    Vector,
+) {
+    let system = fig1_system().unwrap();
+    let topo = fig1_topology();
+    let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+    let scenario = AttackScenario::paper_defaults();
+    let x = Vector::filled(10, 10.0);
+    (system, topo, attackers, scenario, x)
+}
+
+#[test]
+fn clean_pipeline_identifies_a_genuinely_bad_link() {
+    // Sanity: without attackers, tomography does its job — a truly slow
+    // link is found, nothing else is blamed.
+    let (system, topo, _, scenario, _) = setup();
+    let mut x = Vector::filled(10, 10.0);
+    let bad = topo.paper_link(7);
+    x[bad.index()] = 1000.0;
+    let y = system.measure(&x).unwrap();
+    let x_hat = system.estimate(&y).unwrap();
+    let states = system.classify(&x_hat, &scenario.thresholds);
+    for (j, st) in states.iter().enumerate() {
+        if j == bad.index() {
+            assert_eq!(*st, LinkState::Abnormal);
+        } else {
+            assert_eq!(*st, LinkState::Normal, "link {}", j + 1);
+        }
+    }
+}
+
+#[test]
+fn full_attack_pipeline_misleads_and_is_detected() {
+    let (system, topo, attackers, scenario, x) = setup();
+    let victim = topo.paper_link(10);
+
+    // The attack succeeds although the true network is healthy.
+    let outcome = chosen_victim(&system, &attackers, &scenario, &x, &[victim]).unwrap();
+    let s = outcome.success().expect("feasible");
+
+    // The operator, trusting tomography, would now blame link 10 / node D.
+    assert_eq!(s.states[victim.index()], LinkState::Abnormal);
+    // No attacker-controlled link draws suspicion.
+    for &l in attackers.controlled_links() {
+        assert_eq!(s.states[l.index()], LinkState::Normal);
+    }
+    // But the truth is that every link is healthy.
+    assert!(x.iter().all(|&d| d < scenario.thresholds.lower()));
+
+    // Constraint 1 is satisfied by construction.
+    assert!(
+        scapegoat_tomography::attack::manipulation::satisfies_constraint_1(
+            &s.manipulation,
+            &attackers,
+            scenario.path_cap,
+            1e-6
+        )
+    );
+
+    // The network-wide consistency check flags it (imperfect cut).
+    let y_attacked = &system.measure(&x).unwrap() + &s.manipulation;
+    let verdict = ConsistencyDetector::paper_default()
+        .inspect(&system, &y_attacked)
+        .unwrap();
+    assert!(verdict.detected);
+}
+
+#[test]
+fn stealthy_pipeline_is_invisible_and_constraint_satisfying() {
+    let (system, topo, attackers, scenario, x) = setup();
+    let victim = topo.paper_link(1); // perfectly cut
+
+    let outcome =
+        perfect_cut_attack(&system, &attackers, &scenario, &x, &[victim], 1200.0).unwrap();
+    let s = outcome.success().expect("Theorem 1");
+    assert_eq!(s.states[victim.index()], LinkState::Abnormal);
+
+    let y_attacked = &system.measure(&x).unwrap() + &s.manipulation;
+    let verdict = ConsistencyDetector::paper_default()
+        .inspect(&system, &y_attacked)
+        .unwrap();
+    assert!(
+        !verdict.detected,
+        "perfect cut must be invisible (Theorem 3)"
+    );
+
+    // The operator's view: A (the victim's endpoint) is the root cause.
+    let estimate = system.estimate(&y_attacked).unwrap();
+    let states = system.classify(&estimate, &scenario.thresholds);
+    assert_eq!(states[victim.index()], LinkState::Abnormal);
+    assert_eq!(
+        states
+            .iter()
+            .filter(|&&st| st == LinkState::Abnormal)
+            .count(),
+        1,
+        "exactly the scapegoat is blamed"
+    );
+}
+
+#[test]
+fn damage_respects_cap_times_attacked_paths() {
+    let (system, _topo, attackers, scenario, x) = setup();
+    let outcome = max_damage(&system, &attackers, &scenario, &x).unwrap();
+    let s = outcome.success().expect("feasible");
+    let bound = attackers.attacked_paths().len() as f64 * scenario.path_cap;
+    assert!(s.damage <= bound + 1e-6);
+    assert!(s.damage > 0.0);
+}
+
+#[test]
+fn all_three_strategies_coexist_on_one_instance() {
+    let (system, topo, attackers, scenario, x) = setup();
+    let cv = chosen_victim(&system, &attackers, &scenario, &x, &[topo.paper_link(9)]).unwrap();
+    let md = max_damage(&system, &attackers, &scenario, &x).unwrap();
+    let ob = obfuscation(&system, &attackers, &scenario, &x, 3).unwrap();
+    assert!(cv.is_success());
+    assert!(md.is_success());
+    assert!(ob.is_success());
+    // Dominance chain: max-damage ≥ this chosen-victim instance.
+    assert!(
+        md.success().unwrap().damage >= cv.success().unwrap().damage - 1e-6,
+        "maximum-damage must dominate"
+    );
+}
