@@ -14,6 +14,10 @@ use serde::{Deserialize, Serialize};
 use tomo_core::delay::DelayModel;
 use tomo_core::TomographySystem;
 use tomo_graph::{LinkId, NodeId};
+use tomo_obs::LazyCounter;
+
+static TRIALS: LazyCounter = LazyCounter::new("attack.montecarlo.trials");
+static DEGENERATE: LazyCounter = LazyCounter::new("attack.montecarlo.degenerate");
 
 use crate::attacker::AttackerSet;
 use crate::cut::analyze_cut;
@@ -75,16 +79,19 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
     num_attackers: usize,
     rng: &mut R,
 ) -> Result<Option<ChosenVictimTrial>, AttackError> {
+    TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, num_attackers, rng))?;
     let free_links: Vec<LinkId> = (0..system.num_links())
         .map(LinkId)
         .filter(|&l| !attackers.controls_link(l))
         .collect();
     let Some(&victim) = free_links.as_slice().choose(rng) else {
+        DEGENERATE.inc();
         return Ok(None);
     };
     let cut = analyze_cut(system, &attackers, &[victim]);
     if cut.victim_paths.is_empty() {
+        DEGENERATE.inc();
         return Ok(None);
     }
     let x = delay_model.sample(system.num_links(), rng);
@@ -112,6 +119,7 @@ pub fn max_damage_trial<R: Rng + ?Sized>(
     delay_model: &DelayModel,
     rng: &mut R,
 ) -> Result<SingleAttackerTrial, AttackError> {
+    TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
     let x = delay_model.sample(system.num_links(), rng);
     let outcome = strategy::max_damage(system, &attackers, scenario, &x)?;
@@ -140,6 +148,7 @@ pub fn obfuscation_trial<R: Rng + ?Sized>(
     min_victims: usize,
     rng: &mut R,
 ) -> Result<SingleAttackerTrial, AttackError> {
+    TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
     let x = delay_model.sample(system.num_links(), rng);
     let outcome = strategy::obfuscation(system, &attackers, scenario, &x, min_victims)?;

@@ -3,12 +3,40 @@
 use tomo_core::TomographySystem;
 use tomo_graph::LinkId;
 use tomo_linalg::Vector;
+use tomo_obs::{LazyCounter, LazyHistogram};
 
 use crate::attacker::AttackerSet;
 use crate::manipulation::{LinkGoal, ManipulationProblem};
 use crate::outcome::AttackOutcome;
 use crate::scenario::AttackScenario;
 use crate::AttackError;
+
+static CHOSEN_FEASIBLE: LazyCounter = LazyCounter::new("attack.chosen_victim.feasible");
+static CHOSEN_INFEASIBLE: LazyCounter = LazyCounter::new("attack.chosen_victim.infeasible");
+static CHOSEN_DAMAGE: LazyHistogram = LazyHistogram::new("attack.chosen_victim.damage");
+static MAXDMG_FEASIBLE: LazyCounter = LazyCounter::new("attack.max_damage.feasible");
+static MAXDMG_INFEASIBLE: LazyCounter = LazyCounter::new("attack.max_damage.infeasible");
+static MAXDMG_DAMAGE: LazyHistogram = LazyHistogram::new("attack.max_damage.damage");
+static OBFUSC_FEASIBLE: LazyCounter = LazyCounter::new("attack.obfuscation.feasible");
+static OBFUSC_INFEASIBLE: LazyCounter = LazyCounter::new("attack.obfuscation.infeasible");
+static OBFUSC_DAMAGE: LazyHistogram = LazyHistogram::new("attack.obfuscation.damage");
+
+/// Bumps the per-strategy feasible/infeasible counter and, on success,
+/// records the achieved damage.
+fn record_outcome(
+    feasible: &LazyCounter,
+    infeasible: &LazyCounter,
+    damage: &LazyHistogram,
+    outcome: &AttackOutcome,
+) {
+    match outcome.success() {
+        Some(s) => {
+            feasible.inc();
+            damage.record(s.damage);
+        }
+        None => infeasible.inc(),
+    }
+}
 
 /// Chosen-victim scapegoating (Eq. 4-7): frame exactly the given victim
 /// links while every attacker-controlled link stays normal-looking, and
@@ -59,7 +87,14 @@ pub fn chosen_victim(
         }
     }
     let prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
-    solve_chosen_victim(&prob, attackers, victims)
+    let outcome = solve_chosen_victim(&prob, attackers, victims)?;
+    record_outcome(
+        &CHOSEN_FEASIBLE,
+        &CHOSEN_INFEASIBLE,
+        &CHOSEN_DAMAGE,
+        &outcome,
+    );
+    Ok(outcome)
 }
 
 /// Inner chosen-victim solve reusing an existing LP factory (avoids
@@ -119,7 +154,14 @@ pub fn chosen_victim_exclusive(
             }
         })
         .collect();
-    prob.solve(&goals, victims)
+    let outcome = prob.solve(&goals, victims)?;
+    record_outcome(
+        &CHOSEN_FEASIBLE,
+        &CHOSEN_INFEASIBLE,
+        &CHOSEN_DAMAGE,
+        &outcome,
+    );
+    Ok(outcome)
 }
 
 /// Maximum-damage scapegoating (Eq. 8): search all single-link victim
@@ -185,7 +227,14 @@ pub fn max_damage(
             }
         }
     }
-    Ok(best.unwrap_or(AttackOutcome::Infeasible))
+    let outcome = best.unwrap_or(AttackOutcome::Infeasible);
+    record_outcome(
+        &MAXDMG_FEASIBLE,
+        &MAXDMG_INFEASIBLE,
+        &MAXDMG_DAMAGE,
+        &outcome,
+    );
+    Ok(outcome)
 }
 
 /// Minimum-effort scapegoating: the dual of [`chosen_victim`] — satisfy
@@ -305,6 +354,23 @@ pub fn frame_node(
 ///
 /// Propagates construction errors.
 pub fn obfuscation(
+    system: &TomographySystem,
+    attackers: &AttackerSet,
+    scenario: &AttackScenario,
+    true_metrics: &Vector,
+    min_victims: usize,
+) -> Result<AttackOutcome, AttackError> {
+    let outcome = obfuscation_inner(system, attackers, scenario, true_metrics, min_victims)?;
+    record_outcome(
+        &OBFUSC_FEASIBLE,
+        &OBFUSC_INFEASIBLE,
+        &OBFUSC_DAMAGE,
+        &outcome,
+    );
+    Ok(outcome)
+}
+
+fn obfuscation_inner(
     system: &TomographySystem,
     attackers: &AttackerSet,
     scenario: &AttackScenario,

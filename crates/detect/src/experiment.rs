@@ -157,6 +157,7 @@ pub fn run_detection_experiment<R: Rng + ?Sized>(
     config: &DetectionConfig,
     rng: &mut R,
 ) -> Result<DetectionReport, AttackError> {
+    let _span = tomo_obs::span("detect.experiment");
     let mut report = DetectionReport::default();
     let nodes: Vec<NodeId> = system.graph().nodes().collect();
 

@@ -55,6 +55,7 @@ impl ResidualSamples {
     /// Evaluates a whole sweep of thresholds.
     #[must_use]
     pub fn sweep(&self, alphas: &[f64]) -> Vec<RocPoint> {
+        let _span = tomo_obs::span("detect.roc.sweep");
         alphas.iter().map(|&a| self.operating_point(a)).collect()
     }
 }
@@ -85,6 +86,7 @@ pub fn collect_residuals<R: Rng + ?Sized>(
 ) -> Result<ResidualSamples, AttackError> {
     use rand::seq::SliceRandom;
 
+    let _span = tomo_obs::span("detect.roc.collect");
     let zero_detector = ConsistencyDetector::new(0.0).expect("0 is valid");
     let mut samples = ResidualSamples::default();
     let nodes: Vec<_> = system.graph().nodes().collect();

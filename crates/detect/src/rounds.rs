@@ -13,8 +13,11 @@ use serde::{Deserialize, Serialize};
 use tomo_core::delay::GaussianNoise;
 use tomo_core::{CoreError, TomographySystem};
 use tomo_linalg::Vector;
+use tomo_obs::LazyCounter;
 
 use crate::ConsistencyDetector;
+
+static ROUNDS_TOTAL: LazyCounter = LazyCounter::new("detect.rounds.total");
 
 /// Outcome of a measurement campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,6 +66,8 @@ pub fn run_campaign<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<CampaignOutcome, CoreError> {
     assert!(rounds > 0, "campaign needs at least one round");
+    let _span = tomo_obs::span("detect.campaign");
+    ROUNDS_TOTAL.add(rounds as u64);
     if let Some(m) = manipulation {
         if m.len() != system.num_paths() {
             return Err(CoreError::DimensionMismatch {

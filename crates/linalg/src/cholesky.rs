@@ -5,6 +5,9 @@
 //! selection guarantees; Cholesky is then the cheapest stable solver.
 
 use crate::{LinalgError, Matrix, Vector};
+use tomo_obs::LazyHistogram;
+
+static FACTOR_SECONDS: LazyHistogram = LazyHistogram::new("linalg.cholesky.factor_seconds");
 
 /// A Cholesky factorization `A = L Lᵀ` of an SPD matrix.
 ///
@@ -41,6 +44,7 @@ impl Cholesky {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { dims: a.shape() });
         }
+        let start = std::time::Instant::now();
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         let tol = 1e-12 * (1.0 + a.max_abs());
@@ -62,6 +66,7 @@ impl Cholesky {
                 l[(i, j)] = v / ljj;
             }
         }
+        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Ok(Cholesky { l })
     }
 

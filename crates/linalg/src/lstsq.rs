@@ -11,6 +11,9 @@
 use crate::cholesky::Cholesky;
 use crate::qr::Qr;
 use crate::{LinalgError, Matrix, Vector};
+use tomo_obs::LazyHistogram;
+
+static SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lstsq.solve_seconds");
 
 /// Solves `min ‖A x − b‖₂` via Householder QR.
 ///
@@ -32,7 +35,10 @@ use crate::{LinalgError, Matrix, Vector};
 /// # }
 /// ```
 pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
-    Qr::new(a).solve_lstsq(b)
+    let start = std::time::Instant::now();
+    let x = Qr::new(a).solve_lstsq(b);
+    SOLVE_SECONDS.record(start.elapsed().as_secs_f64());
+    x
 }
 
 /// Solves `min ‖A x − b‖₂` via the normal equations `(AᵀA) x = Aᵀ b`,
@@ -44,8 +50,11 @@ pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
 /// * [`LinalgError::NotPositiveDefinite`] if `A` lacks full column rank
 ///   (the Gram matrix is then singular).
 pub fn solve_normal_equations(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
+    let start = std::time::Instant::now();
     let atb = a.mul_transpose_vec(b)?;
-    Cholesky::new(&a.gram())?.solve(&atb)
+    let x = Cholesky::new(&a.gram())?.solve(&atb);
+    SOLVE_SECONDS.record(start.elapsed().as_secs_f64());
+    x
 }
 
 /// A reusable least-squares solver that factorizes `A` once and then solves

@@ -5,6 +5,9 @@
 //! and for computing inverses/determinants in tests and diagnostics.
 
 use crate::{LinalgError, Matrix, Vector, DEFAULT_TOL};
+use tomo_obs::LazyHistogram;
+
+static FACTOR_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lu.factor_seconds");
 
 /// An LU factorization `P A = L U` of a square matrix with partial pivoting.
 ///
@@ -41,6 +44,7 @@ impl Lu {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { dims: a.shape() });
         }
+        let start = std::time::Instant::now();
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -79,6 +83,7 @@ impl Lu {
                 }
             }
         }
+        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Ok(Lu { lu, perm, swaps })
     }
 

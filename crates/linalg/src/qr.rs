@@ -5,6 +5,9 @@
 //! rank-revealing tool behind identifiability checks on routing matrices.
 
 use crate::{LinalgError, Matrix, Vector, DEFAULT_TOL};
+use tomo_obs::LazyHistogram;
+
+static FACTOR_SECONDS: LazyHistogram = LazyHistogram::new("linalg.qr.factor_seconds");
 
 /// A Householder QR factorization `A = Q R` with `A` of size `m × n`,
 /// `m ≥ n` not required (wide matrices factor too, but least squares
@@ -24,6 +27,7 @@ impl Qr {
     /// Factorizes `a` using Householder reflections.
     #[must_use]
     pub fn new(a: &Matrix) -> Self {
+        let start = std::time::Instant::now();
         let (m, n) = a.shape();
         let mut packed = a.clone();
         let steps = m.min(n);
@@ -80,6 +84,7 @@ impl Qr {
                 betas[k] = beta * v0 * v0;
             }
         }
+        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Qr { packed, betas }
     }
 

@@ -6,9 +6,20 @@
 //! reduced cost) with an automatic switch to Bland's rule after a fixed
 //! number of iterations, which guarantees termination under degeneracy.
 
+use tomo_obs::{LazyCounter, LazyHistogram};
+
 use crate::model::{LpProblem, Objective, Relation};
 use crate::solution::{LpSolution, LpStatus};
 use crate::{LpError, LP_TOL};
+
+static SOLVES: LazyCounter = LazyCounter::new("lp.simplex.solves");
+static PIVOTS: LazyCounter = LazyCounter::new("lp.simplex.pivots");
+static ITERATIONS: LazyCounter = LazyCounter::new("lp.simplex.iterations");
+static OPTIMAL: LazyCounter = LazyCounter::new("lp.simplex.optimal");
+static INFEASIBLE: LazyCounter = LazyCounter::new("lp.simplex.infeasible");
+static UNBOUNDED: LazyCounter = LazyCounter::new("lp.simplex.unbounded");
+static PHASE1_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase1_seconds");
+static PHASE2_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase2_seconds");
 
 /// Hard safety bound on simplex iterations per phase.
 const MAX_ITER_BASE: usize = 20_000;
@@ -33,6 +44,7 @@ impl Tableau {
 
     /// One pivot: column `col` enters, row `row`'s basic variable leaves.
     fn pivot(&mut self, row: usize, col: usize) {
+        PIVOTS.inc();
         let pivot = self.t[row][col];
         debug_assert!(pivot.abs() > LP_TOL, "pivot too small: {pivot}");
         let inv = 1.0 / pivot;
@@ -105,6 +117,7 @@ impl Tableau {
     fn optimize(&mut self) -> Result<bool, LpError> {
         let limit = MAX_ITER_BASE + 100 * (self.m + self.ncols);
         for iter in 0..limit {
+            ITERATIONS.inc();
             let Some(col) = self.entering(iter) else {
                 return Ok(true); // optimal
             };
@@ -137,6 +150,7 @@ impl Tableau {
 
 /// Solves the model; see [`LpProblem::solve`].
 pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    SOLVES.inc();
     let n_struct = problem.variables.len();
 
     // Assemble rows in (dense coeffs, relation, rhs) form over the shifted
@@ -238,6 +252,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
     // Phase 1: minimize the sum of artificials.
     if !artificial_cols.is_empty() {
+        let phase1_start = std::time::Instant::now();
         let mut phase1_costs = vec![0.0; ncols];
         for &j in &artificial_cols {
             phase1_costs[j] = 1.0;
@@ -248,6 +263,12 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         // Objective value = −cost-row rhs.
         let phase1_obj = -tab.t[tab.m][ncols];
         if phase1_obj > LP_TOL * (1.0 + phase1_obj.abs()) {
+            PHASE1_SECONDS.record(phase1_start.elapsed().as_secs_f64());
+            INFEASIBLE.inc();
+            tomo_obs::debug!(
+                "lp.simplex",
+                "infeasible: phase-1 objective {phase1_obj:.3e}"
+            );
             return Ok(LpSolution::new(
                 LpStatus::Infeasible,
                 0.0,
@@ -268,6 +289,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         for &j in &artificial_cols {
             tab.banned[j] = true;
         }
+        PHASE1_SECONDS.record(phase1_start.elapsed().as_secs_f64());
     }
 
     // Phase 2: real objective (converted to minimization over x').
@@ -279,9 +301,13 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     for (j, v) in problem.variables.iter().enumerate() {
         phase2_costs[j] = sign * v.objective;
     }
+    let phase2_start = std::time::Instant::now();
     tab.install_costs(&phase2_costs);
     let optimal = tab.optimize()?;
+    PHASE2_SECONDS.record(phase2_start.elapsed().as_secs_f64());
     if !optimal {
+        UNBOUNDED.inc();
+        tomo_obs::warn!("lp.simplex", "unbounded objective");
         return Ok(LpSolution::new(
             LpStatus::Unbounded,
             0.0,
@@ -307,6 +333,8 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         .map(|(j, v)| v.objective * values[j])
         .sum();
 
+    OPTIMAL.inc();
+    tomo_obs::debug!("lp.simplex", "optimal: objective {objective:.6e}");
     Ok(LpSolution::new(LpStatus::Optimal, objective, values))
 }
 

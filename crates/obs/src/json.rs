@@ -1,0 +1,64 @@
+//! Minimal JSON rendering for metrics snapshots.
+//!
+//! The observability layer must not depend on the rest of the workspace
+//! (everything else depends on *it*), so snapshots are rendered with this
+//! tiny writer instead of `serde_json`. Output is a strict subset of
+//! JSON: objects with string keys, `u64`/`f64` numbers, and strings.
+
+use std::fmt::Write as _;
+
+/// Escapes a string into a JSON string literal (including the quotes).
+pub(crate) fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` so it parses back exactly (shortest roundtrip form);
+/// non-finite values become `null`, which JSON cannot represent.
+pub(crate) fn float(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_roundtrip_and_mark_integrals() {
+        assert_eq!(float(1.0), "1.0");
+        assert_eq!(float(0.1), "0.1");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+        let third = 1.0 / 3.0;
+        assert_eq!(float(third).parse::<f64>().unwrap(), third);
+    }
+}

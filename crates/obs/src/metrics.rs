@@ -1,0 +1,505 @@
+//! Counters, gauges, and log-scale histograms.
+//!
+//! All instruments are lock-free on the hot path: a [`Counter`] is one
+//! relaxed atomic add, a [`Gauge`] one atomic store, and a
+//! [`Histogram::record`] a handful of relaxed atomic operations. Name
+//! resolution through the global registry happens once per call site via
+//! the `Lazy*` handles, never per update.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A monotonically increasing `u64` counter.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a standalone (unregistered) counter; named counters come
+    /// from [`crate::counter`].
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins `f64` gauge.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a standalone (unregistered) gauge; named gauges come from
+    /// [`crate::gauge`].
+    #[must_use]
+    pub const fn new() -> Self {
+        // 0u64 is the bit pattern of 0.0f64.
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Binary exponent of bucket 0's upper edge minus one: bucket `i` covers
+/// `[2^(i + MIN_EXP), 2^(i + MIN_EXP + 1))`.
+const MIN_EXP: i32 = -32;
+
+/// Percentile summary of a histogram, as captured in snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// A log-scale histogram of non-negative `f64` values.
+///
+/// Values land in one of [`HISTOGRAM_BUCKETS`] power-of-two buckets:
+/// bucket `i` covers `[2^(i-32), 2^(i-31))`, with bucket 0 additionally
+/// absorbing everything below `2^-32` (including zero and negatives) and
+/// the last bucket everything at or above `2^31`. Percentile queries
+/// return the geometric midpoint of the target bucket, clamped to the
+/// exact observed `[min, max]` range, so single-bucket distributions
+/// report exact percentiles.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a standalone (unregistered) histogram; named histograms
+    /// come from [`crate::histogram`].
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// The bucket a value lands in.
+    #[must_use]
+    pub fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            // Zero, negatives, and NaN all collapse into bucket 0.
+            return 0;
+        }
+        let biased = ((value.to_bits() >> 52) & 0x7ff) as i32;
+        if biased == 0x7ff {
+            return HISTOGRAM_BUCKETS - 1; // +inf
+        }
+        // Subnormals (biased == 0) sit far below 2^MIN_EXP: bucket 0.
+        let exp = biased - 1023;
+        (exp - MIN_EXP).clamp(0, HISTOGRAM_BUCKETS as i32 - 1) as usize
+    }
+
+    /// The `[lower, upper)` value range of a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket {index} out of range");
+        let lo = 2.0f64.powi(index as i32 + MIN_EXP);
+        (lo, lo * 2.0)
+    }
+
+    /// Records one value. NaN is ignored.
+    pub fn record(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fetch_update_f64(&self.sum_bits, |s| s + value);
+        fetch_update_f64(&self.min_bits, |m| m.min(value));
+        fetch_update_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+                let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+                // Clamp the geometric midpoint into the bucket's range
+                // intersected with the observed [min, max]; when that
+                // intersection is empty (out-of-range values pooled into
+                // an edge bucket) fall back to the observed range.
+                let (mut lower, mut upper) = (lo.max(min), hi.min(max));
+                if lower > upper {
+                    (lower, upper) = (min, max);
+                }
+                return Some((lo * hi).sqrt().clamp(lower, upper));
+            }
+        }
+        None // unreachable: cumulative == count by construction
+    }
+
+    /// Full percentile summary (zeros when empty).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        if count == 0 {
+            return HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        HistogramSummary {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            p50: self.percentile(0.50).unwrap_or(0.0),
+            p90: self.percentile(0.90).unwrap_or(0.0),
+            p99: self.percentile(0.99).unwrap_or(0.0),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Compare-and-swap update of an `f64` stored as bits in an `AtomicU64`.
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A call-site handle to a named [`Counter`]: registry lookup happens on
+/// first use, every later update is a single atomic add.
+///
+/// ```
+/// static PIVOTS: tomo_obs::LazyCounter = tomo_obs::LazyCounter::new("doc.example.pivots");
+/// PIVOTS.inc();
+/// assert_eq!(PIVOTS.get(), 1);
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Creates the handle (const, so it can be a `static`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &'static Counter {
+        self.cell.get_or_init(|| crate::counter(self.name))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.handle().inc();
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.handle().add(n);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
+/// A call-site handle to a named [`Gauge`]; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Creates the handle (const, so it can be a `static`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| crate::gauge(self.name))
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: f64) {
+        self.handle().set(v);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.handle().get()
+    }
+}
+
+/// A call-site handle to a named [`Histogram`]; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Creates the handle (const, so it can be a `static`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &'static Histogram {
+        self.cell.get_or_init(|| crate::histogram(self.name))
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: f64) {
+        self.handle().record(v);
+    }
+
+    /// Full percentile summary.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        self.handle().summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Exactly 1.0 = 2^0 opens the bucket whose bounds are [1, 2).
+        let i = Histogram::bucket_index(1.0);
+        assert_eq!(Histogram::bucket_bounds(i), (1.0, 2.0));
+        assert_eq!(Histogram::bucket_index(1.999_999), i);
+        assert_eq!(Histogram::bucket_index(2.0), i + 1);
+        // Just below a power of two stays in the lower bucket.
+        assert_eq!(Histogram::bucket_index(0.999_999), i - 1);
+        // Zero, negatives, NaN collapse to bucket 0; +inf to the last.
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(
+            Histogram::bucket_index(f64::INFINITY),
+            HISTOGRAM_BUCKETS - 1
+        );
+        // Every interior bucket's lower bound maps back to that bucket.
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_index(lo), b, "lower bound of {b}");
+            assert_eq!(Histogram::bucket_index(hi), b + 1, "upper bound of {b}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_percentiles_are_exact() {
+        let h = Histogram::new();
+        for _ in 0..8 {
+            h.record(1.5);
+        }
+        // All mass in [1, 2); clamping to [min, max] = [1.5, 1.5] makes
+        // every percentile exact.
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 1.5);
+        assert_eq!(s.max, 1.5);
+        assert_eq!(s.p50, 1.5);
+        assert_eq!(s.p90, 1.5);
+        assert_eq!(s.p99, 1.5);
+        assert!((s.sum - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cluster_percentiles_pick_the_right_bucket() {
+        let h = Histogram::new();
+        // 90 small values, 10 large ones: p50 must sit with the small
+        // cluster, p99 with the large one.
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((1.0..2.0).contains(&p50), "p50 {p50}");
+        assert!((512.0..=1000.0).contains(&p99), "p99 {p99}");
+        // p90 is the boundary: the 90th of 100 values is still small.
+        let p90 = h.percentile(0.90).unwrap();
+        assert!((1.0..2.0).contains(&p90), "p90 {p90}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p50, 0.0);
+    }
+
+    #[test]
+    fn percentiles_clamp_into_observed_range() {
+        let h = Histogram::new();
+        // One value near the top of its bucket: the geometric midpoint
+        // would undershoot, clamping pulls it back to the observed value.
+        h.record(1.9);
+        assert_eq!(h.percentile(0.5), Some(1.9));
+        assert_eq!(h.percentile(1.0), Some(1.9));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(3.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        h.record(5.0);
+        assert_eq!(h.percentile(0.5), Some(5.0));
+    }
+}

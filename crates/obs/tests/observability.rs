@@ -1,0 +1,160 @@
+//! Integration tests for the observability layer: histogram buckets and
+//! percentiles (including a property-based ordering check), span nesting
+//! and timing, and counter increments under thread contention.
+
+use proptest::prelude::*;
+
+use tomo_obs::{Histogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn bucket_index_and_bounds_are_inverse() {
+    for b in 1..HISTOGRAM_BUCKETS - 1 {
+        let (lo, hi) = Histogram::bucket_bounds(b);
+        assert!(lo < hi);
+        assert_eq!(Histogram::bucket_index(lo), b);
+        // Just below the upper edge stays inside the bucket.
+        assert_eq!(Histogram::bucket_index(hi * (1.0 - 1e-12)), b);
+        assert_eq!(Histogram::bucket_index(hi), b + 1);
+    }
+}
+
+#[test]
+fn exact_percentiles_on_known_distributions() {
+    let h = tomo_obs::histogram("test.exact.percentiles");
+    // 99 values of 4.0 and a single outlier at 4096.0.
+    for _ in 0..99 {
+        h.record(4.0);
+    }
+    h.record(4096.0);
+    // p50/p90/p99 land in the [4, 8) bucket of the bulk values; the
+    // estimate is bucket-accurate (within a factor of 2), and p100 is
+    // pinned exactly to the observed maximum by the range clamp.
+    for q in [0.50, 0.90, 0.99] {
+        let p = h.percentile(q).unwrap();
+        assert!((4.0..8.0).contains(&p), "q {q}: {p}");
+    }
+    assert_eq!(h.percentile(1.0), Some(4096.0));
+    let s = h.summary();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.min, 4.0);
+    assert_eq!(s.max, 4096.0);
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_ordered(values in proptest::collection::vec(1e-6f64..1e6, 1..60)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.min <= s.p50 + 1e-12, "min {} p50 {}", s.min, s.p50);
+        prop_assert!(s.p50 <= s.p90 + 1e-12, "p50 {} p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99 + 1e-12, "p90 {} p99 {}", s.p90, s.p99);
+        prop_assert!(s.p99 <= s.max + 1e-12, "p99 {} max {}", s.p99, s.max);
+        prop_assert!((s.min - lo).abs() < 1e-12);
+        prop_assert!((s.max - hi).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn spans_nest_into_slash_paths() {
+    {
+        let _outer = tomo_obs::span("test.outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = tomo_obs::span("test.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let snap = tomo_obs::snapshot();
+    let outer = snap.span("test.outer").expect("outer recorded");
+    let inner = snap.span("test.outer/test.inner").expect("inner nested");
+    assert!(
+        snap.span("test.inner").is_none(),
+        "inner must not be a root"
+    );
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 1);
+    // Timing is monotone: the enclosing span covers the inner one.
+    assert!(outer.duration_ns >= inner.duration_ns);
+    assert!(inner.duration_ns > 0);
+    assert!(outer.min_ns <= outer.max_ns);
+}
+
+#[test]
+fn sibling_spans_after_close_rejoin_the_parent() {
+    {
+        let _a = tomo_obs::span("test.parent");
+        {
+            let _b = tomo_obs::span("test.first");
+        }
+        {
+            let _c = tomo_obs::span("test.second");
+        }
+    }
+    let snap = tomo_obs::snapshot();
+    assert!(snap.span("test.parent/test.first").is_some());
+    assert!(snap.span("test.parent/test.second").is_some());
+    assert!(snap.span("test.parent/test.first/test.second").is_none());
+}
+
+#[test]
+fn repeated_spans_aggregate() {
+    for _ in 0..5 {
+        let _s = tomo_obs::span("test.repeated");
+    }
+    let snap = tomo_obs::snapshot();
+    let s = snap.span("test.repeated").unwrap();
+    assert_eq!(s.count, 5);
+    assert!(s.min_ns <= s.max_ns);
+    assert!(s.duration_ns >= s.max_ns);
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                static C: tomo_obs::LazyCounter = tomo_obs::LazyCounter::new("test.concurrent");
+                for _ in 0..PER_THREAD {
+                    C.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        tomo_obs::counter("test.concurrent").get(),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 5_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let h = tomo_obs::histogram("test.concurrent.hist");
+                for i in 0..PER_THREAD {
+                    h.record((t * PER_THREAD + i) as f64 + 1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = tomo_obs::histogram("test.concurrent.hist").summary();
+    assert_eq!(s.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, (THREADS * PER_THREAD) as f64);
+}

@@ -1,0 +1,33 @@
+//! `reset()` lives in its own test binary: it clears the process-global
+//! registry, which would race the other integration tests.
+
+#[test]
+fn reset_zeroes_values_but_keeps_handles_valid() {
+    static C: tomo_obs::LazyCounter = tomo_obs::LazyCounter::new("reset.counter");
+    static H: tomo_obs::LazyHistogram = tomo_obs::LazyHistogram::new("reset.hist");
+    C.add(10);
+    H.record(2.0);
+    tomo_obs::gauge("reset.gauge").set(3.0);
+    {
+        let _s = tomo_obs::span("reset.span");
+    }
+
+    tomo_obs::reset();
+
+    let snap = tomo_obs::snapshot();
+    // Counter/gauge/histogram names survive with zeroed values…
+    assert_eq!(snap.counter("reset.counter"), Some(0));
+    assert_eq!(snap.gauge("reset.gauge"), Some(0.0));
+    assert_eq!(snap.histogram("reset.hist").unwrap().count, 0);
+    // …while span paths are dropped entirely.
+    assert!(snap.span("reset.span").is_none());
+
+    // The static handles still point at live instruments.
+    C.inc();
+    H.record(4.0);
+    let snap = tomo_obs::snapshot();
+    assert_eq!(snap.counter("reset.counter"), Some(1));
+    let h = snap.histogram("reset.hist").unwrap();
+    assert_eq!(h.count, 1);
+    assert_eq!(h.p50, 4.0);
+}

@@ -79,6 +79,7 @@ impl StealthTaxResult {
 ///
 /// Returns [`SimError`] on substrate failure.
 pub fn run_stealth_tax(seed: u64, target_samples: usize) -> Result<StealthTaxResult, SimError> {
+    let _span = tomo_obs::span("sim.stealth-tax");
     let system = build_system(NetworkKind::Wireline, seed)?;
     let delay_model = params::default_delay_model();
     let plain = AttackScenario::paper_defaults();

@@ -91,6 +91,7 @@ pub fn run_defense(
     trials: usize,
     placement_trials: usize,
 ) -> Result<DefenseResult, SimError> {
+    let _span = tomo_obs::span("sim.defense");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = isp::generate(&isp::IspConfig::default(), &mut rng)?;
     let cfg = PlacementConfig::default();

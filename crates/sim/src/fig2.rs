@@ -49,6 +49,7 @@ pub struct Fig2Result {
 ///
 /// Returns [`SimError`] if any attack is unexpectedly infeasible.
 pub fn run(seed: u64) -> Result<Fig2Result, SimError> {
+    let _span = tomo_obs::span("sim.fig2");
     let system = fig1::fig1_system()?;
     let topo = fig1::fig1_topology();
     let attackers = AttackerSet::new(&system, topo.attackers.clone())?;

@@ -45,6 +45,7 @@ pub struct Fig4Result {
 /// Returns [`SimError`] if the attack is unexpectedly infeasible or any
 /// substrate fails.
 pub fn run(seed: u64) -> Result<Fig4Result, SimError> {
+    let _span = tomo_obs::span("sim.fig4");
     let system = fig1::fig1_system()?;
     let topo = fig1::fig1_topology();
     let attackers = AttackerSet::new(&system, topo.attackers.clone())?;

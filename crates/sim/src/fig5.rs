@@ -44,6 +44,7 @@ pub struct Fig5Result {
 ///
 /// Returns [`SimError`] if the attack is unexpectedly infeasible.
 pub fn run(seed: u64) -> Result<Fig5Result, SimError> {
+    let _span = tomo_obs::span("sim.fig5");
     let system = fig1::fig1_system()?;
     let topo = fig1::fig1_topology();
     let attackers = AttackerSet::new(&system, topo.attackers.clone())?;

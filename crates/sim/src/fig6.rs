@@ -43,6 +43,7 @@ pub struct Fig6Result {
 ///
 /// Returns [`SimError`] if the attack is unexpectedly infeasible.
 pub fn run(seed: u64) -> Result<Fig6Result, SimError> {
+    let _span = tomo_obs::span("sim.fig6");
     let system = fig1::fig1_system()?;
     let topo = fig1::fig1_topology();
     let attackers = AttackerSet::new(&system, topo.attackers.clone())?;

@@ -106,6 +106,7 @@ fn run_family(
 ///
 /// Returns [`SimError`] on substrate failure.
 pub fn run(seed: u64, config: &Fig7Config) -> Result<Fig7Result, SimError> {
+    let _span = tomo_obs::span("sim.fig7");
     Ok(Fig7Result {
         seed,
         config: *config,

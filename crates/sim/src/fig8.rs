@@ -124,6 +124,7 @@ fn run_family(
 ///
 /// Returns [`SimError`] on substrate failure.
 pub fn run(seed: u64, config: &Fig8Config) -> Result<Fig8Result, SimError> {
+    let _span = tomo_obs::span("sim.fig8");
     Ok(Fig8Result {
         seed,
         config: *config,

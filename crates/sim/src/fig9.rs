@@ -83,6 +83,7 @@ pub struct Fig9Result {
 ///
 /// Returns [`SimError`] on substrate failure.
 pub fn run(seed: u64, config: &Fig9Config) -> Result<Fig9Result, SimError> {
+    let _span = tomo_obs::span("sim.fig9");
     let system: TomographySystem = match config.network {
         Fig9Network::Fig1 => fig1::fig1_system()?,
         Fig9Network::Wireline => {

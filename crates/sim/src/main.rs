@@ -1,12 +1,15 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--metrics FILE] [--verbose]
 //! tomo-sim list
 //! ```
 //!
 //! Every run prints the figure's table/series to stdout; with `--out DIR`
-//! it also writes a JSON artifact per figure.
+//! it also writes a JSON artifact per figure. `--metrics FILE` writes a
+//! JSON snapshot of all `tomo-obs` counters/histograms/span timings after
+//! the run; `--verbose` prints nested span timings and a metrics summary
+//! to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,27 +18,39 @@ use tomo_sim::{
     ablation, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report, SimError,
 };
 
+#[derive(Debug, PartialEq)]
 struct Args {
     command: String,
     target: String,
     seed: u64,
     out: Option<PathBuf>,
     quick: bool,
+    metrics: Option<PathBuf>,
+    verbose: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_args_from(&argv)
+}
+
+fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     if argv.is_empty() {
         return Err(usage());
     }
     let command = argv[0].clone();
     if command == "list" {
+        if let Some(extra) = argv.get(1) {
+            return Err(format!("unexpected argument {extra:?}\n{}", usage()));
+        }
         return Ok(Args {
             command,
             target: String::new(),
             seed: 42,
             out: None,
             quick: false,
+            metrics: None,
+            verbose: false,
         });
     }
     if command != "run" {
@@ -45,9 +60,14 @@ fn parse_args() -> Result<Args, String> {
         .get(1)
         .cloned()
         .ok_or_else(|| format!("missing figure name\n{}", usage()))?;
+    if target.starts_with('-') {
+        return Err(format!("missing figure name\n{}", usage()));
+    }
     let mut seed = 42u64;
     let mut out = None;
     let mut quick = false;
+    let mut metrics = None;
+    let mut verbose = false;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -61,8 +81,17 @@ fn parse_args() -> Result<Args, String> {
                 out = Some(PathBuf::from(v));
                 i += 2;
             }
+            "--metrics" => {
+                let v = argv.get(i + 1).ok_or("--metrics needs a value")?;
+                metrics = Some(PathBuf::from(v));
+                i += 2;
+            }
             "--quick" => {
                 quick = true;
+                i += 1;
+            }
+            "--verbose" => {
+                verbose = true;
                 i += 1;
             }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
@@ -74,11 +103,13 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out,
         quick,
+        metrics,
+        verbose,
     })
 }
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick]\n  tomo-sim list".to_string()
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--metrics FILE] [--verbose]\n  tomo-sim list".to_string()
 }
 
 fn fig7_config(quick: bool) -> fig7::Fig7Config {
@@ -213,6 +244,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    tomo_obs::set_verbose(args.verbose);
     if args.command == "list" {
         println!(
             "fig2  strategy portraits on the Fig. 1 network\n\
@@ -236,11 +268,112 @@ fn main() -> ExitCode {
         vec![args.target.as_str()]
     };
     for f in figures {
+        tomo_obs::info!("tomo-sim", "running {f} (seed {})", args.seed);
         if let Err(e) = run_one(f, &args) {
             eprintln!("{f}: {e}");
             return ExitCode::FAILURE;
         }
         println!();
     }
+    let snap = tomo_obs::snapshot();
+    if args.verbose {
+        eprint!("{}", report::metrics_summary(&snap));
+    }
+    if let Some(path) = &args.metrics {
+        if let Err(e) = snap.write_json(path) {
+            eprintln!("metrics: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {}", path.display());
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_an_error() {
+        assert!(parse_args_from(&[]).is_err());
+    }
+
+    #[test]
+    fn list_parses_without_arguments() {
+        let a = parse_args_from(&argv(&["list"])).unwrap();
+        assert_eq!(a.command, "list");
+    }
+
+    #[test]
+    fn list_rejects_trailing_arguments() {
+        let err = parse_args_from(&argv(&["list", "fig4"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        assert!(parse_args_from(&argv(&["list", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = parse_args_from(&argv(&["bench"])).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn run_requires_a_figure_name() {
+        assert!(parse_args_from(&argv(&["run"])).is_err());
+        // A flag is not a figure name.
+        assert!(parse_args_from(&argv(&["run", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn run_defaults() {
+        let a = parse_args_from(&argv(&["run", "fig4"])).unwrap();
+        assert_eq!(a.target, "fig4");
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.out, None);
+        assert!(!a.quick);
+        assert_eq!(a.metrics, None);
+        assert!(!a.verbose);
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let a = parse_args_from(&argv(&[
+            "run",
+            "fig7",
+            "--seed",
+            "7",
+            "--out",
+            "art",
+            "--quick",
+            "--metrics",
+            "m.json",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, Some(PathBuf::from("art")));
+        assert!(a.quick);
+        assert_eq!(a.metrics, Some(PathBuf::from("m.json")));
+        assert!(a.verbose);
+    }
+
+    #[test]
+    fn run_rejects_unknown_flags() {
+        let err = parse_args_from(&argv(&["run", "fig4", "--fast"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        // Trailing positional arguments are unknown flags too.
+        assert!(parse_args_from(&argv(&["run", "fig4", "fig5"])).is_err());
+    }
+
+    #[test]
+    fn value_flags_require_values() {
+        assert!(parse_args_from(&argv(&["run", "fig4", "--seed"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--out"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--metrics"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--seed", "NaN"])).is_err());
+    }
 }

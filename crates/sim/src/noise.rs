@@ -62,6 +62,7 @@ pub fn run_noise_sweep(
     trials: usize,
     rounds: usize,
 ) -> Result<NoiseSweepResult, SimError> {
+    let _span = tomo_obs::span("sim.noise");
     let system = fig1::fig1_system()?;
     let detector = ConsistencyDetector::paper_default();
     let delay_model = params::default_delay_model();

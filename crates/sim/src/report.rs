@@ -51,6 +51,63 @@ pub fn bar_series(title: &str, labels: &[String], values: &[f64], unit: &str) ->
     out
 }
 
+/// Renders a metrics snapshot as aligned two-column tables, one section
+/// per instrument kind; empty sections are omitted entirely.
+#[must_use]
+pub fn metrics_summary(snap: &tomo_obs::Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let rows: Vec<(String, String)> = snap
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), v.to_string()))
+            .collect();
+        out.push_str(&two_column_table("Counters", ("name", "count"), &rows));
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        let rows: Vec<(String, String)> = snap
+            .gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), format!("{v}")))
+            .collect();
+        out.push_str(&two_column_table("Gauges", ("name", "value"), &rows));
+        out.push('\n');
+    }
+    if !snap.histograms.is_empty() {
+        let rows: Vec<(String, String)> = snap
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    format!(
+                        "n={} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e}",
+                        h.count, h.p50, h.p90, h.p99, h.max
+                    ),
+                )
+            })
+            .collect();
+        out.push_str(&two_column_table("Histograms", ("name", "summary"), &rows));
+        out.push('\n');
+    }
+    if !snap.spans.is_empty() {
+        let rows: Vec<(String, String)> = snap
+            .spans
+            .iter()
+            .map(|(path, s)| {
+                (
+                    path.clone(),
+                    format!("n={} total={}", s.count, tomo_obs::fmt_ns(s.duration_ns)),
+                )
+            })
+            .collect();
+        out.push_str(&two_column_table("Spans", ("path", "timing"), &rows));
+        out.push('\n');
+    }
+    out
+}
+
 /// Writes a serializable result as pretty JSON to `path`.
 ///
 /// # Errors
@@ -97,6 +154,27 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn bar_series_validates_lengths() {
         let _ = bar_series("x", &["a".into()], &[1.0, 2.0], "ms");
+    }
+
+    #[test]
+    fn metrics_summary_renders_nonempty_sections_only() {
+        let empty = tomo_obs::Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            spans: vec![],
+        };
+        assert_eq!(metrics_summary(&empty), "");
+
+        tomo_obs::counter("report.test.counter").add(3);
+        {
+            let _s = tomo_obs::span("report.test.span");
+        }
+        let s = metrics_summary(&tomo_obs::snapshot());
+        assert!(s.contains("Counters"));
+        assert!(s.contains("report.test.counter"));
+        assert!(s.contains("Spans"));
+        assert!(s.contains("report.test.span"));
     }
 
     #[test]

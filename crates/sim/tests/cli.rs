@@ -60,6 +60,77 @@ fn quick_flag_runs_fig9() {
 }
 
 #[test]
+fn metrics_snapshot_captures_solver_and_figure_activity() {
+    let dir = std::env::temp_dir().join("tomo_sim_metrics_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics = dir.join("metrics.json");
+    let out = tomo_sim()
+        .args([
+            "run",
+            "fig4",
+            "--quick",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--verbose",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // --verbose prints span timings to stderr.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("[span] sim.fig4"), "stderr:\n{stderr}");
+
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).expect("snapshot written"))
+            .expect("snapshot is valid JSON");
+    // The simplex ran: nonzero pivot counter.
+    let pivots = json
+        .get("counters")
+        .and_then(|c| c.get("lp.simplex.pivots"))
+        .and_then(serde_json::Value::as_u64)
+        .expect("lp.simplex.pivots present");
+    assert!(pivots > 0, "expected nonzero pivots, got {pivots}");
+    // The figure span recorded a positive wall-clock duration.
+    let duration = json
+        .get("spans")
+        .and_then(|s| s.get("sim.fig4"))
+        .and_then(|s| s.get("duration_ns"))
+        .and_then(serde_json::Value::as_u64)
+        .expect("sim.fig4 span present");
+    assert!(duration > 0, "expected positive fig4 duration");
+    // At least one histogram carries percentile summaries.
+    let histograms = json
+        .get("histograms")
+        .and_then(serde_json::Value::as_object)
+        .expect("histograms object");
+    assert!(!histograms.is_empty(), "expected at least one histogram");
+    for (_, h) in histograms {
+        assert!(h.get("p50").is_some() && h.get("p99").is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flags_and_trailing_arguments_are_rejected() {
+    let out = tomo_sim()
+        .args(["run", "fig4", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown flag"), "stderr:\n{stderr}");
+
+    let out = tomo_sim()
+        .args(["list", "extra"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unexpected argument"), "stderr:\n{stderr}");
+}
+
+#[test]
 fn bad_usage_fails_with_message() {
     let out = tomo_sim().arg("frobnicate").output().expect("binary runs");
     assert!(!out.status.success());

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, test, lint, format.
+#
+# Usage: scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!`/`criterion_main!` entry points,
+//! [`Criterion::bench_function`], and benchmark groups with
+//! `sample_size`. Measurement is deliberately simple: a short warm-up,
+//! then `sample_size` timed samples whose median, minimum, and maximum
+//! per-iteration times are printed. No plots, no statistics beyond
+//! that — enough to compare hot paths before and after a change.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer pass-through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARMUP: Duration = Duration::from_millis(300);
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(200);
+
+/// Benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// Group of related benchmarks; mirrors criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group namespace.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing loop handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and estimate a per-iteration cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        f(&mut b);
+        warm_iters += b.iters;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let iters_per_sample = ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{name}: median {} per iter (min {}, max {}, {} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

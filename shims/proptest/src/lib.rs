@@ -1,0 +1,492 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(...)]` header, strategies built from
+//! integer/float ranges, tuples, [`collection::vec`], and
+//! [`Strategy::prop_map`], plus the `prop_assert*` / `prop_assume!`
+//! macros. Cases are generated from a deterministic per-test seed
+//! (override with the `PROPTEST_SEED` env var); there is **no
+//! shrinking** — a failure reports the generated inputs, case number,
+//! and seed instead.
+
+use std::fmt::Debug;
+
+pub mod collection;
+
+/// Runner configuration; the shim honors `cases` and the rejection cap.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 128,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound == 1 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let r = self.next_u64();
+            if r <= zone {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no shrinking tree: a strategy is just a
+/// deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = if let Ok(narrow) = u64::try_from(span) {
+                    u128::from(rng.below(narrow))
+                } else {
+                    // Full-width range: stitch two draws.
+                    (u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())) % span
+                };
+                ((self.start as i128) + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = ((hi as i128) - (lo as i128) + 1) as u128;
+                let offset = if let Ok(narrow) = u64::try_from(span) {
+                    u128::from(rng.below(narrow))
+                } else {
+                    (u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())) % span
+                };
+                ((lo as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        loop {
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).generate(rng) as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Drives one property test: generates cases, counts rejections, panics
+/// with full context on the first failure. Called by the [`proptest!`]
+/// macro expansion — not user code.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> TestCaseResult,
+{
+    let base_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case_idx = 0u64;
+    while accepted < config.cases {
+        case_idx += 1;
+        assert!(
+            rejected <= config.max_global_rejects,
+            "proptest {name}: too many prop_assume! rejections ({rejected})"
+        );
+        let mut rng = TestRng::new(base_seed ^ case_idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut desc = String::new();
+        match case(&mut rng, &mut desc) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest {name} failed (case {case_idx}, base seed {base_seed:#x}; \
+                 rerun with PROPTEST_SEED={base_seed})\n  inputs: {desc}\n  {msg}"
+            ),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+pub mod prelude {
+    //! The names a test file needs: traits, config, macros.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, stringify!($name), |rng, desc| {
+                    $(
+                        let value = $crate::Strategy::generate(&($strat), rng);
+                        desc.push_str(&::std::format!(
+                            "{} = {:?}; ",
+                            stringify!($pat),
+                            &value
+                        ));
+                        let $pat = value;
+                    )+
+                    (|| -> $crate::TestCaseResult { $body ::std::result::Result::Ok(()) })()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n  right: {:?}",
+            ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not failed) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3..=3i32, y in 0u64..100, z in 0.0f64..1.0) {
+            prop_assert!((-3..=3).contains(&x));
+            prop_assert!(y < 100);
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in crate::collection::vec(0..10i32, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for item in &v {
+                prop_assert!((0..10).contains(item));
+            }
+        }
+
+        #[test]
+        fn prop_map_composes(n in (1..=4i32).prop_map(f64::from)) {
+            prop_assert!((1.0..=4.0).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0..100i32) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failure_reports_inputs() {
+        crate::__proptest_impl! {
+            cfg = ProptestConfig::with_cases(3);
+            fn always_fails(x in 0..10i32) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut first = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng, _| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng, _| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

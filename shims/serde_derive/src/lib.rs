@@ -1,0 +1,339 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! crates.io is unreachable in this build environment, so there is no
+//! `syn`/`quote`: the item's token stream is parsed by hand. Supported
+//! shapes — the only ones this workspace uses — are:
+//!
+//! * structs with named fields (any visibility),
+//! * newtype (single-field tuple) structs,
+//! * enums whose variants are unit or newtype.
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Struct(Vec<String>),
+    /// Tuple struct with one field.
+    Newtype,
+    /// Enum; each variant is `(name, has_payload)`.
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses the item a derive macro receives into name + shape.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group (and the `!` of
+                // inner attributes, though items never carry those here).
+                if let Some(TokenTree::Punct(bang)) = tokens.peek() {
+                    if bang.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                tokens.next();
+            }
+            Some(TokenTree::Ident(word)) => {
+                let word = word.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip a `(crate)`-style restriction if present.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => return Err("no struct or enum found".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "generic type {name} is not supported by the serde shim"
+            ));
+        }
+        _ => {}
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected {kind} body, found {other:?}")),
+    };
+    let shape = if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Shape::Struct(parse_named_fields(body.stream())?),
+            Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(body.stream());
+                if arity != 1 {
+                    return Err(format!(
+                        "tuple struct {name} has {arity} fields; the serde shim only supports newtypes"
+                    ));
+                }
+                Shape::Newtype
+            }
+            Delimiter::Bracket | Delimiter::None => {
+                return Err(format!("unsupported struct body for {name}"));
+            }
+        }
+    } else {
+        Shape::Enum(parse_variants(body.stream())?)
+    };
+    Ok(Item { name, shape })
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field {name}, found {other:?}")),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma. Generic
+        // arguments contain no top-level commas (they sit inside `<...>`),
+        // so track angle-bracket depth.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tt in stream {
+        saw_token = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount, but `X(T,)` does not occur here.
+    count + usize::from(saw_token)
+}
+
+/// Variant list of an enum body: name plus whether it carries a payload.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    if count_top_level_fields(g.stream()) != 1 {
+                        return Err(format!(
+                            "variant {name} has multiple fields; the serde shim only supports newtype variants"
+                        ));
+                    }
+                    has_payload = true;
+                    tokens.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "struct variant {name} is not supported by the serde shim"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push((name, has_payload));
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(fields, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "let fields = ::serde::expect_object(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, payload) = &fields[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"expected {name} variant, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
