@@ -54,8 +54,10 @@ pub struct ManipulationProblem<'a> {
     clean_measurements: Vector,
     /// Clean estimate `x̂₀` (equals the true metrics in a noise-free run).
     baseline_estimate: Vector,
-    /// `A = (RᵀR)⁻¹Rᵀ`, links × paths.
-    estimator: Matrix,
+    /// `A = (RᵀR)⁻¹Rᵀ`, links × paths — borrowed from the system's
+    /// estimator cache (materialized once per system, shared across
+    /// trials and worker threads).
+    estimator: &'a Matrix,
 }
 
 impl<'a> ManipulationProblem<'a> {
@@ -249,12 +251,12 @@ impl<'a> ManipulationProblem<'a> {
     /// * plausibility: `x̂(m)ⱼ ≥ 0` per link (negative delay estimates
     ///   would expose the attack to a trivial sanity check).
     fn add_evasion_constraints(&self, lp: &mut LpProblem, attacked: &[usize], vars: &[VarId]) {
-        // P = R·A: the projector onto the routing matrix's column space.
+        // P = R·A: the projector onto the routing matrix's column space,
+        // cached on the system (computed once, not per LP solve).
         let projector = self
             .system
-            .routing_matrix()
-            .mul_mat(&self.estimator)
-            .expect("R (|P|×|L|) × A (|L|×|P|) conforms");
+            .projector()
+            .expect("projector exists after successful system construction");
         let num_paths = self.system.num_paths();
         for i in 0..num_paths {
             let terms: Vec<(VarId, f64)> = attacked

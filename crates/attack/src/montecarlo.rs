@@ -8,13 +8,15 @@
 //! module also bins.
 
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use tomo_core::delay::DelayModel;
 use tomo_core::TomographySystem;
 use tomo_graph::{LinkId, NodeId};
 use tomo_obs::LazyCounter;
+use tomo_par::{derive_seed, Executor};
 
 static TRIALS: LazyCounter = LazyCounter::new("attack.montecarlo.trials");
 static DEGENERATE: LazyCounter = LazyCounter::new("attack.montecarlo.degenerate");
@@ -57,9 +59,11 @@ fn sample_attackers<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = system.graph().nodes().collect();
-    nodes.shuffle(rng);
-    nodes.truncate(count.min(nodes.len()).max(1));
-    nodes
+    let count = count.min(nodes.len()).max(1);
+    // Partial Fisher–Yates: `count` swaps instead of a full shuffle —
+    // coalition sizes are tiny compared to the node count.
+    let (sampled, _) = nodes.partial_shuffle(rng, count);
+    sampled.to_vec()
 }
 
 /// Runs one chosen-victim trial: random attackers, a random
@@ -169,37 +173,45 @@ pub fn obfuscation_trial<R: Rng + ?Sized>(
 /// number of colluding nodes translate into feasibility?
 ///
 /// Runs `trials` chosen-victim trials for each coalition size in
-/// `1..=max_attackers` and returns one success probability per size.
+/// `1..=max_attackers`, fanned out across `exec`'s workers, and returns
+/// one success probability per size. Each trial draws from its own RNG
+/// stream derived from `(seed, trial_index)`, so the curve is
+/// bit-identical for every thread count.
 ///
 /// # Errors
 ///
 /// Propagates attack-construction errors.
-pub fn coalition_sweep<R: Rng + ?Sized>(
+pub fn coalition_sweep(
     system: &TomographySystem,
     scenario: &AttackScenario,
     delay_model: &DelayModel,
     max_attackers: usize,
     trials: usize,
-    rng: &mut R,
+    seed: u64,
+    exec: &Executor,
 ) -> Result<Vec<f64>, AttackError> {
-    let mut curve = Vec::with_capacity(max_attackers);
-    for k in 1..=max_attackers.max(1) {
-        let mut successes = 0usize;
-        let mut usable = 0usize;
-        for _ in 0..trials {
-            if let Some(t) = chosen_victim_trial(system, scenario, delay_model, k, rng)? {
-                usable += 1;
-                if t.success {
-                    successes += 1;
-                }
-            }
-        }
-        curve.push(if usable == 0 {
-            0.0
-        } else {
-            successes as f64 / usable as f64
-        });
+    let max_attackers = max_attackers.max(1);
+    if trials == 0 {
+        return Ok(vec![0.0; max_attackers]);
     }
+    system.warm_estimator_cache()?;
+    let records = exec.try_map(max_attackers * trials, |idx| {
+        let k = idx / trials + 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, idx as u64));
+        chosen_victim_trial(system, scenario, delay_model, k, &mut rng)
+    })?;
+    let curve = records
+        .chunks(trials)
+        .map(|chunk| {
+            let usable = chunk.iter().flatten().count();
+            let successes = chunk.iter().flatten().filter(|t| t.success).count();
+            if usable == 0 {
+                0.0
+            } else {
+                successes as f64 / usable as f64
+            }
+        })
+        .collect();
     Ok(curve)
 }
 
@@ -356,8 +368,8 @@ mod tests {
     #[test]
     fn coalition_sweep_grows_with_attackers() {
         let (system, scenario, delays) = fig1_setup();
-        let mut rng = ChaCha8Rng::seed_from_u64(10);
-        let curve = coalition_sweep(&system, &scenario, &delays, 4, 25, &mut rng).unwrap();
+        let exec = Executor::single_threaded();
+        let curve = coalition_sweep(&system, &scenario, &delays, 4, 25, 10, &exec).unwrap();
         assert_eq!(curve.len(), 4);
         assert!(curve.iter().all(|p| (0.0..=1.0).contains(p)));
         // Larger coalitions should not be dramatically worse: compare the
@@ -368,6 +380,37 @@ mod tests {
             "coalitions of 3-4 ({large}) much weaker than singletons ({})",
             curve[0]
         );
+    }
+
+    #[test]
+    fn coalition_sweep_is_thread_count_invariant() {
+        let (system, scenario, delays) = fig1_setup();
+        let seq = coalition_sweep(
+            &system,
+            &scenario,
+            &delays,
+            3,
+            8,
+            10,
+            &Executor::single_threaded(),
+        )
+        .unwrap();
+        let par =
+            coalition_sweep(&system, &scenario, &delays, 3, 8, 10, &Executor::new(4)).unwrap();
+        // Bit-identical, not approximately equal.
+        assert_eq!(seq, par);
+        // Degenerate sizes still produce a full curve.
+        let empty = coalition_sweep(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            0,
+            10,
+            &Executor::single_threaded(),
+        )
+        .unwrap();
+        assert_eq!(empty, vec![0.0, 0.0]);
     }
 
     #[test]

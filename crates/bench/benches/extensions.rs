@@ -14,6 +14,7 @@ use tomo_attack::strategy;
 use tomo_bench::BENCH_SEED;
 use tomo_core::params;
 use tomo_detect::localize::localize;
+use tomo_par::Executor;
 use tomo_sim::topologies::{build_system, NetworkKind};
 use tomo_sim::{ablation, defense};
 
@@ -30,13 +31,14 @@ fn bench_stealth_tax(c: &mut Criterion) {
 }
 
 fn bench_defense(c: &mut Criterion) {
-    let result = defense::run_defense(BENCH_SEED, 20, 6).expect("defense runs");
+    let exec = Executor::from_env();
+    let result = defense::run_defense(BENCH_SEED, 20, 6, &exec).expect("defense runs");
     println!("\n{}", defense::render_defense(&result));
 
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);
     group.bench_function("defense_4_trials", |b| {
-        b.iter(|| defense::run_defense(black_box(BENCH_SEED), 4, 3).expect("runs"));
+        b.iter(|| defense::run_defense(black_box(BENCH_SEED), 4, 3, &exec).expect("runs"));
     });
     group.finish();
 }

@@ -6,10 +6,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tomo_bench::BENCH_SEED;
+use tomo_par::Executor;
 use tomo_sim::fig7::{self, Fig7Config};
 
 fn bench_fig7(c: &mut Criterion) {
-    let result = fig7::run(BENCH_SEED, &Fig7Config::default()).expect("fig7 runs");
+    let exec = Executor::from_env();
+    let result = fig7::run(BENCH_SEED, &Fig7Config::default(), &exec).expect("fig7 runs");
     println!("\n{}", fig7::render(&result));
 
     let quick = Fig7Config {
@@ -21,7 +23,7 @@ fn bench_fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.bench_function("fig7_success_probability_quick", |b| {
-        b.iter(|| fig7::run(black_box(BENCH_SEED), &quick).expect("fig7 runs"));
+        b.iter(|| fig7::run(black_box(BENCH_SEED), &quick, &exec).expect("fig7 runs"));
     });
     group.finish();
 }

@@ -6,10 +6,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tomo_bench::BENCH_SEED;
+use tomo_par::Executor;
 use tomo_sim::fig8::{self, Fig8Config};
 
 fn bench_fig8(c: &mut Criterion) {
-    let result = fig8::run(BENCH_SEED, &Fig8Config::default()).expect("fig8 runs");
+    let exec = Executor::from_env();
+    let result = fig8::run(BENCH_SEED, &Fig8Config::default(), &exec).expect("fig8 runs");
     println!("\n{}", fig8::render(&result));
 
     let quick = Fig8Config {
@@ -20,7 +22,7 @@ fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);
     group.bench_function("fig8_single_attacker_quick", |b| {
-        b.iter(|| fig8::run(black_box(BENCH_SEED), &quick).expect("fig8 runs"));
+        b.iter(|| fig8::run(black_box(BENCH_SEED), &quick, &exec).expect("fig8 runs"));
     });
     group.finish();
 }

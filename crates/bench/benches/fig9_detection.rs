@@ -2,10 +2,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tomo_bench::BENCH_SEED;
+use tomo_par::Executor;
 use tomo_sim::fig9::{self, Fig9Config};
 
 fn bench_fig9(c: &mut Criterion) {
-    let result = fig9::run(BENCH_SEED, &Fig9Config::default()).expect("fig9 runs");
+    let exec = Executor::from_env();
+    let result = fig9::run(BENCH_SEED, &Fig9Config::default(), &exec).expect("fig9 runs");
     println!("\n{}", fig9::render(&result));
 
     let quick = Fig9Config {
@@ -15,7 +17,7 @@ fn bench_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9");
     group.sample_size(10);
     group.bench_function("fig9_detection_quick", |b| {
-        b.iter(|| fig9::run(black_box(BENCH_SEED), &quick).expect("fig9 runs"));
+        b.iter(|| fig9::run(black_box(BENCH_SEED), &quick, &exec).expect("fig9 runs"));
     });
     group.finish();
 }

@@ -1,8 +1,27 @@
+use std::sync::OnceLock;
+
 use tomo_graph::{Graph, LinkId, NodeId, Path};
 use tomo_linalg::lstsq::NormalEquationsSolver;
 use tomo_linalg::{Matrix, Vector};
+use tomo_obs::LazyCounter;
 
 use crate::{CoreError, LinkState, StateThresholds};
+
+static ESTIMATOR_HITS: LazyCounter = LazyCounter::new("core.estimator_cache.hits");
+static ESTIMATOR_BUILDS: LazyCounter = LazyCounter::new("core.estimator_cache.builds");
+
+/// Lazily materialized derived operators of a fixed measurement system.
+///
+/// The pseudo-inverse `A = (RᵀR)⁻¹Rᵀ` and the consistency projector
+/// `P = R·A` are pure functions of `R`; Monte-Carlo trials need them on
+/// every LP build, so they are computed once per system and shared by
+/// `&`-reference across worker threads ([`OnceLock`] makes a concurrent
+/// first touch safe — every thread observes the same matrix).
+#[derive(Debug, Clone, Default)]
+struct EstimatorCache {
+    pseudo_inverse: OnceLock<Matrix>,
+    projector: OnceLock<Matrix>,
+}
 
 /// A complete network-tomography measurement system: topology, monitors,
 /// measurement paths, and the (identifiable) routing matrix with its
@@ -21,6 +40,7 @@ pub struct TomographySystem {
     paths: Vec<Path>,
     routing: Matrix,
     solver: NormalEquationsSolver,
+    cache: EstimatorCache,
 }
 
 impl TomographySystem {
@@ -65,6 +85,7 @@ impl TomographySystem {
             paths,
             routing,
             solver,
+            cache: EstimatorCache::default(),
         })
     }
 
@@ -140,12 +161,56 @@ impl TomographySystem {
     /// linear response of `x̂` to measurements. The attack LPs are built
     /// directly on this matrix: `x̂(m) = x̂₀ + A m`.
     ///
+    /// Materialized on first use and cached for the system's lifetime;
+    /// later calls (from any thread) return the same `&`-reference.
+    ///
     /// # Errors
     ///
     /// Propagates linear-algebra failures (cannot occur after successful
     /// construction).
-    pub fn estimator_matrix(&self) -> Result<Matrix, CoreError> {
-        Ok(self.solver.pseudo_inverse()?)
+    pub fn estimator_matrix(&self) -> Result<&Matrix, CoreError> {
+        if let Some(a) = self.cache.pseudo_inverse.get() {
+            ESTIMATOR_HITS.inc();
+            return Ok(a);
+        }
+        let a = self.solver.pseudo_inverse()?;
+        ESTIMATOR_BUILDS.inc();
+        Ok(self.cache.pseudo_inverse.get_or_init(|| a))
+    }
+
+    /// The consistency projector `P = R·A` (|paths| × |paths|), mapping
+    /// measurements onto the model-consistent subspace; `(I − P) y` is
+    /// the residual the detector inspects, and the stealth constraints of
+    /// the attack LPs are written against it.
+    ///
+    /// Cached like [`estimator_matrix`](Self::estimator_matrix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (cannot occur after successful
+    /// construction).
+    pub fn projector(&self) -> Result<&Matrix, CoreError> {
+        if let Some(p) = self.cache.projector.get() {
+            ESTIMATOR_HITS.inc();
+            return Ok(p);
+        }
+        let p = self.routing.mul_mat(self.estimator_matrix()?)?;
+        ESTIMATOR_BUILDS.inc();
+        Ok(self.cache.projector.get_or_init(|| p))
+    }
+
+    /// Eagerly materializes the cached operators ([`estimator_matrix`]
+    /// (Self::estimator_matrix) and [`projector`](Self::projector)).
+    /// Call before fanning trials out across workers so no thread races
+    /// to build them redundantly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates linear-algebra failures (cannot occur after successful
+    /// construction).
+    pub fn warm_estimator_cache(&self) -> Result<(), CoreError> {
+        self.projector()?;
+        Ok(())
     }
 
     /// Classifies the estimate per Definition 1.
@@ -301,6 +366,26 @@ mod tests {
         let via_matrix = a.mul_vec(&y).unwrap();
         let via_solver = sys.estimate(&y).unwrap();
         assert!(via_matrix.approx_eq(&via_solver, 1e-9));
+    }
+
+    #[test]
+    fn estimator_cache_shares_one_materialization() {
+        let sys = tiny_system();
+        let a1: *const Matrix = sys.estimator_matrix().unwrap();
+        let a2: *const Matrix = sys.estimator_matrix().unwrap();
+        assert!(std::ptr::eq(a1, a2), "second call must hit the cache");
+        let p = sys.projector().unwrap();
+        assert_eq!(p.shape(), (4, 4));
+        // A projector is idempotent: P² = P.
+        let pp = p.mul_mat(p).unwrap();
+        assert!(pp.approx_eq(p, 1e-9));
+        sys.warm_estimator_cache().unwrap();
+        // Clones keep their own (already warmed) cache and still work.
+        let cloned = sys.clone();
+        assert!(cloned
+            .estimator_matrix()
+            .unwrap()
+            .approx_eq(sys.estimator_matrix().unwrap(), 0.0));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! its own Theorem 3; we implement the theorem (see DESIGN.md).
 
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use tomo_attack::attacker::AttackerSet;
@@ -26,6 +27,7 @@ use tomo_attack::{strategy, AttackError, AttackOutcome};
 use tomo_core::delay::DelayModel;
 use tomo_core::TomographySystem;
 use tomo_graph::{LinkId, NodeId};
+use tomo_par::{derive_seed, Executor};
 
 use crate::ConsistencyDetector;
 
@@ -106,6 +108,19 @@ impl DetectionReport {
             Some(self.false_alarms as f64 / self.clean_trials as f64)
         }
     }
+
+    /// Adds another report's tallies into this one (used to reduce
+    /// per-trial reports in index order).
+    fn absorb(&mut self, other: &DetectionReport) {
+        for i in 0..3 {
+            self.perfect[i].attacks += other.perfect[i].attacks;
+            self.perfect[i].detected += other.perfect[i].detected;
+            self.imperfect[i].attacks += other.imperfect[i].attacks;
+            self.imperfect[i].detected += other.imperfect[i].detected;
+        }
+        self.clean_trials += other.clean_trials;
+        self.false_alarms += other.false_alarms;
+    }
 }
 
 fn strategy_index(s: StrategyKind) -> usize {
@@ -144,87 +159,74 @@ where
     Ok((run(false)?, false))
 }
 
-/// Runs the full Fig. 9 experiment on one measurement system.
+/// Runs the full Fig. 9 experiment on one measurement system, fanning
+/// trials out across `exec`'s workers.
+///
+/// Each trial draws from its own RNG stream derived from
+/// `(seed, trial_index)` and per-trial reports are reduced in index
+/// order, so the result is bit-identical for every thread count.
 ///
 /// # Errors
 ///
 /// Propagates attack/tomography errors (infeasible attacks are not
 /// errors; they simply do not contribute to any cell).
-pub fn run_detection_experiment<R: Rng + ?Sized>(
+pub fn run_detection_experiment(
+    system: &TomographySystem,
+    detector: &ConsistencyDetector,
+    delay_model: &DelayModel,
+    config: &DetectionConfig,
+    seed: u64,
+    exec: &Executor,
+) -> Result<DetectionReport, AttackError> {
+    let _span = tomo_obs::span("detect.experiment");
+    system.warm_estimator_cache()?;
+    let per_trial = exec.try_map(config.trials, |trial| {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, trial as u64));
+        run_one_trial(system, detector, delay_model, config, &mut rng)
+    })?;
+    let mut report = DetectionReport::default();
+    for trial_report in &per_trial {
+        report.absorb(trial_report);
+    }
+    Ok(report)
+}
+
+/// One trial: fresh attackers and routine delays, a clean round for
+/// false-alarm accounting, then all three strategies.
+fn run_one_trial<R: Rng + ?Sized>(
     system: &TomographySystem,
     detector: &ConsistencyDetector,
     delay_model: &DelayModel,
     config: &DetectionConfig,
     rng: &mut R,
 ) -> Result<DetectionReport, AttackError> {
-    let _span = tomo_obs::span("detect.experiment");
     let mut report = DetectionReport::default();
-    let nodes: Vec<NodeId> = system.graph().nodes().collect();
+    let mut nodes: Vec<NodeId> = system.graph().nodes().collect();
+    let (sampled, _) = nodes.partial_shuffle(rng, config.num_attackers.max(1));
+    let attackers = AttackerSet::new(system, sampled.to_vec())?;
+    let x = delay_model.sample(system.num_links(), rng);
+    let y_clean = system.measure(&x)?;
 
-    for _ in 0..config.trials {
-        // Fresh attacker set and routine delays per trial.
-        let mut shuffled = nodes.clone();
-        shuffled.shuffle(rng);
-        shuffled.truncate(config.num_attackers.max(1));
-        let attackers = AttackerSet::new(system, shuffled)?;
-        let x = delay_model.sample(system.num_links(), rng);
-        let y_clean = system.measure(&x)?;
+    // Clean round: false-alarm accounting.
+    let clean_verdict = detector.inspect(system, &y_clean)?;
+    report.clean_trials += 1;
+    if clean_verdict.detected {
+        report.false_alarms += 1;
+    }
 
-        // Clean round: false-alarm accounting.
-        let clean_verdict = detector.inspect(system, &y_clean)?;
-        report.clean_trials += 1;
-        if clean_verdict.detected {
-            report.false_alarms += 1;
-        }
-
-        // Chosen victim: a random non-controlled link.
-        let free: Vec<LinkId> = (0..system.num_links())
-            .map(LinkId)
-            .filter(|&l| !attackers.controls_link(l))
-            .collect();
-        if let Some(&victim) = free.as_slice().choose(rng) {
-            let (outcome, _) = rational_attack(|evade| {
-                strategy::chosen_victim(
-                    system,
-                    &attackers,
-                    &config.scenario.with_evasion(evade),
-                    &x,
-                    &[victim],
-                )
-            })?;
-            tally(
-                system,
-                detector,
-                &attackers,
-                &y_clean,
-                StrategyKind::ChosenVictim,
-                &outcome,
-                &mut report,
-            )?;
-        }
-
-        // Maximum damage.
+    // Chosen victim: a random non-controlled link.
+    let free: Vec<LinkId> = (0..system.num_links())
+        .map(LinkId)
+        .filter(|&l| !attackers.controls_link(l))
+        .collect();
+    if let Some(&victim) = free.as_slice().choose(rng) {
         let (outcome, _) = rational_attack(|evade| {
-            strategy::max_damage(system, &attackers, &config.scenario.with_evasion(evade), &x)
-        })?;
-        tally(
-            system,
-            detector,
-            &attackers,
-            &y_clean,
-            StrategyKind::MaxDamage,
-            &outcome,
-            &mut report,
-        )?;
-
-        // Obfuscation.
-        let (outcome, _) = rational_attack(|evade| {
-            strategy::obfuscation(
+            strategy::chosen_victim(
                 system,
                 &attackers,
                 &config.scenario.with_evasion(evade),
                 &x,
-                config.obfuscation_min_victims,
+                &[victim],
             )
         })?;
         tally(
@@ -232,11 +234,45 @@ pub fn run_detection_experiment<R: Rng + ?Sized>(
             detector,
             &attackers,
             &y_clean,
-            StrategyKind::Obfuscation,
+            StrategyKind::ChosenVictim,
             &outcome,
             &mut report,
         )?;
     }
+
+    // Maximum damage.
+    let (outcome, _) = rational_attack(|evade| {
+        strategy::max_damage(system, &attackers, &config.scenario.with_evasion(evade), &x)
+    })?;
+    tally(
+        system,
+        detector,
+        &attackers,
+        &y_clean,
+        StrategyKind::MaxDamage,
+        &outcome,
+        &mut report,
+    )?;
+
+    // Obfuscation.
+    let (outcome, _) = rational_attack(|evade| {
+        strategy::obfuscation(
+            system,
+            &attackers,
+            &config.scenario.with_evasion(evade),
+            &x,
+            config.obfuscation_min_victims,
+        )
+    })?;
+    tally(
+        system,
+        detector,
+        &attackers,
+        &y_clean,
+        StrategyKind::Obfuscation,
+        &outcome,
+        &mut report,
+    )?;
     Ok(report)
 }
 
@@ -274,8 +310,6 @@ fn tally(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use tomo_core::{fig1, params};
 
     #[test]
@@ -288,13 +322,13 @@ mod tests {
             scenario: AttackScenario::paper_defaults(),
             obfuscation_min_victims: 2,
         };
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
         let report = run_detection_experiment(
             &system,
             &detector,
             &params::default_delay_model(),
             &config,
-            &mut rng,
+            99,
+            &Executor::single_threaded(),
         )
         .unwrap();
 

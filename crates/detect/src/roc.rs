@@ -7,7 +7,8 @@
 //! so α trades false alarms against missed (imperfect-cut) attacks. This
 //! module sweeps α and reports the operating points.
 
-use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use tomo_attack::attacker::AttackerSet;
@@ -16,6 +17,7 @@ use tomo_attack::{strategy, AttackError};
 use tomo_core::delay::{DelayModel, GaussianNoise};
 use tomo_core::TomographySystem;
 use tomo_graph::LinkId;
+use tomo_par::{derive_seed, Executor};
 
 use crate::ConsistencyDetector;
 
@@ -72,30 +74,36 @@ fn ratio_above(samples: &[f64], alpha: f64) -> f64 {
 /// non-controlled link; rounds where the attack is infeasible contribute
 /// only the clean sample).
 ///
+/// Rounds are fanned out across `exec`'s workers, each drawing from its
+/// own `(seed, round)`-derived RNG stream; samples are gathered in round
+/// order, so the result is bit-identical for every thread count.
+///
 /// # Errors
 ///
 /// Propagates attack construction errors.
-pub fn collect_residuals<R: Rng + ?Sized>(
+#[allow(clippy::too_many_arguments)]
+pub fn collect_residuals(
     system: &TomographySystem,
     scenario: &AttackScenario,
     delay_model: &DelayModel,
     noise: &GaussianNoise,
     num_attackers: usize,
     rounds: usize,
-    rng: &mut R,
+    seed: u64,
+    exec: &Executor,
 ) -> Result<ResidualSamples, AttackError> {
     use rand::seq::SliceRandom;
 
     let _span = tomo_obs::span("detect.roc.collect");
+    system.warm_estimator_cache()?;
     let zero_detector = ConsistencyDetector::new(0.0).expect("0 is valid");
-    let mut samples = ResidualSamples::default();
     let nodes: Vec<_> = system.graph().nodes().collect();
 
-    for _ in 0..rounds {
+    let per_round = exec.try_map(rounds, |round| {
+        let rng = &mut ChaCha8Rng::seed_from_u64(derive_seed(seed, round as u64));
         let mut shuffled = nodes.clone();
-        shuffled.shuffle(rng);
-        shuffled.truncate(num_attackers.max(1));
-        let attackers = AttackerSet::new(system, shuffled)?;
+        let (sampled, _) = shuffled.partial_shuffle(rng, num_attackers.max(1));
+        let attackers = AttackerSet::new(system, sampled.to_vec())?;
         let x = delay_model.sample(system.num_links(), rng);
         let y_clean = system.measure(&x).map_err(AttackError::Core)?;
 
@@ -103,23 +111,33 @@ pub fn collect_residuals<R: Rng + ?Sized>(
         let clean_verdict = zero_detector
             .inspect(system, &noisy_clean)
             .map_err(AttackError::Core)?;
-        samples.clean.push(clean_verdict.residual_l1);
+        let clean_residual = clean_verdict.residual_l1;
 
         let free: Vec<LinkId> = (0..system.num_links())
             .map(LinkId)
             .filter(|&l| !attackers.controls_link(l))
             .collect();
         let Some(&victim) = free.as_slice().choose(rng) else {
-            continue;
+            return Ok((clean_residual, None));
         };
         let outcome = strategy::chosen_victim(system, &attackers, scenario, &x, &[victim])?;
-        if let Some(s) = outcome.success() {
-            let y_attacked = noise.perturb(&(&y_clean + &s.manipulation), rng);
-            let verdict = zero_detector
-                .inspect(system, &y_attacked)
-                .map_err(AttackError::Core)?;
-            samples.attacked.push(verdict.residual_l1);
-        }
+        let attacked_residual = match outcome.success() {
+            Some(s) => {
+                let y_attacked = noise.perturb(&(&y_clean + &s.manipulation), rng);
+                let verdict = zero_detector
+                    .inspect(system, &y_attacked)
+                    .map_err(AttackError::Core)?;
+                Some(verdict.residual_l1)
+            }
+            None => None,
+        };
+        Ok::<_, AttackError>((clean_residual, attacked_residual))
+    })?;
+
+    let mut samples = ResidualSamples::default();
+    for (clean, attacked) in per_round {
+        samples.clean.push(clean);
+        samples.attacked.extend(attacked);
     }
     Ok(samples)
 }
@@ -127,8 +145,6 @@ pub fn collect_residuals<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use tomo_core::{fig1, params};
 
     #[test]
@@ -162,7 +178,6 @@ mod tests {
     #[test]
     fn collected_residuals_separate_under_mild_noise() {
         let system = fig1::fig1_system().unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
         let samples = collect_residuals(
             &system,
             &AttackScenario::paper_defaults(),
@@ -170,7 +185,8 @@ mod tests {
             &GaussianNoise::new(1.0).unwrap(),
             2,
             20,
-            &mut rng,
+            3,
+            &Executor::single_threaded(),
         )
         .unwrap();
         assert_eq!(samples.clean.len(), 20);

@@ -7,13 +7,15 @@
 //! measurement noise in the mean shrinks like `1/√n` while the attack
 //! residual stays put. This module quantifies that advantage.
 
-use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use tomo_core::delay::GaussianNoise;
 use tomo_core::{CoreError, TomographySystem};
 use tomo_linalg::Vector;
 use tomo_obs::LazyCounter;
+use tomo_par::{derive_seed, Executor};
 
 use crate::ConsistencyDetector;
 
@@ -46,7 +48,10 @@ impl CampaignOutcome {
 
 /// Runs `rounds` noisy measurement rounds with an optional persistent
 /// manipulation added to each, inspecting both per-round and averaged
-/// measurements.
+/// measurements. Rounds are fanned out across `exec`'s workers; each
+/// round's noise comes from an RNG stream derived from `(seed, round)`
+/// and the average is folded in round order, so the outcome is
+/// bit-identical for every thread count.
 ///
 /// # Errors
 ///
@@ -56,14 +61,16 @@ impl CampaignOutcome {
 /// # Panics
 ///
 /// Panics if `rounds == 0`.
-pub fn run_campaign<R: Rng + ?Sized>(
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign(
     system: &TomographySystem,
     detector: &ConsistencyDetector,
     true_metrics: &Vector,
     manipulation: Option<&Vector>,
     noise: &GaussianNoise,
     rounds: usize,
-    rng: &mut R,
+    seed: u64,
+    exec: &Executor,
 ) -> Result<CampaignOutcome, CoreError> {
     assert!(rounds > 0, "campaign needs at least one round");
     let _span = tomo_obs::span("detect.campaign");
@@ -83,17 +90,22 @@ pub fn run_campaign<R: Rng + ?Sized>(
         None => clean,
     };
 
+    let per_round = exec.try_map(rounds, |round| {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, round as u64));
+        let y = noise.perturb(&base, &mut rng);
+        let verdict = detector.inspect(system, &y)?;
+        Ok::<_, CoreError>((verdict.residual_l1, verdict.detected, y))
+    })?;
+
     let mut per_round_residuals = Vec::with_capacity(rounds);
     let mut rounds_detected = 0usize;
     let mut sum = Vector::zeros(system.num_paths());
-    for _ in 0..rounds {
-        let y = noise.perturb(&base, rng);
-        let verdict = detector.inspect(system, &y)?;
-        per_round_residuals.push(verdict.residual_l1);
-        if verdict.detected {
+    for (residual, detected, y) in &per_round {
+        per_round_residuals.push(*residual);
+        if *detected {
             rounds_detected += 1;
         }
-        sum += &y;
+        sum += y;
     }
     let mean = sum.scaled(1.0 / rounds as f64);
     let mean_verdict = detector.inspect(system, &mean)?;
@@ -108,8 +120,6 @@ pub fn run_campaign<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use tomo_attack::attacker::AttackerSet;
     use tomo_attack::scenario::AttackScenario;
     use tomo_attack::strategy;
@@ -139,8 +149,8 @@ mod tests {
         let x = Vector::filled(10, 10.0);
         let noise = GaussianNoise::new(20.0).unwrap();
         let detector = ConsistencyDetector::new(1e9).unwrap(); // never flags
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let outcome = run_campaign(&system, &detector, &x, None, &noise, 64, &mut rng).unwrap();
+        let exec = Executor::single_threaded();
+        let outcome = run_campaign(&system, &detector, &x, None, &noise, 64, 1, &exec).unwrap();
         let mean_single: f64 = outcome.per_round_residuals.iter().sum::<f64>()
             / outcome.per_round_residuals.len() as f64;
         assert!(
@@ -157,7 +167,7 @@ mod tests {
         let (system, x, manipulation) = attacked_manipulation();
         let noise = GaussianNoise::new(20.0).unwrap();
         let detector = ConsistencyDetector::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let exec = Executor::single_threaded();
         let outcome = run_campaign(
             &system,
             &detector,
@@ -165,7 +175,8 @@ mod tests {
             Some(&manipulation),
             &noise,
             32,
-            &mut rng,
+            2,
+            &exec,
         )
         .unwrap();
         // The attack's structural residual dominates the averaged noise.
@@ -184,8 +195,8 @@ mod tests {
         let x = Vector::filled(10, 10.0);
         let noise = GaussianNoise::new(60.0).unwrap();
         let detector = ConsistencyDetector::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let outcome = run_campaign(&system, &detector, &x, None, &noise, 64, &mut rng).unwrap();
+        let exec = Executor::single_threaded();
+        let outcome = run_campaign(&system, &detector, &x, None, &noise, 64, 3, &exec).unwrap();
         assert!(
             outcome.rounds_detected > 0,
             "σ = 60 ms should trip α = 200 ms on some single rounds"
@@ -202,10 +213,10 @@ mod tests {
         let x = Vector::filled(10, 10.0);
         let noise = GaussianNoise::new(1.0).unwrap();
         let detector = ConsistencyDetector::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let exec = Executor::single_threaded();
         let bad = Vector::zeros(3);
-        assert!(run_campaign(&system, &detector, &x, Some(&bad), &noise, 4, &mut rng).is_err());
-        let outcome = run_campaign(&system, &detector, &x, None, &noise, 1, &mut rng).unwrap();
+        assert!(run_campaign(&system, &detector, &x, Some(&bad), &noise, 4, 4, &exec).is_err());
+        let outcome = run_campaign(&system, &detector, &x, None, &noise, 1, 4, &exec).unwrap();
         assert_eq!(outcome.per_round_residuals.len(), 1);
     }
 
@@ -214,7 +225,6 @@ mod tests {
     fn zero_rounds_panics() {
         let system = fig1::fig1_system().unwrap();
         let x = Vector::filled(10, 10.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
         let _ = run_campaign(
             &system,
             &ConsistencyDetector::paper_default(),
@@ -222,7 +232,8 @@ mod tests {
             None,
             &GaussianNoise::new(1.0).unwrap(),
             0,
-            &mut rng,
+            5,
+            &Executor::single_threaded(),
         );
     }
 }

@@ -44,7 +44,7 @@ impl Cholesky {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { dims: a.shape() });
         }
-        let start = std::time::Instant::now();
+        let _timer = FACTOR_SECONDS.start_timer();
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         let tol = 1e-12 * (1.0 + a.max_abs());
@@ -66,7 +66,6 @@ impl Cholesky {
                 l[(i, j)] = v / ljj;
             }
         }
-        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Ok(Cholesky { l })
     }
 

@@ -35,10 +35,7 @@ static SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lstsq.solve_sec
 /// # }
 /// ```
 pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
-    let start = std::time::Instant::now();
-    let x = Qr::new(a).solve_lstsq(b);
-    SOLVE_SECONDS.record(start.elapsed().as_secs_f64());
-    x
+    SOLVE_SECONDS.time(|| Qr::new(a).solve_lstsq(b))
 }
 
 /// Solves `min ‖A x − b‖₂` via the normal equations `(AᵀA) x = Aᵀ b`,
@@ -50,11 +47,9 @@ pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
 /// * [`LinalgError::NotPositiveDefinite`] if `A` lacks full column rank
 ///   (the Gram matrix is then singular).
 pub fn solve_normal_equations(a: &Matrix, b: &Vector) -> Result<Vector, LinalgError> {
-    let start = std::time::Instant::now();
+    let _timer = SOLVE_SECONDS.start_timer();
     let atb = a.mul_transpose_vec(b)?;
-    let x = Cholesky::new(&a.gram())?.solve(&atb);
-    SOLVE_SECONDS.record(start.elapsed().as_secs_f64());
-    x
+    Cholesky::new(&a.mul_transpose_self())?.solve(&atb)
 }
 
 /// A reusable least-squares solver that factorizes `A` once and then solves
@@ -78,7 +73,7 @@ impl NormalEquationsSolver {
     /// Returns [`LinalgError::NotPositiveDefinite`] if `a` lacks full
     /// column rank.
     pub fn new(a: Matrix) -> Result<Self, LinalgError> {
-        let chol = Cholesky::new(&a.gram())?;
+        let chol = Cholesky::new(&a.mul_transpose_self())?;
         Ok(NormalEquationsSolver { a, chol })
     }
 

@@ -44,7 +44,7 @@ impl Lu {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { dims: a.shape() });
         }
-        let start = std::time::Instant::now();
+        let _timer = FACTOR_SECONDS.start_timer();
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -83,7 +83,6 @@ impl Lu {
                 }
             }
         }
-        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Ok(Lu { lu, perm, swaps })
     }
 

@@ -234,9 +234,13 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Gram matrix `AᵀA` (the normal-equations matrix `RᵀR` of Eq. (2)).
+    /// `AᵀA` without materializing `Aᵀ`: row-major outer-product
+    /// accumulation (each input row is streamed once, contiguously) over
+    /// the **upper triangle** only, mirrored at the end. Products
+    /// commute, so the result is bit-identical to the full two-sided
+    /// accumulation at roughly half the multiply-adds.
     #[must_use]
-    pub fn gram(&self) -> Matrix {
+    pub fn mul_transpose_self(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.cols);
         for i in 0..self.rows {
             let row = self.row(i);
@@ -244,12 +248,23 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                for (b_idx, &b) in row.iter().enumerate() {
-                    out[(a_idx, b_idx)] += a * b;
+                for (off, &b) in row[a_idx..].iter().enumerate() {
+                    out[(a_idx, a_idx + off)] += a * b;
                 }
             }
         }
+        for r in 1..self.cols {
+            for c in 0..r {
+                out[(r, c)] = out[(c, r)];
+            }
+        }
         out
+    }
+
+    /// Gram matrix `AᵀA` (the normal-equations matrix `RᵀR` of Eq. (2)).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        self.mul_transpose_self()
     }
 
     /// Returns a new matrix keeping only the selected rows, in order.
@@ -495,6 +510,29 @@ mod tests {
         // Gram matrices are symmetric.
         let g = m.gram();
         assert!(g.approx_eq(&g.transpose(), 0.0));
+    }
+
+    #[test]
+    fn mul_transpose_self_is_bit_exact_and_symmetric() {
+        // Irregular values (incl. negatives and zeros to hit the
+        // zero-skip path) on a rectangular matrix.
+        let m = Matrix::from_fn(7, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                0.0
+            } else {
+                ((i * 5 + j) as f64).sin() * 7.3 - 2.1
+            }
+        });
+        let fast = m.mul_transpose_self();
+        let explicit = m.transpose().mul_mat(&m).unwrap();
+        assert_eq!(fast.shape(), (5, 5));
+        assert!(fast.approx_eq(&explicit, 1e-12));
+        // The mirror step makes symmetry exact, not approximate.
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(fast[(r, c)].to_bits(), fast[(c, r)].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl Qr {
     /// Factorizes `a` using Householder reflections.
     #[must_use]
     pub fn new(a: &Matrix) -> Self {
-        let start = std::time::Instant::now();
+        let _timer = FACTOR_SECONDS.start_timer();
         let (m, n) = a.shape();
         let mut packed = a.clone();
         let steps = m.min(n);
@@ -84,7 +84,6 @@ impl Qr {
                 betas[k] = beta * v0 * v0;
             }
         }
-        FACTOR_SECONDS.record(start.elapsed().as_secs_f64());
         Qr { packed, betas }
     }
 

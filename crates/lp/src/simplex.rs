@@ -252,7 +252,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
     // Phase 1: minimize the sum of artificials.
     if !artificial_cols.is_empty() {
-        let phase1_start = std::time::Instant::now();
+        let _phase1_timer = PHASE1_SECONDS.start_timer();
         let mut phase1_costs = vec![0.0; ncols];
         for &j in &artificial_cols {
             phase1_costs[j] = 1.0;
@@ -263,7 +263,6 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         // Objective value = −cost-row rhs.
         let phase1_obj = -tab.t[tab.m][ncols];
         if phase1_obj > LP_TOL * (1.0 + phase1_obj.abs()) {
-            PHASE1_SECONDS.record(phase1_start.elapsed().as_secs_f64());
             INFEASIBLE.inc();
             tomo_obs::debug!(
                 "lp.simplex",
@@ -289,7 +288,6 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         for &j in &artificial_cols {
             tab.banned[j] = true;
         }
-        PHASE1_SECONDS.record(phase1_start.elapsed().as_secs_f64());
     }
 
     // Phase 2: real objective (converted to minimization over x').
@@ -301,10 +299,10 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     for (j, v) in problem.variables.iter().enumerate() {
         phase2_costs[j] = sign * v.objective;
     }
-    let phase2_start = std::time::Instant::now();
-    tab.install_costs(&phase2_costs);
-    let optimal = tab.optimize()?;
-    PHASE2_SECONDS.record(phase2_start.elapsed().as_secs_f64());
+    let optimal = PHASE2_SECONDS.time(|| {
+        tab.install_costs(&phase2_costs);
+        tab.optimize()
+    })?;
     if !optimal {
         UNBOUNDED.inc();
         tomo_obs::warn!("lp.simplex", "unbounded objective");

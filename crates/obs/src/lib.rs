@@ -46,8 +46,8 @@ mod span;
 
 pub use log::{log_enabled, log_record, set_log_json, set_max_level, Level};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSummary, LazyCounter, LazyGauge, LazyHistogram,
-    HISTOGRAM_BUCKETS,
+    Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, LazyCounter, LazyGauge,
+    LazyHistogram, HISTOGRAM_BUCKETS,
 };
 pub use span::{fmt_ns, set_verbose, span, verbose, SpanGuard, SpanSummary};
 

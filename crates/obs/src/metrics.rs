@@ -384,6 +384,35 @@ impl LazyHistogram {
     pub fn summary(&self) -> HistogramSummary {
         self.handle().summary()
     }
+
+    /// Times `f` and records its wall-clock duration in seconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _timer = self.start_timer();
+        f()
+    }
+
+    /// Starts an RAII timer that records the elapsed seconds into this
+    /// histogram when dropped — early `return`/`?` paths are timed too,
+    /// unlike a hand-rolled `Instant::now()`/`record` pair.
+    #[must_use]
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            histogram: self.handle(),
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+/// RAII guard from [`LazyHistogram::start_timer`]; records on drop.
+pub struct HistogramTimer {
+    histogram: &'static Histogram,
+    start: std::time::Instant,
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed().as_secs_f64());
+    }
 }
 
 #[cfg(test)]
@@ -501,5 +530,49 @@ mod tests {
         assert_eq!(h.percentile(0.5), None);
         h.record(5.0);
         assert_eq!(h.percentile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn lazy_metrics_are_contention_safe() {
+        // Hammer the same lazy handles from many threads, including the
+        // racy first touch that initializes the registry entry. Every
+        // update must land exactly once.
+        static MT_COUNTER: LazyCounter = LazyCounter::new("test.metrics.mt.counter");
+        static MT_HIST: LazyHistogram = LazyHistogram::new("test.metrics.mt.hist");
+        const THREADS: usize = 8;
+        const UPDATES: usize = 2_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for i in 0..UPDATES {
+                        MT_COUNTER.inc();
+                        MT_HIST.record((t * UPDATES + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(MT_COUNTER.get(), (THREADS * UPDATES) as u64);
+        let s = MT_HIST.summary();
+        assert_eq!(s.count, (THREADS * UPDATES) as u64);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, (THREADS * UPDATES - 1) as f64);
+    }
+
+    #[test]
+    fn histogram_timer_records_on_early_return() {
+        static TIMED: LazyHistogram = LazyHistogram::new("test.metrics.timer.hist");
+        fn fallible(fail: bool) -> Result<u32, ()> {
+            let _timer = TIMED.start_timer();
+            if fail {
+                return Err(());
+            }
+            Ok(7)
+        }
+        assert_eq!(TIMED.time(|| 41 + 1), 42);
+        assert_eq!(TIMED.summary().count, 1);
+        assert!(fallible(true).is_err());
+        assert_eq!(fallible(false), Ok(7));
+        // Both the early-return and the success path were timed.
+        assert_eq!(TIMED.summary().count, 3);
     }
 }

@@ -21,6 +21,7 @@ use tomo_core::placement::{
 };
 use tomo_core::{params, TomographySystem};
 use tomo_graph::isp;
+use tomo_par::{derive_seed, Executor};
 
 use crate::{report, SimError};
 
@@ -52,22 +53,25 @@ fn campaign(
     system: &TomographySystem,
     trials: usize,
     seed: u64,
+    exec: &Executor,
 ) -> Result<PlacementDefenseStats, SimError> {
     let scenario = AttackScenario::paper_defaults();
     let delays = params::default_delay_model();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    system.warm_estimator_cache()?;
     let nodes: Vec<_> = system.graph().nodes().collect();
-    let mut successes = 0usize;
-    let mut damage_sum = 0.0;
-    for _ in 0..trials {
+    let outcomes = exec.try_map(trials, |t| {
+        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, t as u64));
         let attacker = *nodes.as_slice().choose(&mut rng).expect("nonempty");
         let attackers = AttackerSet::new(system, vec![attacker])?;
         let x = delays.sample(system.num_links(), &mut rng);
         let outcome = strategy::max_damage(system, &attackers, &scenario, &x)?;
-        if let Some(s) = outcome.success() {
-            successes += 1;
-            damage_sum += s.damage;
-        }
+        Ok::<_, SimError>(outcome.success().map(|s| s.damage))
+    })?;
+    let mut successes = 0usize;
+    let mut damage_sum = 0.0;
+    for damage in outcomes.into_iter().flatten() {
+        successes += 1;
+        damage_sum += damage;
     }
     Ok(PlacementDefenseStats {
         exposure: max_internal_presence_ratio(system),
@@ -81,7 +85,9 @@ fn campaign(
     })
 }
 
-/// Runs the defense comparison on one seeded ISP topology.
+/// Runs the defense comparison on one seeded ISP topology, fanning
+/// attack trials out over `exec` (placement search stays sequential —
+/// it is a best-of comparison over one shared RNG stream).
 ///
 /// # Errors
 ///
@@ -90,6 +96,7 @@ pub fn run_defense(
     seed: u64,
     trials: usize,
     placement_trials: usize,
+    exec: &Executor,
 ) -> Result<DefenseResult, SimError> {
     let _span = tomo_obs::span("sim.defense");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -103,8 +110,8 @@ pub fn run_defense(
 
     Ok(DefenseResult {
         seed,
-        random: campaign(&random_system, trials, seed ^ 0xaaaa)?,
-        secure: campaign(&secure_system, trials, seed ^ 0xaaaa)?,
+        random: campaign(&random_system, trials, seed ^ 0xaaaa, exec)?,
+        secure: campaign(&secure_system, trials, seed ^ 0xaaaa, exec)?,
     })
 }
 
@@ -139,7 +146,7 @@ mod tests {
 
     #[test]
     fn defense_lowers_exposure() {
-        let r = run_defense(11, 10, 5).unwrap();
+        let r = run_defense(11, 10, 5, &Executor::single_threaded()).unwrap();
         // Security-aware placement minimizes exposure over the same RNG
         // stream, so it can never be worse.
         assert!(r.secure.exposure <= r.random.exposure + 1e-12);
@@ -150,15 +157,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run_defense(4, 5, 3).unwrap();
-        let b = run_defense(4, 5, 3).unwrap();
+        let a = run_defense(4, 5, 3, &Executor::single_threaded()).unwrap();
+        let b = run_defense(4, 5, 3, &Executor::new(4)).unwrap();
         assert_eq!(a.random, b.random);
         assert_eq!(a.secure, b.secure);
     }
 
     #[test]
     fn render_contains_both_rows() {
-        let r = run_defense(11, 4, 3).unwrap();
+        let r = run_defense(11, 4, 3, &Executor::single_threaded()).unwrap();
         let s = render_defense(&r);
         assert!(s.contains("random"));
         assert!(s.contains("security-aware"));

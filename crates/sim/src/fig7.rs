@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use tomo_attack::montecarlo::{chosen_victim_trial, ChosenVictimTrial, RatioBins};
 use tomo_attack::scenario::AttackScenario;
 use tomo_core::params;
+use tomo_par::{derive_seed, Executor};
 
 use crate::topologies::{build_system, NetworkKind};
 use crate::{report, SimError};
@@ -70,6 +71,7 @@ fn run_family(
     kind: NetworkKind,
     config: &Fig7Config,
     master_seed: u64,
+    exec: &Executor,
 ) -> Result<Fig7Series, SimError> {
     let scenario = AttackScenario::paper_defaults();
     let delay_model = params::default_delay_model();
@@ -85,13 +87,14 @@ fn run_family(
                 NetworkKind::Wireless => 500_000,
             });
         let system = build_system(kind, sys_seed)?;
-        let mut rng = ChaCha8Rng::seed_from_u64(sys_seed ^ 0xabcd_ef01);
-        for _ in 0..config.trials_per_system {
+        system.warm_estimator_cache()?;
+        let trial_seed = sys_seed ^ 0xabcd_ef01;
+        let outcomes = exec.try_map(config.trials_per_system, |t| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(trial_seed, t as u64));
             let k = rng.gen_range(1..=config.max_attackers.max(1));
-            if let Some(t) = chosen_victim_trial(&system, &scenario, &delay_model, k, &mut rng)? {
-                trials.push(t);
-            }
-        }
+            chosen_victim_trial(&system, &scenario, &delay_model, k, &mut rng)
+        })?;
+        trials.extend(outcomes.into_iter().flatten());
     }
     Ok(Fig7Series {
         kind: kind.to_string(),
@@ -100,18 +103,22 @@ fn run_family(
     })
 }
 
-/// Runs the Fig. 7 experiment.
+/// Runs the Fig. 7 experiment, fanning trials out over `exec`.
+///
+/// Each trial draws from its own `(seed, trial)`-derived RNG stream and
+/// results are merged in trial order, so the output is bit-identical for
+/// every thread count.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on substrate failure.
-pub fn run(seed: u64, config: &Fig7Config) -> Result<Fig7Result, SimError> {
+pub fn run(seed: u64, config: &Fig7Config, exec: &Executor) -> Result<Fig7Result, SimError> {
     let _span = tomo_obs::span("sim.fig7");
     Ok(Fig7Result {
         seed,
         config: *config,
-        wireline: run_family(NetworkKind::Wireline, config, seed)?,
-        wireless: run_family(NetworkKind::Wireless, config, seed)?,
+        wireline: run_family(NetworkKind::Wireline, config, seed, exec)?,
+        wireless: run_family(NetworkKind::Wireless, config, seed, exec)?,
     })
 }
 
@@ -163,7 +170,7 @@ mod tests {
 
     #[test]
     fn fig7_curves_have_the_paper_shape() {
-        let r = run(11, &small_config()).unwrap();
+        let r = run(11, &small_config(), &Executor::single_threaded()).unwrap();
         assert!(r.wireline.trials > 0);
         assert!(r.wireless.trials > 0);
 
@@ -190,15 +197,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run(4, &small_config()).unwrap();
-        let b = run(4, &small_config()).unwrap();
+        let a = run(4, &small_config(), &Executor::single_threaded()).unwrap();
+        let b = run(4, &small_config(), &Executor::new(4)).unwrap();
         assert_eq!(a.wireline.bins.successes, b.wireline.bins.successes);
         assert_eq!(a.wireless.bins.counts, b.wireless.bins.counts);
     }
 
     #[test]
     fn render_contains_table() {
-        let r = run(11, &small_config()).unwrap();
+        let r = run(11, &small_config(), &Executor::single_threaded()).unwrap();
         let s = render(&r);
         assert!(s.contains("Fig. 7"));
         assert!(s.contains("presence ratio"));

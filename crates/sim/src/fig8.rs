@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use tomo_attack::montecarlo::{max_damage_trial, obfuscation_trial};
 use tomo_attack::scenario::AttackScenario;
 use tomo_core::params;
+use tomo_par::{derive_seed, Executor};
 
 use crate::topologies::{build_system, NetworkKind};
 use crate::{report, SimError};
@@ -69,6 +70,7 @@ fn run_family(
     kind: NetworkKind,
     config: &Fig8Config,
     master_seed: u64,
+    exec: &Executor,
 ) -> Result<Fig8Series, SimError> {
     let scenario = AttackScenario::paper_defaults();
     let delay_model = params::default_delay_model();
@@ -86,14 +88,11 @@ fn run_family(
                 NetworkKind::Wireless => 900_000,
             });
         let system = build_system(kind, sys_seed)?;
-        let mut rng = ChaCha8Rng::seed_from_u64(sys_seed ^ 0x5a5a_5a5a);
-        for _ in 0..config.trials_per_system {
-            trials += 1;
+        system.warm_estimator_cache()?;
+        let trial_seed = sys_seed ^ 0x5a5a_5a5a;
+        let outcomes = exec.try_map(config.trials_per_system, |t| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(trial_seed, t as u64));
             let md = max_damage_trial(&system, &scenario, &delay_model, &mut rng)?;
-            if md.success {
-                md_success += 1;
-                damage_sum += md.damage;
-            }
             let ob = obfuscation_trial(
                 &system,
                 &scenario,
@@ -101,7 +100,15 @@ fn run_family(
                 config.obfuscation_min_victims,
                 &mut rng,
             )?;
-            if ob.success {
+            Ok::<_, SimError>((md.success, md.damage, ob.success))
+        })?;
+        for (md_ok, damage, ob_ok) in outcomes {
+            trials += 1;
+            if md_ok {
+                md_success += 1;
+                damage_sum += damage;
+            }
+            if ob_ok {
                 ob_success += 1;
             }
         }
@@ -118,18 +125,22 @@ fn run_family(
     })
 }
 
-/// Runs the Fig. 8 experiment.
+/// Runs the Fig. 8 experiment, fanning trials out over `exec`.
+///
+/// Each trial draws from its own `(seed, trial)`-derived RNG stream and
+/// tallies are folded in trial order, so the output is bit-identical for
+/// every thread count.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on substrate failure.
-pub fn run(seed: u64, config: &Fig8Config) -> Result<Fig8Result, SimError> {
+pub fn run(seed: u64, config: &Fig8Config, exec: &Executor) -> Result<Fig8Result, SimError> {
     let _span = tomo_obs::span("sim.fig8");
     Ok(Fig8Result {
         seed,
         config: *config,
-        wireline: run_family(NetworkKind::Wireline, config, seed)?,
-        wireless: run_family(NetworkKind::Wireless, config, seed)?,
+        wireline: run_family(NetworkKind::Wireline, config, seed, exec)?,
+        wireless: run_family(NetworkKind::Wireless, config, seed, exec)?,
     })
 }
 
@@ -179,7 +190,7 @@ mod tests {
 
     #[test]
     fn fig8_shape_holds() {
-        let r = run(21, &small_config()).unwrap();
+        let r = run(21, &small_config(), &Executor::single_threaded()).unwrap();
         for series in [&r.wireline, &r.wireless] {
             assert!((0.0..=1.0).contains(&series.max_damage));
             assert!((0.0..=1.0).contains(&series.obfuscation));
@@ -198,15 +209,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run(2, &small_config()).unwrap();
-        let b = run(2, &small_config()).unwrap();
+        let a = run(2, &small_config(), &Executor::single_threaded()).unwrap();
+        let b = run(2, &small_config(), &Executor::new(4)).unwrap();
         assert_eq!(a.wireline.max_damage, b.wireline.max_damage);
         assert_eq!(a.wireless.obfuscation, b.wireless.obfuscation);
     }
 
     #[test]
     fn render_contains_table() {
-        let r = run(21, &small_config()).unwrap();
+        let r = run(21, &small_config(), &Executor::single_threaded()).unwrap();
         let s = render(&r);
         assert!(s.contains("Fig. 8"));
         assert!(s.contains("maximum-damage"));

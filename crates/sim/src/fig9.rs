@@ -15,8 +15,6 @@
 //! theorem's 0 % / 100 % split at every scale; see
 //! `ConsistencyDetector::recommended` and DESIGN.md.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use tomo_attack::scenario::AttackScenario;
@@ -25,6 +23,7 @@ use tomo_detect::experiment::{
     run_detection_experiment, DetectionConfig, DetectionReport, StrategyKind,
 };
 use tomo_detect::ConsistencyDetector;
+use tomo_par::Executor;
 
 use crate::{report, SimError};
 
@@ -77,12 +76,15 @@ pub struct Fig9Result {
     pub report: DetectionReport,
 }
 
-/// Runs the Fig. 9 experiment on the configured network.
+/// Runs the Fig. 9 experiment on the configured network, fanning trials
+/// out over `exec`; each trial derives its own RNG stream from
+/// `(seed, trial)` and tallies are absorbed in trial order, so the report
+/// is bit-identical for every thread count.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on substrate failure.
-pub fn run(seed: u64, config: &Fig9Config) -> Result<Fig9Result, SimError> {
+pub fn run(seed: u64, config: &Fig9Config, exec: &Executor) -> Result<Fig9Result, SimError> {
     let _span = tomo_obs::span("sim.fig9");
     let system: TomographySystem = match config.network {
         Fig9Network::Fig1 => fig1::fig1_system()?,
@@ -99,13 +101,13 @@ pub fn run(seed: u64, config: &Fig9Config) -> Result<Fig9Result, SimError> {
         scenario: AttackScenario::paper_defaults(),
         obfuscation_min_victims: config.obfuscation_min_victims,
     };
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let report = run_detection_experiment(
         &system,
         &detector,
         &params::default_delay_model(),
         &detection_config,
-        &mut rng,
+        seed,
+        exec,
     )?;
     Ok(Fig9Result {
         seed,
@@ -165,7 +167,7 @@ mod tests {
 
     #[test]
     fn fig9_matches_theorem_3() {
-        let r = run(31, &small_config()).unwrap();
+        let r = run(31, &small_config(), &Executor::single_threaded()).unwrap();
         // No false alarms (noise-free).
         assert_eq!(r.report.false_alarms, 0);
         for s in [
@@ -184,15 +186,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run(8, &small_config()).unwrap();
-        let b = run(8, &small_config()).unwrap();
+        let a = run(8, &small_config(), &Executor::single_threaded()).unwrap();
+        let b = run(8, &small_config(), &Executor::new(4)).unwrap();
         assert_eq!(a.report.perfect, b.report.perfect);
         assert_eq!(a.report.imperfect, b.report.imperfect);
     }
 
     #[test]
     fn render_contains_table() {
-        let r = run(31, &small_config()).unwrap();
+        let r = run(31, &small_config(), &Executor::single_threaded()).unwrap();
         let s = render(&r);
         assert!(s.contains("Fig. 9"));
         assert!(s.contains("perfect cut"));
@@ -206,7 +208,7 @@ mod tests {
             network: Fig9Network::Wireline,
             ..Fig9Config::default()
         };
-        let r = run(13, &config).unwrap();
+        let r = run(13, &config, &Executor::single_threaded()).unwrap();
         assert_eq!(r.report.false_alarms, 0);
         for s in [
             StrategyKind::ChosenVictim,
@@ -228,6 +230,6 @@ mod tests {
             alpha: -5.0,
             ..small_config()
         };
-        assert!(run(1, &bad).is_err());
+        assert!(run(1, &bad, &Executor::single_threaded()).is_err());
     }
 }

@@ -26,6 +26,7 @@ use tomo_attack::scenario::AttackScenario;
 use tomo_attack::strategy;
 use tomo_core::params;
 use tomo_graph::LinkId;
+use tomo_par::{derive_seed, Executor};
 
 use crate::topologies::{build_system, NetworkKind};
 use crate::{report, SimError};
@@ -67,13 +68,19 @@ pub struct GapResult {
     pub wireless: GapSeries,
 }
 
-fn run_family(kind: NetworkKind, seed: u64, draws: usize) -> Result<GapSeries, SimError> {
+fn run_family(
+    kind: NetworkKind,
+    seed: u64,
+    draws: usize,
+    exec: &Executor,
+) -> Result<GapSeries, SimError> {
     let system = build_system(kind, seed)?;
+    system.warm_estimator_cache()?;
     let delays = params::default_delay_model();
     let plain = AttackScenario::paper_defaults();
     let honest = AttackScenario::paper_defaults_stealthy();
     let exploit = AttackScenario::paper_defaults_implausible_evader();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6a9);
+    let cand_seed = seed ^ 0x6a9;
     let nodes: Vec<_> = system.graph().nodes().collect();
 
     let mut series = GapSeries {
@@ -82,53 +89,78 @@ fn run_family(kind: NetworkKind, seed: u64, draws: usize) -> Result<GapSeries, S
         honest_stealth_successes: 0,
         draws: 0,
     };
-    let mut budget = draws * 50;
-    while series.draws < draws && budget > 0 {
-        budget -= 1;
-        let mut sh = nodes.clone();
-        sh.shuffle(&mut rng);
-        sh.truncate(rng.gen_range(1..=2));
-        let attackers = AttackerSet::new(&system, sh)?;
-        let candidates: Vec<LinkId> = (0..system.num_links())
-            .map(LinkId)
-            .filter(|&l| !attackers.controls_link(l))
-            .collect();
-        let Some(&victim) = candidates.as_slice().choose(&mut rng) else {
-            continue;
-        };
-        if analyze_cut(&system, &attackers, &[victim]).kind != CutKind::Imperfect {
-            continue;
-        }
-        series.draws += 1;
-        let x = delays.sample(system.num_links(), &mut rng);
+    // Rejection sampling, evaluated in fixed-size candidate batches: each
+    // candidate index maps to its own RNG stream and the fold consumes
+    // batches in index order with a deterministic early stop, so the
+    // series is bit-identical for every thread count (a few candidates
+    // past the stopping index may be evaluated and discarded).
+    let budget = draws * 50;
+    let batch_size = (exec.threads() * 8).max(8);
+    let mut next = 0usize;
+    'batches: while series.draws < draws && next < budget {
+        let count = batch_size.min(budget - next);
+        let base = next;
+        let outcomes = exec.try_map(count, |i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(cand_seed, (base + i) as u64));
+            let mut sh = nodes.clone();
+            let k = rng.gen_range(1..=2);
+            let (sampled, _) = sh.partial_shuffle(&mut rng, k);
+            let attackers = AttackerSet::new(&system, sampled.to_vec())?;
+            let candidates: Vec<LinkId> = (0..system.num_links())
+                .map(LinkId)
+                .filter(|&l| !attackers.controls_link(l))
+                .collect();
+            let Some(&victim) = candidates.as_slice().choose(&mut rng) else {
+                return Ok(None);
+            };
+            if analyze_cut(&system, &attackers, &[victim]).kind != CutKind::Imperfect {
+                return Ok(None);
+            }
+            let x = delays.sample(system.num_links(), &mut rng);
 
-        let plain_ok =
-            strategy::chosen_victim(&system, &attackers, &plain, &x, &[victim])?.is_success();
-        if !plain_ok {
-            continue;
-        }
-        series.attackable += 1;
-        if strategy::chosen_victim(&system, &attackers, &honest, &x, &[victim])?.is_success() {
-            series.honest_stealth_successes += 1;
-        }
-        if strategy::chosen_victim(&system, &attackers, &exploit, &x, &[victim])?.is_success() {
-            series.exploitable += 1;
+            let plain_ok =
+                strategy::chosen_victim(&system, &attackers, &plain, &x, &[victim])?.is_success();
+            if !plain_ok {
+                return Ok(Some((false, false, false)));
+            }
+            let honest_ok =
+                strategy::chosen_victim(&system, &attackers, &honest, &x, &[victim])?.is_success();
+            let exploit_ok =
+                strategy::chosen_victim(&system, &attackers, &exploit, &x, &[victim])?.is_success();
+            Ok::<_, SimError>(Some((true, honest_ok, exploit_ok)))
+        })?;
+        next += count;
+        for (attackable, honest_ok, exploit_ok) in outcomes.into_iter().flatten() {
+            series.draws += 1;
+            if attackable {
+                series.attackable += 1;
+                if honest_ok {
+                    series.honest_stealth_successes += 1;
+                }
+                if exploit_ok {
+                    series.exploitable += 1;
+                }
+            }
+            if series.draws == draws {
+                break 'batches;
+            }
         }
     }
     Ok(series)
 }
 
-/// Runs the gap experiment on both network families.
+/// Runs the gap experiment on both network families, evaluating
+/// candidate draws in parallel batches over `exec`.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on substrate failure.
-pub fn run_gap(seed: u64, draws: usize) -> Result<GapResult, SimError> {
+pub fn run_gap(seed: u64, draws: usize, exec: &Executor) -> Result<GapResult, SimError> {
     let _span = tomo_obs::span("sim.gap");
     Ok(GapResult {
         seed,
-        wireline: run_family(NetworkKind::Wireline, seed, draws)?,
-        wireless: run_family(NetworkKind::Wireless, seed.wrapping_add(17), draws)?,
+        wireline: run_family(NetworkKind::Wireline, seed, draws, exec)?,
+        wireless: run_family(NetworkKind::Wireless, seed.wrapping_add(17), draws, exec)?,
     })
 }
 
@@ -164,15 +196,15 @@ mod tests {
 
     #[test]
     fn gap_is_real_and_honest_stealth_never_succeeds() {
-        let r = run_gap(7, 12).unwrap();
+        let r = run_gap(11, 12, &Executor::single_threaded()).unwrap();
         for s in [&r.wireline, &r.wireless] {
             // Theorem 3 under its own assumption: plausible evasion never
             // works on imperfect cuts.
             assert_eq!(s.honest_stealth_successes, 0);
             assert!(s.draws >= 12);
         }
-        // The gap exists somewhere at AS scale (seed 7 exhibits it on the
-        // wireless family — see tests/theorem3_gap.rs for the full arc).
+        // The gap exists somewhere at AS scale (seed 11 exhibits it on
+        // both families — see tests/theorem3_gap.rs for the full arc).
         let total_exploitable = r.wireline.exploitable + r.wireless.exploitable;
         assert!(
             total_exploitable > 0,
@@ -182,15 +214,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run_gap(5, 6).unwrap();
-        let b = run_gap(5, 6).unwrap();
+        let a = run_gap(5, 6, &Executor::single_threaded()).unwrap();
+        let b = run_gap(5, 6, &Executor::new(4)).unwrap();
         assert_eq!(a.wireline, b.wireline);
         assert_eq!(a.wireless, b.wireless);
     }
 
     #[test]
     fn render_lists_both_families() {
-        let r = run_gap(13, 6).unwrap();
+        let r = run_gap(13, 6, &Executor::single_threaded()).unwrap();
         let s = render_gap(&r);
         assert!(s.contains("wireline"));
         assert!(s.contains("wireless"));

@@ -1,7 +1,7 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--metrics FILE] [--verbose]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose]
 //! tomo-sim list
 //! ```
 //!
@@ -9,11 +9,14 @@
 //! it also writes a JSON artifact per figure. `--metrics FILE` writes a
 //! JSON snapshot of all `tomo-obs` counters/histograms/span timings after
 //! the run; `--verbose` prints nested span timings and a metrics summary
-//! to stderr.
+//! to stderr. `--threads N` sets the Monte-Carlo worker count (default:
+//! the `TOMO_THREADS` env var, else available parallelism); results are
+//! bit-identical for every thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use tomo_par::Executor;
 use tomo_sim::{
     ablation, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report, SimError,
 };
@@ -25,6 +28,7 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     quick: bool,
+    threads: Option<usize>,
     metrics: Option<PathBuf>,
     verbose: bool,
 }
@@ -49,6 +53,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             seed: 42,
             out: None,
             quick: false,
+            threads: None,
             metrics: None,
             verbose: false,
         });
@@ -66,6 +71,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = None;
     let mut quick = false;
+    let mut threads = None;
     let mut metrics = None;
     let mut verbose = false;
     let mut i = 2;
@@ -90,6 +96,15 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 quick = true;
                 i += 1;
             }
+            "--threads" => {
+                let v = argv.get(i + 1).ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+                i += 2;
+            }
             "--verbose" => {
                 verbose = true;
                 i += 1;
@@ -103,13 +118,14 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         seed,
         out,
         quick,
+        threads,
         metrics,
         verbose,
     })
 }
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--metrics FILE] [--verbose]\n  tomo-sim list".to_string()
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose]\n  tomo-sim list".to_string()
 }
 
 fn fig7_config(quick: bool) -> fig7::Fig7Config {
@@ -147,7 +163,7 @@ fn fig9_config(quick: bool) -> fig9::Fig9Config {
     }
 }
 
-fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
+fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
     let seed = args.seed;
     let artifact = |suffix: &str| args.out.as_ref().map(|d| d.join(suffix));
     match name {
@@ -180,21 +196,21 @@ fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
             }
         }
         "fig7" => {
-            let r = fig7::run(seed, &fig7_config(args.quick))?;
+            let r = fig7::run(seed, &fig7_config(args.quick), exec)?;
             println!("{}", fig7::render(&r));
             if let Some(p) = artifact("fig7.json") {
                 report::write_json(&r, &p)?;
             }
         }
         "fig8" => {
-            let r = fig8::run(seed, &fig8_config(args.quick))?;
+            let r = fig8::run(seed, &fig8_config(args.quick), exec)?;
             println!("{}", fig8::render(&r));
             if let Some(p) = artifact("fig8.json") {
                 report::write_json(&r, &p)?;
             }
         }
         "fig9" => {
-            let r = fig9::run(seed, &fig9_config(args.quick))?;
+            let r = fig9::run(seed, &fig9_config(args.quick), exec)?;
             println!("{}", fig9::render(&r));
             if let Some(p) = artifact("fig9.json") {
                 report::write_json(&r, &p)?;
@@ -202,7 +218,7 @@ fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
         }
         "gap" => {
             let draws = if args.quick { 8 } else { 30 };
-            let r = gap::run_gap(seed, draws)?;
+            let r = gap::run_gap(seed, draws, exec)?;
             println!("{}", gap::render_gap(&r));
             if let Some(p) = artifact("gap.json") {
                 report::write_json(&r, &p)?;
@@ -210,7 +226,8 @@ fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
         }
         "noise" => {
             let (trials, rounds) = if args.quick { (8, 8) } else { (30, 24) };
-            let r = noise::run_noise_sweep(seed, &[0.0, 1.0, 4.0, 16.0, 64.0], trials, rounds)?;
+            let r =
+                noise::run_noise_sweep(seed, &[0.0, 1.0, 4.0, 16.0, 64.0], trials, rounds, exec)?;
             println!("{}", noise::render_noise_sweep(&r));
             if let Some(p) = artifact("noise.json") {
                 report::write_json(&r, &p)?;
@@ -218,7 +235,7 @@ fn run_one(name: &str, args: &Args) -> Result<(), SimError> {
         }
         "defense" => {
             let (trials, placements) = if args.quick { (6, 3) } else { (25, 8) };
-            let r = defense::run_defense(seed, trials, placements)?;
+            let r = defense::run_defense(seed, trials, placements, exec)?;
             println!("{}", defense::render_defense(&r));
             if let Some(p) = artifact("defense.json") {
                 report::write_json(&r, &p)?;
@@ -262,6 +279,10 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    let exec = match args.threads {
+        Some(n) => Executor::new(n),
+        None => Executor::from_env(),
+    };
     let figures: Vec<&str> = if args.target == "all" {
         vec!["fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
     } else {
@@ -269,7 +290,7 @@ fn main() -> ExitCode {
     };
     for f in figures {
         tomo_obs::info!("tomo-sim", "running {f} (seed {})", args.seed);
-        if let Err(e) = run_one(f, &args) {
+        if let Err(e) = run_one(f, &args, &exec) {
             eprintln!("{f}: {e}");
             return ExitCode::FAILURE;
         }
@@ -335,6 +356,7 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.out, None);
         assert!(!a.quick);
+        assert_eq!(a.threads, None);
         assert_eq!(a.metrics, None);
         assert!(!a.verbose);
     }
@@ -349,6 +371,8 @@ mod tests {
             "--out",
             "art",
             "--quick",
+            "--threads",
+            "4",
             "--metrics",
             "m.json",
             "--verbose",
@@ -357,8 +381,18 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.out, Some(PathBuf::from("art")));
         assert!(a.quick);
+        assert_eq!(a.threads, Some(4));
         assert_eq!(a.metrics, Some(PathBuf::from("m.json")));
         assert!(a.verbose);
+    }
+
+    #[test]
+    fn threads_flag_is_validated() {
+        assert!(parse_args_from(&argv(&["run", "fig4", "--threads"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--threads", "0"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--threads", "two"])).is_err());
+        let a = parse_args_from(&argv(&["run", "fig4", "--threads", "2"])).unwrap();
+        assert_eq!(a.threads, Some(2));
     }
 
     #[test]

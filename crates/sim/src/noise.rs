@@ -9,7 +9,7 @@
 //! detection power once σ gets uncomfortable.
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +22,7 @@ use tomo_core::{fig1, params};
 use tomo_detect::rounds::run_campaign;
 use tomo_detect::ConsistencyDetector;
 use tomo_graph::LinkId;
+use tomo_par::{derive_seed, Executor};
 
 use crate::{report, SimError};
 
@@ -51,7 +52,12 @@ pub struct NoiseSweepResult {
     pub levels: Vec<NoiseLevelStats>,
 }
 
-/// Runs the sweep on the Fig. 1 network.
+/// Runs the sweep on the Fig. 1 network, fanning trials out over `exec`.
+///
+/// Each trial derives its own RNG stream from `(seed ^ σ, trial)` and its
+/// campaigns run on a sequential inner executor (the fan-out happens at
+/// the trial level); tallies fold in trial order, so the result is
+/// bit-identical for every thread count.
 ///
 /// # Errors
 ///
@@ -61,57 +67,56 @@ pub fn run_noise_sweep(
     sigmas: &[f64],
     trials: usize,
     rounds: usize,
+    exec: &Executor,
 ) -> Result<NoiseSweepResult, SimError> {
     let _span = tomo_obs::span("sim.noise");
     let system = fig1::fig1_system()?;
+    system.warm_estimator_cache()?;
     let detector = ConsistencyDetector::paper_default();
     let delay_model = params::default_delay_model();
     let scenario = AttackScenario::paper_defaults();
+    let inner = Executor::single_threaded();
     let mut levels = Vec::with_capacity(sigmas.len());
 
     for &sigma in sigmas {
         let noise =
             GaussianNoise::new(sigma).ok_or_else(|| SimError(format!("invalid sigma {sigma}")))?;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ sigma.to_bits());
-        let mut fa_single = 0usize;
-        let mut fa_campaign = 0usize;
-        let mut det_single = 0usize;
-        let mut det_campaign = 0usize;
-        let mut attacks = 0usize;
+        let level_seed = seed ^ sigma.to_bits();
 
-        for _ in 0..trials {
+        // Per trial: (single false alarm, campaign false alarm, and — when
+        // an imperfect-cut attack materialized — its detection outcomes).
+        let outcomes = exec.try_map(trials, |t| {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(level_seed, t as u64));
             let x = delay_model.sample(system.num_links(), &mut rng);
 
             // Clean rounds.
-            let clean = run_campaign(&system, &detector, &x, None, &noise, rounds, &mut rng)?;
-            if clean.per_round_residuals[0] > detector.alpha() {
-                fa_single += 1;
-            }
-            if clean.mean_detected {
-                fa_campaign += 1;
-            }
+            let clean_seed = rng.next_u64();
+            let clean = run_campaign(
+                &system, &detector, &x, None, &noise, rounds, clean_seed, &inner,
+            )?;
+            let fa_single = clean.per_round_residuals[0] > detector.alpha();
+            let fa_campaign = clean.mean_detected;
 
             // One imperfect-cut chosen-victim attack (random attackers).
             let mut nodes: Vec<_> = system.graph().nodes().collect();
-            nodes.shuffle(&mut rng);
-            nodes.truncate(2);
-            let attackers = AttackerSet::new(&system, nodes)?;
+            let (sampled, _) = nodes.partial_shuffle(&mut rng, 2);
+            let attackers = AttackerSet::new(&system, sampled.to_vec())?;
             let free: Vec<LinkId> = (0..system.num_links())
                 .map(LinkId)
                 .filter(|&l| !attackers.controls_link(l))
                 .collect();
             let Some(&victim) = free.as_slice().choose(&mut rng) else {
-                continue;
+                return Ok((fa_single, fa_campaign, None));
             };
             if analyze_cut(&system, &attackers, &[victim]).kind != CutKind::Imperfect {
-                continue;
+                return Ok((fa_single, fa_campaign, None));
             }
             let Some(s) = strategy::chosen_victim(&system, &attackers, &scenario, &x, &[victim])?
                 .into_success()
             else {
-                continue;
+                return Ok((fa_single, fa_campaign, None));
             };
-            attacks += 1;
+            let attack_seed = rng.next_u64();
             let attacked = run_campaign(
                 &system,
                 &detector,
@@ -119,13 +124,31 @@ pub fn run_noise_sweep(
                 Some(&s.manipulation),
                 &noise,
                 rounds,
-                &mut rng,
+                attack_seed,
+                &inner,
             )?;
-            if attacked.per_round_residuals[0] > detector.alpha() {
-                det_single += 1;
-            }
-            if attacked.mean_detected {
-                det_campaign += 1;
+            Ok::<_, SimError>((
+                fa_single,
+                fa_campaign,
+                Some((
+                    attacked.per_round_residuals[0] > detector.alpha(),
+                    attacked.mean_detected,
+                )),
+            ))
+        })?;
+
+        let mut fa_single = 0usize;
+        let mut fa_campaign = 0usize;
+        let mut det_single = 0usize;
+        let mut det_campaign = 0usize;
+        let mut attacks = 0usize;
+        for (fa_s, fa_c, attack) in outcomes {
+            fa_single += usize::from(fa_s);
+            fa_campaign += usize::from(fa_c);
+            if let Some((det_s, det_c)) = attack {
+                attacks += 1;
+                det_single += usize::from(det_s);
+                det_campaign += usize::from(det_c);
             }
         }
         levels.push(NoiseLevelStats {
@@ -188,7 +211,8 @@ mod tests {
 
     #[test]
     fn sweep_shows_noise_degradation_and_campaign_recovery() {
-        let r = run_noise_sweep(5, &[0.0, 4.0, 60.0], 12, 16).unwrap();
+        let r =
+            run_noise_sweep(5, &[0.0, 4.0, 60.0], 12, 16, &Executor::single_threaded()).unwrap();
         assert_eq!(r.levels.len(), 3);
         // Noise-free: ideal operation.
         assert_eq!(r.levels[0].false_alarm_single, 0.0);
@@ -217,19 +241,19 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = run_noise_sweep(9, &[2.0], 6, 8).unwrap();
-        let b = run_noise_sweep(9, &[2.0], 6, 8).unwrap();
+        let a = run_noise_sweep(9, &[2.0], 6, 8, &Executor::single_threaded()).unwrap();
+        let b = run_noise_sweep(9, &[2.0], 6, 8, &Executor::new(4)).unwrap();
         assert_eq!(a.levels, b.levels);
     }
 
     #[test]
     fn invalid_sigma_rejected() {
-        assert!(run_noise_sweep(1, &[-1.0], 2, 2).is_err());
+        assert!(run_noise_sweep(1, &[-1.0], 2, 2, &Executor::single_threaded()).is_err());
     }
 
     #[test]
     fn render_contains_table() {
-        let r = run_noise_sweep(5, &[0.0, 8.0], 4, 4).unwrap();
+        let r = run_noise_sweep(5, &[0.0, 8.0], 4, 4, &Executor::single_threaded()).unwrap();
         let s = render_noise_sweep(&r);
         assert!(s.contains("Noise robustness"));
         assert!(s.contains("σ ="));

@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --example detection_tradeoffs`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use scapegoat_tomography::detect::roc::collect_residuals;
+use scapegoat_tomography::par::Executor;
 use scapegoat_tomography::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,11 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delays = params::default_delay_model();
     let alphas = [0.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
 
+    let exec = Executor::from_env();
     println!("detector operating points on the Fig. 1 network (chosen-victim attacks)");
     for noise_std in [0.5, 2.0, 8.0] {
         let noise = GaussianNoise::new(noise_std).expect("positive std");
-        let mut rng = ChaCha8Rng::seed_from_u64(17);
-        let samples = collect_residuals(&system, &scenario, &delays, &noise, 2, 120, &mut rng)?;
+        let samples = collect_residuals(&system, &scenario, &delays, &noise, 2, 120, 17, &exec)?;
         println!(
             "\nmeasurement noise σ = {noise_std} ms ({} clean / {} attacked rounds)",
             samples.clean.len(),

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Wall-clock scaling of the parallel Monte-Carlo engine.
+#
+# Usage: scripts/bench_trajectory.sh [OUT_JSON]
+#
+# Runs the fig7 quick workload through the release tomo-sim binary at 1,
+# 2, and max threads, verifies the JSON artifacts are byte-identical, and
+# writes BENCH_montecarlo.json (default: repo root) with wall-clock and
+# trials/sec per thread count. Prints BENCH lines as it goes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_JSON="${1:-BENCH_montecarlo.json}"
+SEED=42
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+echo "==> cargo build --release -p tomo-sim"
+cargo build --release -p tomo-sim >/dev/null
+
+BIN=target/release/tomo-sim
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# fig7 --quick: 1 system x 40 trials per family, 2 families = 80 trials.
+TRIALS=80
+
+# Always measure 1 and 2 threads (2 is an oversubscription smoke on a
+# single core — it must still produce identical artifacts), plus the full
+# core count when there are more than two.
+thread_counts() {
+  if [ "$CORES" -le 2 ]; then
+    echo "1 2"
+  else
+    echo "1 2 $CORES"
+  fi
+}
+
+measure() { # threads -> seconds (wall clock, 3 runs, best-of)
+  local threads="$1" best="" t0 t1 secs
+  for _ in 1 2 3; do
+    t0=$(date +%s.%N)
+    "$BIN" run fig7 --quick --seed "$SEED" --threads "$threads" \
+      --out "$WORK/t$threads" >/dev/null
+    t1=$(date +%s.%N)
+    secs=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+    if [ -z "$best" ] || awk -v a="$secs" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+      best="$secs"
+    fi
+  done
+  echo "$best"
+}
+
+declare -A WALL
+for n in $(thread_counts); do
+  mkdir -p "$WORK/t$n"
+  WALL[$n]=$(measure "$n")
+  tps=$(echo "${WALL[$n]}" | awk -v t="$TRIALS" '{printf "%.1f", t / $1}')
+  echo "BENCH fig7_quick threads=$n wall_secs=${WALL[$n]} trials_per_sec=$tps"
+done
+
+# Same-seed artifacts must be byte-identical across thread counts.
+for n in $(thread_counts); do
+  if ! cmp -s "$WORK/t1/fig7.json" "$WORK/t$n/fig7.json"; then
+    echo "BENCH ERROR: fig7.json differs between 1 and $n threads" >&2
+    exit 1
+  fi
+done
+echo "BENCH artifacts byte-identical across thread counts"
+
+{
+  echo "{"
+  echo "  \"workload\": \"tomo-sim run fig7 --quick --seed $SEED\","
+  echo "  \"trials\": $TRIALS,"
+  echo "  \"cores\": $CORES,"
+  echo "  \"runs_per_point\": 3,"
+  echo "  \"points\": ["
+  first=1
+  for n in $(thread_counts); do
+    tps=$(echo "${WALL[$n]}" | awk -v t="$TRIALS" '{printf "%.1f", t / $1}')
+    [ "$first" -eq 1 ] || echo ","
+    first=0
+    printf '    {"threads": %s, "wall_secs": %s, "trials_per_sec": %s}' \
+      "$n" "${WALL[$n]}" "$tps"
+  done
+  echo ""
+  echo "  ]"
+  echo "}"
+} > "$OUT_JSON"
+echo "BENCH wrote $OUT_JSON"

@@ -18,4 +18,17 @@ cargo clippy -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo test -q --test par_determinism (thread-count invariance)"
+cargo test -q --test par_determinism
+
+echo "==> tomo-sim 2-thread smoke (fig7 --quick --threads 2 --metrics)"
+SMOKE_METRICS="$(mktemp /tmp/tomo-metrics.XXXXXX.json)"
+trap 'rm -f "$SMOKE_METRICS"' EXIT
+target/release/tomo-sim run fig7 --quick --threads 2 --metrics "$SMOKE_METRICS" >/dev/null
+grep -q '"par.workers": 2' "$SMOKE_METRICS" || {
+  echo "ci: expected par.workers = 2 in $SMOKE_METRICS" >&2
+  exit 1
+}
+echo "ci: 2-thread smoke reported par.workers = 2"
+
 echo "ci: all checks passed"

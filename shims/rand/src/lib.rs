@@ -216,6 +216,16 @@ pub mod seq {
 
         /// In-place Fisher–Yates shuffle.
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Partial Fisher–Yates: draws a uniform random sample of
+        /// `amount` elements into the **tail** of the slice using only
+        /// `amount` swaps (cheap when `amount ≪ len`). Returns
+        /// `(shuffled_tail, rest)`, mirroring `rand` 0.8's API shape.
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
     }
 
     impl<T> SliceRandom for [T] {
@@ -235,6 +245,21 @@ pub mod seq {
                 let j = uniform_u64(rng, (i + 1) as u64) as usize;
                 self.swap(i, j);
             }
+        }
+
+        fn partial_shuffle<R: RngCore + ?Sized>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [T], &mut [T]) {
+            let len = self.len();
+            let end = len.saturating_sub(amount);
+            for i in (end..len).rev().take_while(|&i| i > 0) {
+                let j = uniform_u64(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+            let (rest, tail) = self.split_at_mut(end);
+            (tail, rest)
         }
     }
 }
@@ -293,6 +318,47 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_tail_is_a_uniform_sample() {
+        use seq::SliceRandom;
+        let mut rng = StepRng(13);
+        // The tail is a sample without replacement; the whole slice
+        // stays a permutation of the input.
+        let mut hits = [0usize; 10];
+        for _ in 0..400 {
+            let mut v: Vec<usize> = (0..10).collect();
+            let (tail, rest) = v.partial_shuffle(&mut rng, 3);
+            assert_eq!(tail.len(), 3);
+            assert_eq!(rest.len(), 7);
+            for &x in tail.iter() {
+                hits[x] += 1;
+            }
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        }
+        // Every element should appear in the sample sometimes.
+        assert!(hits.iter().all(|&h| h > 0), "{hits:?}");
+    }
+
+    #[test]
+    fn partial_shuffle_edge_amounts() {
+        use seq::SliceRandom;
+        let mut rng = StepRng(17);
+        let mut v: Vec<u8> = vec![1, 2, 3];
+        let (tail, rest) = v.partial_shuffle(&mut rng, 0);
+        assert!(tail.is_empty());
+        assert_eq!(rest.len(), 3);
+        // amount >= len behaves like a full shuffle.
+        let mut w: Vec<u8> = (0..20).collect();
+        let (tail, rest) = w.partial_shuffle(&mut rng, 50);
+        assert_eq!(tail.len(), 20);
+        assert!(rest.is_empty());
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
     }
 
     #[test]

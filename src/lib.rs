@@ -59,6 +59,7 @@ pub use tomo_detect as detect;
 pub use tomo_graph as graph;
 pub use tomo_linalg as linalg;
 pub use tomo_lp as lp;
+pub use tomo_par as par;
 pub use tomo_sim as sim;
 
 /// The most common imports in one place.

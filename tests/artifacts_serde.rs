@@ -36,7 +36,7 @@ fn fig9_artifact_roundtrip() {
         trials: 6,
         ..sim::fig9::Fig9Config::default()
     };
-    let r = sim::fig9::run(3, &config).unwrap();
+    let r = sim::fig9::run(3, &config, &tomo_par::Executor::single_threaded()).unwrap();
     let json = serde_json::to_string(&r).unwrap();
     let back: sim::fig9::Fig9Result = serde_json::from_str(&json).unwrap();
     assert_eq!(back.report.perfect, r.report.perfect);
@@ -81,12 +81,14 @@ fn scenario_and_thresholds_roundtrip() {
 
 #[test]
 fn detection_report_and_noise_sweep_roundtrip() {
-    let r = sim::noise::run_noise_sweep(2, &[0.0, 8.0], 4, 4).unwrap();
+    let r =
+        sim::noise::run_noise_sweep(2, &[0.0, 8.0], 4, 4, &tomo_par::Executor::single_threaded())
+            .unwrap();
     let json = serde_json::to_string(&r).unwrap();
     let back: sim::noise::NoiseSweepResult = serde_json::from_str(&json).unwrap();
     assert_eq!(back.levels, r.levels);
 
-    let d = sim::defense::run_defense(2, 3, 2).unwrap();
+    let d = sim::defense::run_defense(2, 3, 2, &tomo_par::Executor::single_threaded()).unwrap();
     let json = serde_json::to_string(&d).unwrap();
     let back: sim::defense::DefenseResult = serde_json::from_str(&json).unwrap();
     assert_eq!(back.random, d.random);

@@ -1,0 +1,68 @@
+//! Thread-count invariance of the parallel Monte-Carlo engine.
+//!
+//! Every trial derives its RNG stream from `(experiment_seed, trial_index)`
+//! and results are merged in trial order, so the serialized artifact of any
+//! experiment must be byte-identical no matter how many workers ran it —
+//! including oversubscribed counts far above the machine's core count.
+
+use scapegoat_tomography::par::Executor;
+use scapegoat_tomography::sim::{fig7, fig9};
+
+fn fig7_config() -> fig7::Fig7Config {
+    fig7::Fig7Config {
+        num_systems: 1,
+        trials_per_system: 24,
+        max_attackers: 3,
+        bins: 5,
+    }
+}
+
+fn fig9_config() -> fig9::Fig9Config {
+    fig9::Fig9Config {
+        trials: 12,
+        ..fig9::Fig9Config::default()
+    }
+}
+
+#[test]
+fn fig7_artifact_is_byte_identical_across_thread_counts() {
+    let config = fig7_config();
+    let baseline = fig7::run(42, &config, &Executor::single_threaded()).unwrap();
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    for threads in [2, 3, 8] {
+        let parallel = fig7::run(42, &config, &Executor::new(threads)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            baseline_json,
+            "fig7 artifact diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig9_artifact_is_byte_identical_across_thread_counts() {
+    let config = fig9_config();
+    let baseline = fig9::run(42, &config, &Executor::single_threaded()).unwrap();
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    for threads in [2, 8] {
+        let parallel = fig9::run(42, &config, &Executor::new(threads)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            baseline_json,
+            "fig9 artifact diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn executor_from_env_respects_tomo_threads() {
+    // `TOMO_THREADS` is read at construction; whatever it says, the
+    // artifact must match the sequential baseline.
+    let config = fig7_config();
+    let baseline = fig7::run(7, &config, &Executor::single_threaded()).unwrap();
+    let parallel = fig7::run(7, &config, &Executor::new(5)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+    );
+}
