@@ -16,8 +16,8 @@
 
 use tomo_core::TomographySystem;
 use tomo_graph::LinkId;
-use tomo_linalg::{norms, Matrix, Vector};
-use tomo_lp::{LpProblem, LpStatus, Objective, Relation, VarId};
+use tomo_linalg::{norms, CsrBuilder, CsrMatrix, Matrix, Vector};
+use tomo_lp::{LpProblem, LpStatus, Objective, Relation, VarId, WarmStart};
 
 use crate::attacker::AttackerSet;
 use crate::outcome::{AttackOutcome, AttackSuccess};
@@ -58,6 +58,20 @@ pub struct ManipulationProblem<'a> {
     /// estimator cache (materialized once per system, shared across
     /// trials and worker threads).
     estimator: &'a Matrix,
+    /// Sparse LP coefficient rows, links × |attacked paths|: row `j`
+    /// holds the estimator entries `A[j, i]` over attacked paths `i`
+    /// with `|A[j, i]| > 1e-12`, column `c` being the position of path
+    /// `i` in `attacked_paths()` (= the LP variable index). Built once
+    /// per problem; every goal and plausibility constraint is a row
+    /// slice of this matrix instead of a fresh dense scan per solve.
+    goal_rows: CsrMatrix,
+    /// Consistency rows `(R·A − I)` restricted to attacked columns,
+    /// paths × |attacked paths|, same filter. Only built when the
+    /// scenario evades detection.
+    evasion_rows: Option<CsrMatrix>,
+    /// Optional shared simplex basis cache; see
+    /// [`ManipulationProblem::with_warm_start`].
+    warm: Option<&'a WarmStart>,
 }
 
 impl<'a> ManipulationProblem<'a> {
@@ -82,6 +96,40 @@ impl<'a> ManipulationProblem<'a> {
         let clean_measurements = system.measure(true_metrics)?;
         let baseline_estimate = system.estimate(&clean_measurements)?;
         let estimator = system.estimator_matrix()?;
+        let attacked = attackers.attacked_paths();
+
+        // Pre-filter the estimator down to the attacked columns once:
+        // the same |A[j,i]| > 1e-12 cut, in the same attacked-path
+        // order, that constraint assembly used to redo per solve.
+        let mut goal_builder = CsrBuilder::new(attacked.len());
+        for j in 0..system.num_links() {
+            goal_builder
+                .push_row(attacked.iter().enumerate().filter_map(|(c, &i)| {
+                    let a = estimator[(j, i)];
+                    (a.abs() > 1e-12).then_some((c, a))
+                }))
+                .expect("columns ascend with attacked-path order");
+        }
+        let goal_rows = goal_builder.finish();
+
+        let evasion_rows = if scenario.evade_detection {
+            let projector = system.projector()?;
+            let mut b = CsrBuilder::new(attacked.len());
+            for row in 0..system.num_paths() {
+                b.push_row(attacked.iter().enumerate().filter_map(|(c, &k)| {
+                    let mut p = projector[(row, k)];
+                    if row == k {
+                        p -= 1.0;
+                    }
+                    (p.abs() > 1e-12).then_some((c, p))
+                }))
+                .expect("columns ascend with attacked-path order");
+            }
+            Some(b.finish())
+        } else {
+            None
+        };
+
         Ok(ManipulationProblem {
             system,
             attackers,
@@ -89,7 +137,23 @@ impl<'a> ManipulationProblem<'a> {
             clean_measurements,
             baseline_estimate,
             estimator,
+            goal_rows,
+            evasion_rows,
+            warm: None,
         })
+    }
+
+    /// Attaches a shared [`WarmStart`] basis cache: subsequent solves
+    /// go through [`LpProblem::solve_warm`], reusing the optimal basis
+    /// of the previous structurally identical LP to skip simplex
+    /// phase 1. Results stay decision-identical (status, objective up
+    /// to solver tolerance) but are not bit-identical to cold solves —
+    /// callers whose outputs archive raw solution floats should stay
+    /// cold (see DESIGN.md §5d).
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: &'a WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
     }
 
     /// The clean (pre-attack) estimate `x̂₀`.
@@ -191,42 +255,35 @@ impl<'a> ManipulationProblem<'a> {
 
         for &(link, goal) in goals {
             let j = link.index();
-            let terms: Vec<(VarId, f64)> = attacked
-                .iter()
-                .zip(vars.iter())
-                .filter(|(&i, _)| self.estimator[(j, i)].abs() > 1e-12)
-                .map(|(&i, &v)| (v, self.estimator[(j, i)]))
-                .collect();
+            let cols = self.goal_rows.row_indices(j);
+            let vals = self.goal_rows.row_values(j);
             let base = self.baseline_estimate[j];
+            let mut push = |rel: Relation, rhs: f64| {
+                lp.add_sparse_row(&vars, cols, vals, rel, rhs)
+                    .expect("finite coefficients, ascending columns");
+            };
             match goal {
-                LinkGoal::Normal => {
-                    lp.add_constraint(&terms, Relation::Le, b_l - eps - base)
-                        .expect("finite");
-                }
-                LinkGoal::Abnormal => {
-                    lp.add_constraint(&terms, Relation::Ge, b_u + eps - base)
-                        .expect("finite");
-                }
+                LinkGoal::Normal => push(Relation::Le, b_l - eps - base),
+                LinkGoal::Abnormal => push(Relation::Ge, b_u + eps - base),
                 LinkGoal::Uncertain => {
-                    lp.add_constraint(&terms, Relation::Ge, b_l + eps - base)
-                        .expect("finite");
-                    lp.add_constraint(&terms, Relation::Le, b_u - eps - base)
-                        .expect("finite");
+                    push(Relation::Ge, b_l + eps - base);
+                    push(Relation::Le, b_u - eps - base);
                 }
                 LinkGoal::NormalPlausible => {
-                    lp.add_constraint(&terms, Relation::Le, b_l - eps - base)
-                        .expect("finite");
-                    lp.add_constraint(&terms, Relation::Ge, -base)
-                        .expect("finite");
+                    push(Relation::Le, b_l - eps - base);
+                    push(Relation::Ge, -base);
                 }
             }
         }
 
         if self.scenario.evade_detection {
-            self.add_evasion_constraints(&mut lp, attacked, &vars);
+            self.add_evasion_constraints(&mut lp, &vars);
         }
 
-        let sol = lp.solve()?;
+        let sol = match self.warm {
+            Some(w) => lp.solve_warm(w)?,
+            None => lp.solve()?,
+        };
         match sol.status() {
             LpStatus::Optimal => {
                 let mut manipulation = Vector::zeros(self.system.num_paths());
@@ -250,44 +307,34 @@ impl<'a> ManipulationProblem<'a> {
     ///   Eq. (23) check `R x̂ = y′` holds with equality,
     /// * plausibility: `x̂(m)ⱼ ≥ 0` per link (negative delay estimates
     ///   would expose the attack to a trivial sanity check).
-    fn add_evasion_constraints(&self, lp: &mut LpProblem, attacked: &[usize], vars: &[VarId]) {
-        // P = R·A: the projector onto the routing matrix's column space,
-        // cached on the system (computed once, not per LP solve).
-        let projector = self
-            .system
-            .projector()
-            .expect("projector exists after successful system construction");
-        let num_paths = self.system.num_paths();
-        for i in 0..num_paths {
-            let terms: Vec<(VarId, f64)> = attacked
-                .iter()
-                .zip(vars.iter())
-                .filter_map(|(&k, &v)| {
-                    let mut c = projector[(i, k)];
-                    if i == k {
-                        c -= 1.0;
-                    }
-                    (c.abs() > 1e-12).then_some((v, c))
-                })
-                .collect();
-            if !terms.is_empty() {
-                lp.add_constraint(&terms, Relation::Eq, 0.0)
-                    .expect("finite");
+    fn add_evasion_constraints(&self, lp: &mut LpProblem, vars: &[VarId]) {
+        // (R·A − I) restricted to attacked columns, pre-filtered into
+        // CSR rows at construction (computed once, not per LP solve).
+        let evasion = self
+            .evasion_rows
+            .as_ref()
+            .expect("evasion rows built when scenario.evade_detection");
+        for i in 0..evasion.rows() {
+            let cols = evasion.row_indices(i);
+            if !cols.is_empty() {
+                lp.add_sparse_row(vars, cols, evasion.row_values(i), Relation::Eq, 0.0)
+                    .expect("finite coefficients, ascending columns");
             }
         }
         if !self.scenario.plausible_evasion {
             return; // the gap exploit: consistent but implausible
         }
-        for j in 0..self.system.num_links() {
-            let terms: Vec<(VarId, f64)> = attacked
-                .iter()
-                .zip(vars.iter())
-                .filter(|(&i, _)| self.estimator[(j, i)].abs() > 1e-12)
-                .map(|(&i, &v)| (v, self.estimator[(j, i)]))
-                .collect();
-            if !terms.is_empty() {
-                lp.add_constraint(&terms, Relation::Ge, -self.baseline_estimate[j])
-                    .expect("finite");
+        for j in 0..self.goal_rows.rows() {
+            let cols = self.goal_rows.row_indices(j);
+            if !cols.is_empty() {
+                lp.add_sparse_row(
+                    vars,
+                    cols,
+                    self.goal_rows.row_values(j),
+                    Relation::Ge,
+                    -self.baseline_estimate[j],
+                )
+                .expect("finite coefficients, ascending columns");
             }
         }
     }

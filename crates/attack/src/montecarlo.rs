@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use tomo_core::delay::DelayModel;
 use tomo_core::TomographySystem;
 use tomo_graph::{LinkId, NodeId};
+use tomo_lp::WarmStart;
 use tomo_obs::LazyCounter;
 use tomo_par::{derive_seed, Executor};
 
@@ -73,6 +74,13 @@ fn sample_attackers<R: Rng + ?Sized>(
 /// link, or the victim is not covered by any path — impossible on
 /// identifiable systems, kept for robustness).
 ///
+/// `warm` optionally shares a simplex basis cache across trials: trials
+/// with the same coalition shape produce structurally identical LPs, so
+/// later trials skip simplex phase 1 (see [`WarmStart`]). The success
+/// verdict and binned statistics are unaffected; raw damage floats may
+/// differ from a cold solve by solver tolerance, so pass `None` when
+/// archiving them.
+///
 /// # Errors
 ///
 /// Propagates attack-construction errors.
@@ -81,6 +89,7 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
     scenario: &AttackScenario,
     delay_model: &DelayModel,
     num_attackers: usize,
+    warm: Option<&WarmStart>,
     rng: &mut R,
 ) -> Result<Option<ChosenVictimTrial>, AttackError> {
     TRIALS.inc();
@@ -99,7 +108,7 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
         return Ok(None);
     }
     let x = delay_model.sample(system.num_links(), rng);
-    let outcome = strategy::chosen_victim(system, &attackers, scenario, &x, &[victim])?;
+    let outcome = strategy::chosen_victim_warm(system, &attackers, scenario, &x, &[victim], warm)?;
     let (success, damage) = match outcome.success() {
         Some(s) => (true, s.damage),
         None => (false, 0.0),
@@ -114,6 +123,10 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
 
 /// Runs one single-attacker maximum-damage trial (Fig. 8).
 ///
+/// `warm` is the optional shared basis cache; the recorded `damage` is
+/// an LP objective, so callers that persist it verbatim (the Fig. 8
+/// artifact does) must pass `None` to stay bit-reproducible.
+///
 /// # Errors
 ///
 /// Propagates attack-construction errors.
@@ -121,12 +134,13 @@ pub fn max_damage_trial<R: Rng + ?Sized>(
     system: &TomographySystem,
     scenario: &AttackScenario,
     delay_model: &DelayModel,
+    warm: Option<&WarmStart>,
     rng: &mut R,
 ) -> Result<SingleAttackerTrial, AttackError> {
     TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
     let x = delay_model.sample(system.num_links(), rng);
-    let outcome = strategy::max_damage(system, &attackers, scenario, &x)?;
+    let outcome = strategy::max_damage_warm(system, &attackers, scenario, &x, warm)?;
     Ok(match outcome.success() {
         Some(s) => SingleAttackerTrial {
             success: true,
@@ -142,6 +156,9 @@ pub fn max_damage_trial<R: Rng + ?Sized>(
 /// Runs one single-attacker obfuscation trial (Fig. 8): success requires
 /// at least `min_victims` victim links in the uncertain state.
 ///
+/// `warm` follows the same contract as [`max_damage_trial`]: pass `None`
+/// when the damage floats are persisted verbatim.
+///
 /// # Errors
 ///
 /// Propagates attack-construction errors.
@@ -150,12 +167,13 @@ pub fn obfuscation_trial<R: Rng + ?Sized>(
     scenario: &AttackScenario,
     delay_model: &DelayModel,
     min_victims: usize,
+    warm: Option<&WarmStart>,
     rng: &mut R,
 ) -> Result<SingleAttackerTrial, AttackError> {
     TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, 1, rng))?;
     let x = delay_model.sample(system.num_links(), rng);
-    let outcome = strategy::obfuscation(system, &attackers, scenario, &x, min_victims)?;
+    let outcome = strategy::obfuscation_warm(system, &attackers, scenario, &x, min_victims, warm)?;
     Ok(match outcome.success() {
         Some(s) => SingleAttackerTrial {
             success: true,
@@ -195,10 +213,14 @@ pub fn coalition_sweep(
         return Ok(vec![0.0; max_attackers]);
     }
     system.warm_estimator_cache()?;
+    // One basis cache for the whole sweep: the curve aggregates success
+    // booleans only, so warm-started solves cannot change it. The handle
+    // is Sync and shared by reference across the executor's workers.
+    let warm = tomo_lp::warm_enabled().then(WarmStart::new);
     let records = exec.try_map(max_attackers * trials, |idx| {
         let k = idx / trials + 1;
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, idx as u64));
-        chosen_victim_trial(system, scenario, delay_model, k, &mut rng)
+        chosen_victim_trial(system, scenario, delay_model, k, warm.as_ref(), &mut rng)
     })?;
     let curve = records
         .chunks(trials)
@@ -302,7 +324,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut any_success = false;
         for _ in 0..30 {
-            if let Some(t) = chosen_victim_trial(&system, &scenario, &delays, 2, &mut rng).unwrap()
+            if let Some(t) =
+                chosen_victim_trial(&system, &scenario, &delays, 2, None, &mut rng).unwrap()
             {
                 assert!((0.0..=1.0).contains(&t.presence_ratio));
                 if t.perfect_cut {
@@ -327,7 +350,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut md_successes = 0;
         for _ in 0..10 {
-            let t = max_damage_trial(&system, &scenario, &delays, &mut rng).unwrap();
+            let t = max_damage_trial(&system, &scenario, &delays, None, &mut rng).unwrap();
             if t.success {
                 md_successes += 1;
                 assert!(t.damage > 0.0);
@@ -336,7 +359,7 @@ mod tests {
         // On Fig. 1 most single attackers can frame someone.
         assert!(md_successes > 0);
 
-        let t = obfuscation_trial(&system, &scenario, &delays, 2, &mut rng).unwrap();
+        let t = obfuscation_trial(&system, &scenario, &delays, 2, None, &mut rng).unwrap();
         // Either outcome is legitimate; record shape only.
         if !t.success {
             assert_eq!(t.damage, 0.0);
@@ -351,6 +374,7 @@ mod tests {
             &scenario,
             &delays,
             2,
+            None,
             &mut ChaCha8Rng::seed_from_u64(7),
         )
         .unwrap();
@@ -359,6 +383,7 @@ mod tests {
             &scenario,
             &delays,
             2,
+            None,
             &mut ChaCha8Rng::seed_from_u64(7),
         )
         .unwrap();

@@ -3,6 +3,7 @@
 use tomo_core::TomographySystem;
 use tomo_graph::LinkId;
 use tomo_linalg::Vector;
+use tomo_lp::WarmStart;
 use tomo_obs::{LazyCounter, LazyHistogram};
 
 use crate::attacker::AttackerSet;
@@ -75,6 +76,26 @@ pub fn chosen_victim(
     true_metrics: &Vector,
     victims: &[LinkId],
 ) -> Result<AttackOutcome, AttackError> {
+    chosen_victim_warm(system, attackers, scenario, true_metrics, victims, None)
+}
+
+/// [`chosen_victim`] with an optional shared simplex [`WarmStart`] basis
+/// cache for Monte-Carlo streams of structurally identical LPs. Results
+/// are decision-identical to the cold path (same feasibility verdict,
+/// objective within solver tolerance) but not bit-identical — see
+/// [`ManipulationProblem::with_warm_start`].
+///
+/// # Errors
+///
+/// Same contract as [`chosen_victim`].
+pub fn chosen_victim_warm(
+    system: &TomographySystem,
+    attackers: &AttackerSet,
+    scenario: &AttackScenario,
+    true_metrics: &Vector,
+    victims: &[LinkId],
+    warm: Option<&WarmStart>,
+) -> Result<AttackOutcome, AttackError> {
     if victims.is_empty() {
         return Err(AttackError::NoVictims);
     }
@@ -86,7 +107,10 @@ pub fn chosen_victim(
             return Err(AttackError::VictimControlledByAttacker { link: v });
         }
     }
-    let prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    let mut prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    if let Some(w) = warm {
+        prob = prob.with_warm_start(w);
+    }
     let outcome = solve_chosen_victim(&prob, attackers, victims)?;
     record_outcome(
         &CHOSEN_FEASIBLE,
@@ -202,7 +226,29 @@ pub fn max_damage(
     scenario: &AttackScenario,
     true_metrics: &Vector,
 ) -> Result<AttackOutcome, AttackError> {
-    let prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    max_damage_warm(system, attackers, scenario, true_metrics, None)
+}
+
+/// [`max_damage`] with an optional shared simplex [`WarmStart`] basis
+/// cache. The victim scan solves one structurally identical LP per
+/// candidate, so even a single call benefits: the second candidate
+/// already reuses the first one's basis. Decision-identical to the cold
+/// path, not bit-identical.
+///
+/// # Errors
+///
+/// Same contract as [`max_damage`].
+pub fn max_damage_warm(
+    system: &TomographySystem,
+    attackers: &AttackerSet,
+    scenario: &AttackScenario,
+    true_metrics: &Vector,
+    warm: Option<&WarmStart>,
+) -> Result<AttackOutcome, AttackError> {
+    let mut prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    if let Some(w) = warm {
+        prob = prob.with_warm_start(w);
+    }
     let b_u = scenario.thresholds.upper();
     let mut best: Option<AttackOutcome> = None;
     for j in 0..system.num_links() {
@@ -360,7 +406,27 @@ pub fn obfuscation(
     true_metrics: &Vector,
     min_victims: usize,
 ) -> Result<AttackOutcome, AttackError> {
-    let outcome = obfuscation_inner(system, attackers, scenario, true_metrics, min_victims)?;
+    obfuscation_warm(system, attackers, scenario, true_metrics, min_victims, None)
+}
+
+/// [`obfuscation`] with an optional shared simplex [`WarmStart`] basis
+/// cache: the binary search over victim prefixes re-solves similar LPs,
+/// and cross-trial sharing reuses bases between Monte-Carlo trials with
+/// the same coalition shape. Decision-identical to the cold path, not
+/// bit-identical.
+///
+/// # Errors
+///
+/// Same contract as [`obfuscation`].
+pub fn obfuscation_warm(
+    system: &TomographySystem,
+    attackers: &AttackerSet,
+    scenario: &AttackScenario,
+    true_metrics: &Vector,
+    min_victims: usize,
+    warm: Option<&WarmStart>,
+) -> Result<AttackOutcome, AttackError> {
+    let outcome = obfuscation_inner(system, attackers, scenario, true_metrics, min_victims, warm)?;
     record_outcome(
         &OBFUSC_FEASIBLE,
         &OBFUSC_INFEASIBLE,
@@ -376,8 +442,12 @@ fn obfuscation_inner(
     scenario: &AttackScenario,
     true_metrics: &Vector,
     min_victims: usize,
+    warm: Option<&WarmStart>,
 ) -> Result<AttackOutcome, AttackError> {
-    let prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    let mut prob = ManipulationProblem::new(system, attackers, *scenario, true_metrics)?;
+    if let Some(w) = warm {
+        prob = prob.with_warm_start(w);
+    }
     let b_l = scenario.thresholds.lower();
 
     // Candidate victims: non-attacker links the attackers can lift into

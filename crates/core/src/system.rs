@@ -2,7 +2,7 @@ use std::sync::OnceLock;
 
 use tomo_graph::{Graph, LinkId, NodeId, Path};
 use tomo_linalg::lstsq::NormalEquationsSolver;
-use tomo_linalg::{Matrix, Vector};
+use tomo_linalg::{CsrMatrix, Matrix, Vector};
 use tomo_obs::LazyCounter;
 
 use crate::{CoreError, LinkState, StateThresholds};
@@ -39,6 +39,7 @@ pub struct TomographySystem {
     monitors: Vec<NodeId>,
     paths: Vec<Path>,
     routing: Matrix,
+    routing_csr: CsrMatrix,
     solver: NormalEquationsSolver,
     cache: EstimatorCache,
 }
@@ -70,7 +71,8 @@ impl TomographySystem {
                 return Err(CoreError::PathNotBetweenMonitors { path_index: i });
             }
         }
-        let routing = build_routing_matrix(&paths, graph.num_links());
+        let routing_csr = build_routing_csr(&paths, graph.num_links())?;
+        let routing = routing_csr.to_dense();
         let rank = tomo_linalg::rank::rank(&routing);
         if rank < graph.num_links() {
             return Err(CoreError::NotIdentifiable {
@@ -78,12 +80,13 @@ impl TomographySystem {
                 links: graph.num_links(),
             });
         }
-        let solver = NormalEquationsSolver::new(routing.clone())?;
+        let solver = NormalEquationsSolver::from_sparse(routing_csr.clone())?;
         Ok(TomographySystem {
             graph,
             monitors: unique,
             paths,
             routing,
+            routing_csr,
             solver,
             cache: EstimatorCache::default(),
         })
@@ -107,10 +110,26 @@ impl TomographySystem {
         &self.paths
     }
 
-    /// The routing matrix `R` (|paths| × |links|).
+    /// The routing matrix `R` (|paths| × |links|), dense view.
     #[must_use]
     pub fn routing_matrix(&self) -> &Matrix {
         &self.routing
+    }
+
+    /// The routing matrix `R` in CSR form — the representation the hot
+    /// kernels (measurement, Gram, consistency check) actually run on.
+    #[must_use]
+    pub fn routing_csr(&self) -> &CsrMatrix {
+        &self.routing_csr
+    }
+
+    /// Sparsity statistics of the routing matrix.
+    #[must_use]
+    pub fn sparsity_stats(&self) -> SparsityStats {
+        SparsityStats {
+            nnz: self.routing_csr.nnz(),
+            density: self.routing_csr.density(),
+        }
     }
 
     /// Number of measurement paths `|P|`.
@@ -138,7 +157,7 @@ impl TomographySystem {
                 got: link_metrics.len(),
             });
         }
-        Ok(self.routing.mul_vec(link_metrics)?)
+        Ok(self.routing_csr.mul_vec(link_metrics)?)
     }
 
     /// The tomography inversion: `x̂ = (RᵀR)⁻¹Rᵀy` (Eq. 2).
@@ -194,7 +213,7 @@ impl TomographySystem {
             ESTIMATOR_HITS.inc();
             return Ok(p);
         }
-        let p = self.routing.mul_mat(self.estimator_matrix()?)?;
+        let p = self.routing_csr.mul_mat(self.estimator_matrix()?)?;
         ESTIMATOR_BUILDS.inc();
         Ok(self.cache.projector.get_or_init(|| p))
     }
@@ -251,7 +270,7 @@ impl TomographySystem {
     /// Propagates linear-algebra failures (cannot occur after successful
     /// construction).
     pub fn diagnostics(&self) -> Result<SystemDiagnostics, CoreError> {
-        let gram = self.routing.gram();
+        let gram = self.routing_csr.gram();
         let condition = tomo_linalg::lu::condition_number_1(&gram)?;
         let mean_path_length =
             self.paths.iter().map(|p| p.num_links() as f64).sum::<f64>() / self.num_paths() as f64;
@@ -285,6 +304,16 @@ impl TomographySystem {
     }
 }
 
+/// Sparsity statistics of a routing matrix
+/// (see [`TomographySystem::sparsity_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Stored (nonzero) entries — total links crossed over all paths.
+    pub nnz: usize,
+    /// `nnz / (|P| · |L|)`, the fraction of nonzero entries.
+    pub density: f64,
+}
+
 /// Numerical health summary of a measurement design
 /// (see [`TomographySystem::diagnostics`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -308,6 +337,22 @@ pub fn build_routing_matrix(paths: &[Path], num_links: usize) -> Matrix {
         }
     }
     r
+}
+
+/// Builds the routing matrix in CSR form straight from the paths' link
+/// lists, without a dense intermediate. `to_dense()` of the result equals
+/// [`build_routing_matrix`] exactly.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a path crosses a link index `>= num_links`
+/// (impossible for paths built against the same graph).
+pub fn build_routing_csr(paths: &[Path], num_links: usize) -> Result<CsrMatrix, CoreError> {
+    let link_lists: Vec<Vec<usize>> = paths
+        .iter()
+        .map(|p| p.links().iter().map(|l| l.index()).collect())
+        .collect();
+    Ok(CsrMatrix::from_paths(&link_lists, num_links)?)
 }
 
 #[cfg(test)]
@@ -497,5 +542,22 @@ mod tests {
     fn build_routing_matrix_empty() {
         let r = build_routing_matrix(&[], 5);
         assert_eq!(r.shape(), (0, 5));
+        assert_eq!(build_routing_csr(&[], 5).unwrap().shape(), (0, 5));
+    }
+
+    #[test]
+    fn csr_matches_dense_routing() {
+        let sys = tiny_system();
+        assert_eq!(&sys.routing_csr().to_dense(), sys.routing_matrix());
+        let stats = sys.sparsity_stats();
+        assert_eq!(stats.nnz, 5); // paths cover 1 + 1 + 1 + 2 links
+        assert!((stats.density - 5.0 / 12.0).abs() < 1e-15);
+        // The sparse measurement path is bit-identical to the dense one.
+        let x = Vector::from(vec![0.3, -1.7, 2.5]);
+        let sparse = sys.measure(&x).unwrap();
+        let dense = sys.routing_matrix().mul_vec(&x).unwrap();
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -49,7 +49,7 @@ pub fn calibrate_alpha<R: Rng + ?Sized>(
         let x = delay_model.sample(system.num_links(), rng);
         let y = noise.perturb(&system.measure(&x)?, rng);
         let estimate = system.estimate(&y)?;
-        let reproj = system.routing_matrix().mul_vec(&estimate)?;
+        let reproj = system.routing_csr().mul_vec(&estimate)?;
         residuals.push(norms::l1(&(&reproj - &y)));
     }
     residuals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));

@@ -126,7 +126,7 @@ impl ConsistencyDetector {
         observed: &Vector,
     ) -> Result<Verdict, CoreError> {
         let estimate = system.estimate(observed)?;
-        let reprojected = system.routing_matrix().mul_vec(&estimate)?;
+        let reprojected = system.routing_csr().mul_vec(&estimate)?;
         let residual_l1 = norms::l1(&(&reprojected - observed));
         let min_estimate = estimate.min().unwrap_or(0.0);
         let implausible = self.plausibility_tol.is_some_and(|tol| min_estimate < -tol);
@@ -259,7 +259,7 @@ mod tests {
         let mut fake = Vector::filled(10, 10.0);
         fake[0] = 900.0; // framed victim
         fake[8] = -600.0; // the tell-tale negative estimate
-        let y = system.routing_matrix().mul_vec(&fake).unwrap();
+        let y = system.routing_csr().mul_vec(&fake).unwrap();
         let pure = ConsistencyDetector::paper_default()
             .inspect(&system, &y)
             .unwrap();

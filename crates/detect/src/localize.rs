@@ -94,7 +94,7 @@ pub fn localize(
         });
     }
     let estimate = system.estimate(observed)?;
-    let reprojected = system.routing_matrix().mul_vec(&estimate)?;
+    let reprojected = system.routing_csr().mul_vec(&estimate)?;
     let full_residual = norms::l1(&(&reprojected - observed));
 
     let mut scores: Vec<SuspectScore> = system
@@ -194,7 +194,7 @@ mod tests {
             if let Some(s) = outcome.success() {
                 let y = &system.measure(&x).unwrap() + &s.manipulation;
                 let est = system.estimate(&y).unwrap();
-                let reproj = system.routing_matrix().mul_vec(&est).unwrap();
+                let reproj = system.routing_csr().mul_vec(&est).unwrap();
                 if norms::l1(&(&reproj - &y)) > 200.0 {
                     return (system, y, node);
                 }

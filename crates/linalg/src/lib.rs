@@ -4,6 +4,8 @@
 //! reproduction needs, implemented from scratch and tested exhaustively:
 //!
 //! * [`Matrix`] / [`Vector`] — dense row-major matrices and column vectors,
+//! * [`CsrMatrix`] — compressed-sparse-row routing matrices whose kernels
+//!   are bit-identical to the dense ones,
 //! * [`lu::Lu`] — LU decomposition with partial pivoting (solve, inverse,
 //!   determinant),
 //! * [`cholesky::Cholesky`] — SPD factorization used for the normal
@@ -36,6 +38,7 @@
 
 mod error;
 mod matrix;
+mod sparse;
 mod vector;
 
 pub mod cholesky;
@@ -47,6 +50,7 @@ pub mod rank;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use sparse::{CsrBuilder, CsrMatrix};
 pub use vector::Vector;
 
 /// Default absolute tolerance used by rank decisions and singularity checks.

@@ -10,7 +10,7 @@
 
 use crate::cholesky::Cholesky;
 use crate::qr::Qr;
-use crate::{LinalgError, Matrix, Vector};
+use crate::{CsrMatrix, LinalgError, Matrix, Vector};
 use tomo_obs::LazyHistogram;
 
 static SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lstsq.solve_seconds");
@@ -61,25 +61,40 @@ pub fn solve_normal_equations(a: &Matrix, b: &Vector) -> Result<Vector, LinalgEr
 /// `x̂(m) = x̂₀ + A⁺ m`).
 #[derive(Debug, Clone)]
 pub struct NormalEquationsSolver {
-    a: Matrix,
+    a: CsrMatrix,
     chol: Cholesky,
 }
 
 impl NormalEquationsSolver {
     /// Factorizes the Gram matrix of `a`.
     ///
+    /// The matrix is stored in CSR form and the Gram matrix is built by
+    /// the sparse kernel ([`CsrMatrix::gram`]), bit-identical to the
+    /// dense [`Matrix::mul_transpose_self`] accumulation.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::NotPositiveDefinite`] if `a` lacks full
     /// column rank.
     pub fn new(a: Matrix) -> Result<Self, LinalgError> {
-        let chol = Cholesky::new(&a.mul_transpose_self())?;
+        Self::from_sparse(CsrMatrix::from_dense(&a))
+    }
+
+    /// Factorizes the Gram matrix of an already-sparse `a` without a
+    /// dense detour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if `a` lacks full
+    /// column rank.
+    pub fn from_sparse(a: CsrMatrix) -> Result<Self, LinalgError> {
+        let chol = Cholesky::new(&a.gram())?;
         Ok(NormalEquationsSolver { a, chol })
     }
 
-    /// The matrix being inverted (design/routing matrix).
+    /// The matrix being inverted (design/routing matrix), in CSR form.
     #[must_use]
-    pub fn matrix(&self) -> &Matrix {
+    pub fn matrix(&self) -> &CsrMatrix {
         &self.a
     }
 
@@ -102,7 +117,7 @@ impl NormalEquationsSolver {
     /// construction).
     pub fn pseudo_inverse(&self) -> Result<Matrix, LinalgError> {
         // Solve (AᵀA) Z = Aᵀ columnwise.
-        let at = self.a.transpose();
+        let at = self.a.to_dense().transpose();
         self.chol.solve_mat(&at)
     }
 }

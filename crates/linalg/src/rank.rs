@@ -143,12 +143,20 @@ impl IncrementalRank {
         }
         let mut r = row.clone();
         // Two passes of modified Gram-Schmidt for numerical robustness.
-        for _ in 0..2 {
+        // A candidate that is already (numerically) in the span after the
+        // first pass is rejected without the second: reorthogonalization
+        // only shrinks the residual, so the verdict cannot change, and
+        // rejections dominate greedy path selection (the tracker sees far
+        // more dependent rows than independent ones).
+        for pass in 0..2 {
             for q in &self.basis {
                 let c = r.dot(q).expect("dimensions match by construction");
                 if c != 0.0 {
-                    r = r.axpy(-c, q).expect("dimensions match");
+                    r.axpy_in_place(-c, q).expect("dimensions match");
                 }
+            }
+            if pass == 0 && crate::norms::l2(&r) <= self.tol * (1.0 + scale) {
+                return None;
             }
         }
         let norm = crate::norms::l2(&r);

@@ -44,10 +44,12 @@ mod error;
 mod model;
 mod simplex;
 mod solution;
+mod warm;
 
 pub use error::LpError;
 pub use model::{ConstraintActivity, LpProblem, Objective, Relation, VarId};
 pub use solution::{LpSolution, LpStatus};
+pub use warm::{warm_enabled, WarmStart};
 
 /// Feasibility/optimality tolerance used throughout the solver.
 pub const LP_TOL: f64 = 1e-7;

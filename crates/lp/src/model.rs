@@ -213,6 +213,76 @@ impl LpProblem {
         Ok(())
     }
 
+    /// Adds the constraint `Σ valuesₖ·vars[indicesₖ]  (≤ | = | ≥)  rhs`
+    /// from one sparse (CSR) row.
+    ///
+    /// `indices` are positions into `vars` — exactly the column indices
+    /// of a [`CsrMatrix`](https://docs.rs/) row whose columns were laid
+    /// out over `vars` — and must be strictly ascending, which CSR rows
+    /// guarantee by construction. Unlike [`Self::add_constraint`], no
+    /// duplicate-merging scan is needed: the stored terms are the given
+    /// entries verbatim, in order.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] if an index is out of range for
+    ///   `vars`,
+    /// * [`LpError::NonFiniteCoefficient`] if a value or `rhs` is not
+    ///   finite, or `indices` is not strictly ascending / does not match
+    ///   `values` in length (structure errors reuse this variant's
+    ///   context string).
+    pub fn add_sparse_row(
+        &mut self,
+        vars: &[VarId],
+        indices: &[usize],
+        values: &[f64],
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteCoefficient {
+                context: "constraint rhs",
+            });
+        }
+        if indices.len() != values.len() {
+            return Err(LpError::NonFiniteCoefficient {
+                context: "sparse row index/value length mismatch",
+            });
+        }
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(indices.len());
+        let mut prev: Option<usize> = None;
+        for (&k, &coeff) in indices.iter().zip(values) {
+            if !coeff.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    context: "constraint coefficient",
+                });
+            }
+            if prev.is_some_and(|p| k <= p) {
+                return Err(LpError::NonFiniteCoefficient {
+                    context: "sparse row indices not strictly ascending",
+                });
+            }
+            prev = Some(k);
+            let var = *vars.get(k).ok_or(LpError::UnknownVariable {
+                index: k,
+                count: vars.len(),
+            })?;
+            if var.0 >= self.variables.len() {
+                return Err(LpError::UnknownVariable {
+                    index: var.0,
+                    count: self.variables.len(),
+                });
+            }
+            terms.push((var.0, coeff));
+        }
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
+        Ok(())
+    }
+
     /// Name of a variable (for diagnostics).
     ///
     /// # Panics
@@ -221,6 +291,51 @@ impl LpProblem {
     #[must_use]
     pub fn variable_name(&self, var: VarId) -> &str {
         &self.variables[var.0].name
+    }
+
+    /// Hash of the problem's *constraint skeleton*: objective direction,
+    /// variable count and bounds, and per-constraint relation and term
+    /// sparsity pattern — everything that determines the standard-form
+    /// tableau layout, but **not** the coefficient or right-hand-side
+    /// values. Two LPs with equal skeletons have interchangeable bases,
+    /// which is what [`WarmStart`](crate::WarmStart) keys on.
+    #[must_use]
+    pub fn skeleton_hash(&self) -> u64 {
+        // FNV-1a over the structural stream.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(PRIME)
+        }
+        let mut h = OFFSET;
+        h = mix(
+            h,
+            match self.objective {
+                Objective::Maximize => 1,
+                Objective::Minimize => 2,
+            },
+        );
+        h = mix(h, self.variables.len() as u64);
+        for v in &self.variables {
+            h = mix(h, v.lower.to_bits());
+            h = mix(h, v.upper.map_or(u64::MAX, f64::to_bits));
+        }
+        h = mix(h, self.constraints.len() as u64);
+        for c in &self.constraints {
+            h = mix(
+                h,
+                match c.relation {
+                    Relation::Le => 3,
+                    Relation::Eq => 4,
+                    Relation::Ge => 5,
+                },
+            );
+            h = mix(h, c.terms.len() as u64);
+            for &(j, _) in &c.terms {
+                h = mix(h, j as u64);
+            }
+        }
+        h
     }
 
     /// Evaluates each constraint at a solution: its left-hand-side value
@@ -277,6 +392,24 @@ impl LpProblem {
     /// guarantees finiteness).
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         simplex::solve(self)
+    }
+
+    /// Solves the problem, reusing (and updating) a cached basis from
+    /// `warm` for this problem's constraint skeleton.
+    ///
+    /// On a cache hit the solver *crashes* the remembered basis into the
+    /// fresh tableau, skips phase 1, and re-enters phase 2 from there;
+    /// if the basis turns out singular or infeasible under the new data
+    /// it falls back to a cold solve. Status and objective agree with
+    /// [`Self::solve`] up to solver tolerance; the vertex reached (and
+    /// thus low-order solution bits) may differ when optima are not
+    /// unique. See `lp.simplex.warm.*` metrics for hit/miss accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    pub fn solve_warm(&self, warm: &crate::WarmStart) -> Result<LpSolution, LpError> {
+        simplex::solve_warm(self, warm)
     }
 }
 
@@ -341,6 +474,79 @@ mod tests {
             .add_constraint(&[(x, 1.0)], Relation::Le, f64::INFINITY)
             .is_err());
         lp.add_constraint(&[(x, 1.0)], Relation::Le, 5.0).unwrap();
+        assert_eq!(lp.num_constraints(), 1);
+    }
+
+    #[test]
+    fn sparse_row_matches_dense_constraint() {
+        // The same LP assembled via add_constraint and add_sparse_row
+        // must solve identically (bit-for-bit: same terms, same order).
+        let build = |sparse: bool| {
+            let mut lp = LpProblem::new(Objective::Maximize);
+            let vars: Vec<VarId> = (0..4)
+                .map(|i| lp.add_variable(format!("m{i}"), 0.0, Some(10.0)).unwrap())
+                .collect();
+            for &v in &vars {
+                lp.set_objective_coefficient(v, 1.0);
+            }
+            // Row touching columns 0, 2, 3 only — a CSR-style row.
+            let indices = [0usize, 2, 3];
+            let values = [1.5, -0.5, 2.0];
+            if sparse {
+                lp.add_sparse_row(&vars, &indices, &values, Relation::Le, 7.0)
+                    .unwrap();
+            } else {
+                let terms: Vec<(VarId, f64)> = indices
+                    .iter()
+                    .zip(values.iter())
+                    .map(|(&k, &c)| (vars[k], c))
+                    .collect();
+                lp.add_constraint(&terms, Relation::Le, 7.0).unwrap();
+            }
+            lp.solve().unwrap()
+        };
+        let dense = build(false);
+        let sparse = build(true);
+        assert_eq!(dense.status(), sparse.status());
+        assert_eq!(
+            dense.objective_value().to_bits(),
+            sparse.objective_value().to_bits()
+        );
+        assert_eq!(dense.values(), sparse.values());
+    }
+
+    #[test]
+    fn sparse_row_validates_structure() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let vars = vec![
+            lp.add_variable("a", 0.0, None).unwrap(),
+            lp.add_variable("b", 0.0, None).unwrap(),
+        ];
+        // Index out of range for the vars slice.
+        assert!(lp
+            .add_sparse_row(&vars, &[2], &[1.0], Relation::Le, 1.0)
+            .is_err());
+        // Length mismatch.
+        assert!(lp
+            .add_sparse_row(&vars, &[0, 1], &[1.0], Relation::Le, 1.0)
+            .is_err());
+        // Not strictly ascending.
+        assert!(lp
+            .add_sparse_row(&vars, &[1, 0], &[1.0, 1.0], Relation::Le, 1.0)
+            .is_err());
+        assert!(lp
+            .add_sparse_row(&vars, &[1, 1], &[1.0, 1.0], Relation::Le, 1.0)
+            .is_err());
+        // Non-finite coefficient / rhs.
+        assert!(lp
+            .add_sparse_row(&vars, &[0], &[f64::NAN], Relation::Le, 1.0)
+            .is_err());
+        assert!(lp
+            .add_sparse_row(&vars, &[0], &[1.0], Relation::Le, f64::INFINITY)
+            .is_err());
+        // Empty rows are fine (0 ≤ rhs tautology handled downstream).
+        lp.add_sparse_row(&vars, &[], &[], Relation::Le, 1.0)
+            .unwrap();
         assert_eq!(lp.num_constraints(), 1);
     }
 

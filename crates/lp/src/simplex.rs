@@ -10,6 +10,7 @@ use tomo_obs::{LazyCounter, LazyHistogram};
 
 use crate::model::{LpProblem, Objective, Relation};
 use crate::solution::{LpSolution, LpStatus};
+use crate::warm::WarmStart;
 use crate::{LpError, LP_TOL};
 
 static SOLVES: LazyCounter = LazyCounter::new("lp.simplex.solves");
@@ -20,11 +21,28 @@ static INFEASIBLE: LazyCounter = LazyCounter::new("lp.simplex.infeasible");
 static UNBOUNDED: LazyCounter = LazyCounter::new("lp.simplex.unbounded");
 static PHASE1_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase1_seconds");
 static PHASE2_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase2_seconds");
+static WARM_HITS: LazyCounter = LazyCounter::new("lp.simplex.warm.hits");
+static WARM_MISSES: LazyCounter = LazyCounter::new("lp.simplex.warm.misses");
+static WARM_CRASH_OPS: LazyCounter = LazyCounter::new("lp.simplex.warm.crash_ops");
+static WARM_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.warm.pivots");
+static COLD_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.cold.pivots");
 
 /// Hard safety bound on simplex iterations per phase.
 const MAX_ITER_BASE: usize = 20_000;
 /// After this many iterations in a phase, switch from Dantzig to Bland.
 const BLAND_SWITCH: usize = 2_000;
+
+/// Outcome of crashing a remembered basis into a fresh tableau.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Crash {
+    /// Basic feasible solution with zero artificial mass: skip phase 1.
+    Phase2Ready,
+    /// Primal feasible but artificials still carry weight: re-enter
+    /// phase 1 from this basis instead of the all-artificial start.
+    Phase1Ready,
+    /// Singular or primal-infeasible under the new data: solve cold.
+    Failed,
+}
 
 struct Tableau {
     /// (m+1) × (ncols+1); last row = reduced costs, last col = rhs.
@@ -35,6 +53,9 @@ struct Tableau {
     ncols: usize,
     /// Columns that may never enter the basis (artificials in phase 2).
     banned: Vec<bool>,
+    /// Priced simplex pivots performed during this solve (crash
+    /// eliminations excluded) — feeds the warm/cold pivot histograms.
+    solve_pivots: u64,
 }
 
 impl Tableau {
@@ -42,20 +63,20 @@ impl Tableau {
         self.t[i][self.ncols]
     }
 
-    /// One pivot: column `col` enters, row `row`'s basic variable leaves.
-    fn pivot(&mut self, row: usize, col: usize) {
-        PIVOTS.inc();
+    /// Gauss-Jordan elimination making column `col` the unit vector of
+    /// row `row`: the shared kernel of [`Self::pivot`] and
+    /// [`Self::crash_basis`]. Splits the row storage instead of cloning
+    /// the pivot row, so no allocation happens per elimination.
+    fn eliminate(&mut self, row: usize, col: usize) {
         let pivot = self.t[row][col];
         debug_assert!(pivot.abs() > LP_TOL, "pivot too small: {pivot}");
         let inv = 1.0 / pivot;
         for v in self.t[row].iter_mut() {
             *v *= inv;
         }
-        let pivot_row = self.t[row].clone();
-        for (i, r) in self.t.iter_mut().enumerate() {
-            if i == row {
-                continue;
-            }
+        let (head, rest) = self.t.split_at_mut(row);
+        let (pivot_row, tail) = rest.split_first_mut().expect("row < m+1");
+        for r in head.iter_mut().chain(tail.iter_mut()) {
             let factor = r[col];
             if factor == 0.0 {
                 continue;
@@ -67,6 +88,71 @@ impl Tableau {
             r[col] = 0.0;
         }
         self.basis[row] = col;
+    }
+
+    /// One priced pivot: column `col` enters, row `row`'s basic variable
+    /// leaves.
+    fn pivot(&mut self, row: usize, col: usize) {
+        PIVOTS.inc();
+        self.solve_pivots += 1;
+        self.eliminate(row, col);
+    }
+
+    /// Installs a remembered basis into a freshly assembled tableau by
+    /// eliminating each hinted column in row order ("crash" start).
+    ///
+    /// [`Crash::Phase2Ready`] means every hinted pivot element was
+    /// usable, the resulting basic solution is primal feasible, and no
+    /// artificial column (index ≥ `first_artificial`) carries weight —
+    /// exactly the state a successful phase 1 would have produced, so
+    /// phase 2 can start immediately. [`Crash::Phase1Ready`] means the
+    /// basis is primal feasible but artificials still carry weight
+    /// (the remembered solve ended infeasible); phase 1 can re-enter
+    /// from here instead of the all-artificial start. On
+    /// [`Crash::Failed`] the tableau is left partially eliminated and
+    /// must be rebuilt by the caller.
+    fn crash_basis(&mut self, hint: &[usize], first_artificial: usize) -> Crash {
+        if hint.len() != self.m {
+            return Crash::Failed;
+        }
+        // The hint is a *set* of basis columns: install each by
+        // Gauss-Jordan elimination, choosing among still-unassigned rows
+        // the one with the largest pivot magnitude (partial pivoting).
+        // A fixed row order would spuriously reject nonsingular bases
+        // whenever an early row happens to have a zero in its hinted
+        // column.
+        let mut assigned = vec![false; self.m];
+        for &col in hint {
+            if col >= self.ncols {
+                return Crash::Failed;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &done) in assigned.iter().enumerate() {
+                if done {
+                    continue;
+                }
+                let a = self.t[i][col].abs();
+                if a > LP_TOL && best.is_none_or(|(_, b)| a > b) {
+                    best = Some((i, a));
+                }
+            }
+            let Some((row, _)) = best else {
+                return Crash::Failed;
+            };
+            assigned[row] = true;
+            WARM_CRASH_OPS.inc();
+            self.eliminate(row, col);
+        }
+        if (0..self.m).any(|i| self.rhs(i) < -LP_TOL) {
+            return Crash::Failed;
+        }
+        let artificials_off =
+            (0..self.m).all(|i| self.basis[i] < first_artificial || self.rhs(i) <= LP_TOL);
+        if artificials_off {
+            Crash::Phase2Ready
+        } else {
+            Crash::Phase1Ready
+        }
     }
 
     /// Chooses the entering column, or `None` if optimal.
@@ -132,17 +218,18 @@ impl Tableau {
     /// Installs a cost row and eliminates basic-variable costs.
     fn install_costs(&mut self, costs: &[f64]) {
         let n = self.ncols;
-        self.t[self.m][..n].copy_from_slice(&costs[..n]);
-        self.t[self.m][n] = 0.0;
-        for i in 0..self.m {
+        let (body, cost) = self.t.split_at_mut(self.m);
+        let cost_row = &mut cost[0];
+        cost_row[..n].copy_from_slice(&costs[..n]);
+        cost_row[n] = 0.0;
+        for (i, row_i) in body.iter().enumerate() {
             let b = self.basis[i];
-            let cb = self.t[self.m][b];
+            let cb = cost_row[b];
             if cb != 0.0 {
-                let row_i = self.t[i].clone();
-                for (c, &a) in self.t[self.m].iter_mut().zip(row_i.iter()) {
+                for (c, &a) in cost_row.iter_mut().zip(row_i.iter()) {
                     *c -= cb * a;
                 }
-                self.t[self.m][b] = 0.0;
+                cost_row[b] = 0.0;
             }
         }
     }
@@ -150,6 +237,15 @@ impl Tableau {
 
 /// Solves the model; see [`LpProblem::solve`].
 pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    solve_inner(problem, None)
+}
+
+/// Solves the model with basis reuse; see [`LpProblem::solve_warm`].
+pub(crate) fn solve_warm(problem: &LpProblem, warm: &WarmStart) -> Result<LpSolution, LpError> {
+    solve_inner(problem, Some(warm))
+}
+
+fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSolution, LpError> {
     SOLVES.inc();
     let n_struct = problem.variables.len();
 
@@ -248,10 +344,52 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         m,
         ncols,
         banned: vec![false; ncols],
+        solve_pivots: 0,
     };
+    let first_artificial = n_struct + n_slack;
 
-    // Phase 1: minimize the sum of artificials.
-    if !artificial_cols.is_empty() {
+    // Warm start: try to crash a remembered basis for this constraint
+    // skeleton into the fresh tableau. `Phase2Ready` means we already
+    // hold a basic feasible solution with zero artificial mass —
+    // exactly what phase 1 exists to find — so phase 1 is skipped
+    // entirely. `Phase1Ready` (the remembered solve ended infeasible)
+    // means phase 1 re-enters from the crashed near-terminal basis
+    // instead of the all-artificial start, re-certifying in a handful
+    // of pivots.
+    let skeleton = warm.map(|w| (w, problem.skeleton_hash()));
+    let mut crash = Crash::Failed;
+    if let Some((w, key)) = skeleton {
+        let candidates = w.candidates(key, m, ncols);
+        if !candidates.is_empty() {
+            let pristine_t = tab.t.clone();
+            let pristine_basis = tab.basis.clone();
+            for hint in &candidates {
+                match tab.crash_basis(hint, first_artificial) {
+                    Crash::Failed => {
+                        tab.t.clone_from(&pristine_t);
+                        tab.basis.clone_from(&pristine_basis);
+                    }
+                    state => {
+                        crash = state;
+                        break;
+                    }
+                }
+            }
+        }
+        if crash == Crash::Failed {
+            WARM_MISSES.inc();
+        } else {
+            WARM_HITS.inc();
+        }
+    }
+    let warm_hit = crash != Crash::Failed;
+
+    // Phase 1: minimize the sum of artificials (skipped when the crash
+    // already produced an artificial-free feasible basis; started from
+    // the crashed basis — rather than the all-artificial one — on a
+    // `Phase1Ready` crash, since `install_costs` re-prices against
+    // whatever basis the tableau currently holds).
+    if !artificial_cols.is_empty() && crash != Crash::Phase2Ready {
         let _phase1_timer = PHASE1_SECONDS.start_timer();
         let mut phase1_costs = vec![0.0; ncols];
         for &j in &artificial_cols {
@@ -264,6 +402,17 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         let phase1_obj = -tab.t[tab.m][ncols];
         if phase1_obj > LP_TOL * (1.0 + phase1_obj.abs()) {
             INFEASIBLE.inc();
+            if warm_hit {
+                WARM_PIVOTS.record(tab.solve_pivots as f64);
+            } else {
+                COLD_PIVOTS.record(tab.solve_pivots as f64);
+            }
+            // Remember the phase-1 terminal basis even though the LP is
+            // infeasible: the next solve of this skeleton re-certifies
+            // infeasibility from it in a handful of pivots.
+            if let Some((w, key)) = skeleton {
+                w.store(key, m, ncols, Some(tab.basis.clone()), None);
+            }
             tomo_obs::debug!(
                 "lp.simplex",
                 "infeasible: phase-1 objective {phase1_obj:.3e}"
@@ -275,20 +424,23 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             ));
         }
         // Pivot zero-valued artificials out of the basis where possible.
-        let is_artificial = |j: usize| j >= n_struct + n_slack;
+        let is_artificial = |j: usize| j >= first_artificial;
         for i in 0..tab.m {
             if is_artificial(tab.basis[i]) {
-                if let Some(j) = (0..n_struct + n_slack).find(|&j| tab.t[i][j].abs() > LP_TOL) {
+                if let Some(j) = (0..first_artificial).find(|&j| tab.t[i][j].abs() > LP_TOL) {
                     tab.pivot(i, j);
                 }
                 // Otherwise the row is redundant; the artificial stays
                 // basic at value 0 and (being banned below) can never grow.
             }
         }
-        for &j in &artificial_cols {
-            tab.banned[j] = true;
-        }
     }
+    for &j in &artificial_cols {
+        tab.banned[j] = true;
+    }
+    // The feasible basis phase 1 (or the crash) ended with: worth
+    // remembering even if phase 2 wanders far from it.
+    let phase1_basis = skeleton.map(|_| tab.basis.clone());
 
     // Phase 2: real objective (converted to minimization over x').
     let sign = match problem.objective() {
@@ -303,14 +455,25 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         tab.install_costs(&phase2_costs);
         tab.optimize()
     })?;
+    if warm_hit {
+        WARM_PIVOTS.record(tab.solve_pivots as f64);
+    } else {
+        COLD_PIVOTS.record(tab.solve_pivots as f64);
+    }
     if !optimal {
         UNBOUNDED.inc();
+        if let Some((w, key)) = skeleton {
+            w.store(key, m, ncols, phase1_basis, None);
+        }
         tomo_obs::warn!("lp.simplex", "unbounded objective");
         return Ok(LpSolution::new(
             LpStatus::Unbounded,
             0.0,
             vec![0.0; n_struct],
         ));
+    }
+    if let Some((w, key)) = skeleton {
+        w.store(key, m, ncols, phase1_basis, Some(tab.basis.clone()));
     }
 
     // Extract structural values (undo the lower-bound shift).
@@ -338,10 +501,132 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
 #[cfg(test)]
 mod tests {
-    use crate::{LpProblem, LpStatus, Objective, Relation};
+    use crate::{LpProblem, LpStatus, Objective, Relation, VarId, WarmStart};
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// A small Ge/Eq-laden problem family parameterized by rhs, so warm
+    /// solves exercise the phase-1 skip across rhs changes.
+    fn family_instance(demand: f64) -> (LpProblem, VarId, VarId) {
+        // min 2x + 3y s.t. x + y ≥ demand, x − y = demand/4, x,y ∈ [0, 100].
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_variable("x", 0.0, Some(100.0)).unwrap();
+        let y = lp.add_variable("y", 0.0, Some(100.0)).unwrap();
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, demand)
+            .unwrap();
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, demand / 4.0)
+            .unwrap();
+        (lp, x, y)
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_across_rhs_sweep() {
+        let warm = WarmStart::new();
+        for step in 0..20 {
+            let demand = 4.0 + f64::from(step) * 1.7;
+            let (lp, x, y) = family_instance(demand);
+            let cold = lp.solve().unwrap();
+            let hot = lp.solve_warm(&warm).unwrap();
+            assert_eq!(cold.status(), hot.status(), "demand {demand}");
+            assert!(
+                (cold.objective_value() - hot.objective_value()).abs()
+                    <= 1e-9 * (1.0 + cold.objective_value().abs()),
+                "demand {demand}: cold {} warm {}",
+                cold.objective_value(),
+                hot.objective_value()
+            );
+            for v in [x, y] {
+                assert!((cold.value(v) - hot.value(v)).abs() <= 1e-7);
+            }
+        }
+        // The sweep shares one skeleton.
+        assert_eq!(warm.len(), 1);
+    }
+
+    #[test]
+    fn warm_falls_back_cold_when_basis_goes_infeasible() {
+        let warm = WarmStart::new();
+        // Seed the cache at a comfortably feasible instance…
+        let (lp, _, _) = family_instance(10.0);
+        assert!(lp.solve_warm(&warm).unwrap().is_optimal());
+        // …then jump to an infeasible instance of the same skeleton
+        // (demand above both upper bounds combined).
+        let (hard, _, _) = family_instance(500.0);
+        let sol = hard.solve_warm(&warm).unwrap();
+        assert_eq!(sol.status(), LpStatus::Infeasible);
+        // And back: the cache must still warm the feasible region.
+        let (back, x, y) = family_instance(12.0);
+        let sol = back.solve_warm(&warm).unwrap();
+        assert!(sol.is_optimal());
+        let cold = back.solve().unwrap();
+        assert_close(sol.objective_value(), cold.objective_value());
+        assert_close(sol.value(x), cold.value(x));
+        assert_close(sol.value(y), cold.value(y));
+    }
+
+    #[test]
+    fn warm_reenters_phase1_on_repeated_infeasible_skeleton() {
+        let warm = WarmStart::new();
+        // The first infeasible solve must cache its phase-1 terminal
+        // basis (before this existed, infeasible solves stored nothing
+        // and streams of infeasible instances never warmed up).
+        let (a, _, _) = family_instance(500.0);
+        assert_eq!(a.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
+        assert_eq!(warm.len(), 1, "infeasible solve must seed the cache");
+        // A second infeasible instance of the same skeleton crashes the
+        // cached basis and re-certifies infeasibility from it.
+        let (b, _, _) = family_instance(480.0);
+        assert_eq!(b.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
+        assert_eq!(b.solve().unwrap().status(), LpStatus::Infeasible);
+        // And a feasible instance afterwards still solves correctly.
+        let (c, x, y) = family_instance(12.0);
+        let hot = c.solve_warm(&warm).unwrap();
+        let cold = c.solve().unwrap();
+        assert!(hot.is_optimal());
+        assert_close(hot.objective_value(), cold.objective_value());
+        assert_close(hot.value(x), cold.value(x));
+        assert_close(hot.value(y), cold.value(y));
+    }
+
+    #[test]
+    fn warm_handles_unbounded_and_all_le_problems() {
+        let warm = WarmStart::new();
+        // All-Le problem: no artificials, warm path must still work.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_variable("x", 0.0, Some(7.0)).unwrap();
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(&[(x, 1.0)], Relation::Le, 5.0).unwrap();
+        assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
+        assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
+
+        // Unbounded problem solved warm twice.
+        let mut ub = LpProblem::new(Objective::Maximize);
+        let z = ub.add_variable("z", 0.0, None).unwrap();
+        ub.set_objective_coefficient(z, 1.0);
+        ub.add_constraint(&[(z, -1.0)], Relation::Le, 3.0).unwrap();
+        assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
+        assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn skeleton_hash_separates_structure_not_data() {
+        let (a, _, _) = family_instance(10.0);
+        let (b, _, _) = family_instance(99.0);
+        // Same structure, different rhs: same skeleton.
+        assert_eq!(a.skeleton_hash(), b.skeleton_hash());
+        // Different relation: different skeleton.
+        let mut c = LpProblem::new(Objective::Minimize);
+        let x = c.add_variable("x", 0.0, Some(100.0)).unwrap();
+        let y = c.add_variable("y", 0.0, Some(100.0)).unwrap();
+        c.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 10.0)
+            .unwrap();
+        c.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 2.5)
+            .unwrap();
+        assert_ne!(a.skeleton_hash(), c.skeleton_hash());
     }
 
     #[test]

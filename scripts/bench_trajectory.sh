@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Wall-clock scaling of the parallel Monte-Carlo engine.
+# Wall-clock scaling of the parallel Monte-Carlo engine, plus a cold vs
+# warm-start A/B of the simplex layer.
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON]
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON]
 #
 # Runs the fig7 quick workload through the release tomo-sim binary at 1,
 # 2, and max threads, verifies the JSON artifacts are byte-identical, and
 # writes BENCH_montecarlo.json (default: repo root) with wall-clock and
-# trials/sec per thread count. Prints BENCH lines as it goes.
+# trials/sec per thread count. Then reruns the same workload single
+# threaded with the LP basis cache disabled (TOMO_LP_WARM=0) and enabled,
+# and writes BENCH_lp.json comparing wall time, simplex pivot counts, and
+# the warm hit/miss/crash counters. Prints BENCH lines as it goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_JSON="${1:-BENCH_montecarlo.json}"
+LP_OUT_JSON="${2:-BENCH_lp.json}"
 SEED=42
 CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
@@ -87,3 +92,68 @@ echo "BENCH artifacts byte-identical across thread counts"
   echo "}"
 } > "$OUT_JSON"
 echo "BENCH wrote $OUT_JSON"
+
+# --- Cold vs warm simplex A/B -------------------------------------------
+# Single threaded so solve order (and therefore the basis cache state) is
+# deterministic for a given seed. Counters come from the --metrics
+# snapshot; the artifact bytes must not depend on the cache.
+measure_lp() { # warm_flag(0|1) tag -> best wall secs; metrics in $WORK/lp_$tag.json
+  local flag="$1" tag="$2" best="" t0 t1 secs
+  for _ in 1 2 3; do
+    t0=$(date +%s.%N)
+    TOMO_LP_WARM="$flag" "$BIN" run fig7 --quick --seed "$SEED" --threads 1 \
+      --out "$WORK/lp_$tag" --metrics "$WORK/lp_$tag.json" >/dev/null
+    t1=$(date +%s.%N)
+    secs=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+    if [ -z "$best" ] || awk -v a="$secs" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+      best="$secs"
+    fi
+  done
+  echo "$best"
+}
+
+COLD_SECS=$(measure_lp 0 cold)
+WARM_SECS=$(measure_lp 1 warm)
+
+if ! cmp -s "$WORK/lp_cold/fig7.json" "$WORK/lp_warm/fig7.json"; then
+  echo "BENCH ERROR: fig7.json differs between cold and warm LP runs" >&2
+  exit 1
+fi
+echo "BENCH artifacts byte-identical cold vs warm"
+
+python3 - "$WORK/lp_cold.json" "$WORK/lp_warm.json" \
+  "$COLD_SECS" "$WARM_SECS" "$LP_OUT_JSON" <<'PY'
+import json, sys
+
+cold_metrics, warm_metrics, cold_secs, warm_secs, out_path = sys.argv[1:6]
+cold = json.load(open(cold_metrics)).get("counters", {})
+warm = json.load(open(warm_metrics)).get("counters", {})
+
+def point(counters, secs):
+    return {
+        "wall_secs": float(secs),
+        "solves": counters.get("lp.simplex.solves", 0),
+        "pivots": counters.get("lp.simplex.pivots", 0),
+        "iterations": counters.get("lp.simplex.iterations", 0),
+        "warm_hits": counters.get("lp.simplex.warm.hits", 0),
+        "warm_misses": counters.get("lp.simplex.warm.misses", 0),
+        "warm_crash_ops": counters.get("lp.simplex.warm.crash_ops", 0),
+    }
+
+report = {
+    "workload": "tomo-sim run fig7 --quick --seed 42 --threads 1",
+    "runs_per_point": 3,
+    "cold": point(cold, cold_secs),
+    "warm": point(warm, warm_secs),
+}
+cp, wp = report["cold"]["pivots"], report["warm"]["pivots"]
+if not wp < cp:
+    sys.exit(f"BENCH ERROR: warm pivots {wp} not below cold pivots {cp}")
+if report["warm"]["warm_hits"] < 1:
+    sys.exit("BENCH ERROR: warm run recorded no cache hits")
+json.dump(report, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"BENCH lp cold pivots={cp} warm pivots={wp} "
+      f"hits={report['warm']['warm_hits']} misses={report['warm']['warm_misses']}")
+PY
+echo "BENCH wrote $LP_OUT_JSON"

@@ -21,6 +21,12 @@ cargo fmt --check
 echo "==> cargo test -q --test par_determinism (thread-count invariance)"
 cargo test -q --test par_determinism
 
+echo "==> cargo test -q --test sparse_parity (CSR/dense bit parity)"
+cargo test -q --test sparse_parity
+
+echo "==> cargo test -q --test warm_equivalence (warm vs cold simplex)"
+cargo test -q --test warm_equivalence
+
 echo "==> tomo-sim 2-thread smoke (fig7 --quick --threads 2 --metrics)"
 SMOKE_METRICS="$(mktemp /tmp/tomo-metrics.XXXXXX.json)"
 trap 'rm -f "$SMOKE_METRICS"' EXIT
@@ -30,5 +36,25 @@ grep -q '"par.workers": 2' "$SMOKE_METRICS" || {
   exit 1
 }
 echo "ci: 2-thread smoke reported par.workers = 2"
+
+echo "==> tomo-sim warm-start smoke (fig7 --quick --threads 1 --metrics)"
+# Single threaded so the solve order — and therefore which skeleton
+# repeats find a cached basis — is deterministic for the fixed seed.
+WARM_METRICS="$(mktemp /tmp/tomo-warm-metrics.XXXXXX.json)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS"' EXIT
+target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
+  --metrics "$WARM_METRICS" >/dev/null
+python3 - "$WARM_METRICS" <<'PY'
+import json, sys
+snapshot = json.load(open(sys.argv[1]))
+hits = snapshot.get("counters", {}).get("lp.simplex.warm.hits", 0)
+nnz = snapshot.get("gauges", {}).get("linalg.sparse.nnz", 0)
+if hits < 1:
+    sys.exit(f"ci: expected lp.simplex.warm.hits > 0, got {hits}")
+if nnz < 1:
+    sys.exit(f"ci: expected linalg.sparse.nnz > 0, got {nnz}")
+print(f"ci: warm-start smoke hit the basis cache "
+      f"(hits={hits}, sparse nnz={nnz})")
+PY
 
 echo "ci: all checks passed"

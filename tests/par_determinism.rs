@@ -54,6 +54,45 @@ fn fig9_artifact_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The simplex warm-start cache must be invisible in the artifacts:
+/// fig. 7 aggregates integer tallies whose inputs (LP feasibility,
+/// cut structure) are decision-stable, so running the same seed with
+/// the basis cache disabled must serialize to the same bytes.
+///
+/// `TOMO_LP_WARM` is process-global; tests that race with this one can
+/// only be pushed onto the cold path, which never changes their
+/// assertions (thread-count invariance holds warm or cold).
+#[test]
+fn fig7_artifact_identical_with_and_without_warm_start() {
+    let config = fig7_config();
+    std::env::set_var("TOMO_LP_WARM", "0");
+    let cold = fig7::run(42, &config, &Executor::new(2)).unwrap();
+    std::env::remove_var("TOMO_LP_WARM");
+    let warm = fig7::run(42, &config, &Executor::new(2)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&cold).unwrap(),
+        serde_json::to_string(&warm).unwrap(),
+        "warm-started fig7 run changed the artifact bytes"
+    );
+}
+
+/// Same guarantee for fig. 9, whose trials route through the detection
+/// experiment (rational attacker: stealthy and plain variants) and thus
+/// exercise the warm path inside `detect::experiment` as well.
+#[test]
+fn fig9_artifact_identical_with_and_without_warm_start() {
+    let config = fig9_config();
+    std::env::set_var("TOMO_LP_WARM", "0");
+    let cold = fig9::run(42, &config, &Executor::new(2)).unwrap();
+    std::env::remove_var("TOMO_LP_WARM");
+    let warm = fig9::run(42, &config, &Executor::new(2)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&cold).unwrap(),
+        serde_json::to_string(&warm).unwrap(),
+        "warm-started fig9 run changed the artifact bytes"
+    );
+}
+
 #[test]
 fn executor_from_env_respects_tomo_threads() {
     // `TOMO_THREADS` is read at construction; whatever it says, the

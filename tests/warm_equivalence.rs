@@ -1,0 +1,110 @@
+//! Warm-started simplex solves are decision-identical to cold solves
+//! across the Fig. 7 scenario sweep.
+//!
+//! A [`WarmStart`] handle re-enters phase 2 (or re-certifies
+//! infeasibility) from a remembered basis instead of solving from
+//! scratch. That must never change *what* the attack layer concludes:
+//! feasibility status, objective value (attack damage), and constraint
+//! satisfaction all have unique answers; only the particular optimal
+//! vertex may differ. These tests drive the same random chosen-victim
+//! instances fig. 7 samples — plain and detection-evading scenarios —
+//! through both paths and compare.
+
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scapegoat_tomography::lp::WarmStart;
+use scapegoat_tomography::prelude::*;
+
+/// Builds a random identifiable system on an ISP-like topology.
+fn random_system(seed: u64) -> TomographySystem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = scapegoat_tomography::graph::isp::IspConfig {
+        backbone_nodes: 6,
+        backbone_chords: 4,
+        access_nodes: 14,
+        multihoming_prob: 0.6,
+    };
+    let graph = scapegoat_tomography::graph::isp::generate(&config, &mut rng).unwrap();
+    random_placement(&graph, &PlacementConfig::default(), &mut rng).unwrap()
+}
+
+/// Draws a random coalition and victim the way a fig. 7 trial does.
+fn random_instance(system: &TomographySystem, seed: u64) -> Option<(AttackerSet, LinkId, Vector)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = system.graph().nodes().collect();
+    let k = rng.gen_range(1..=3usize);
+    let coalition: Vec<NodeId> = (0..k)
+        .map(|_| nodes[rng.gen_range(0..nodes.len())])
+        .collect();
+    let attackers = AttackerSet::new(system, coalition).ok()?;
+    let candidates: Vec<LinkId> = (0..system.num_links())
+        .map(LinkId)
+        .filter(|&l| !attackers.controls_link(l))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let victim = candidates[rng.gen_range(0..candidates.len())];
+    let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+    Some((attackers, victim, x))
+}
+
+/// Runs one scenario's sweep: many instances against one shared cache.
+fn sweep_matches(scenario: &AttackScenario, base_seed: u64) {
+    use scapegoat_tomography::attack::strategy::chosen_victim_warm;
+
+    let warm = WarmStart::new();
+    let system = random_system(base_seed);
+    for t in 0..12u64 {
+        let Some((attackers, victim, x)) = random_instance(&system, base_seed ^ (t << 8)) else {
+            continue;
+        };
+        let cold = chosen_victim(&system, &attackers, scenario, &x, &[victim]).unwrap();
+        let hot =
+            chosen_victim_warm(&system, &attackers, scenario, &x, &[victim], Some(&warm)).unwrap();
+        assert_eq!(
+            cold.is_success(),
+            hot.is_success(),
+            "feasibility flipped at seed {base_seed} trial {t}"
+        );
+        if let (Some(c), Some(h)) = (cold.success(), hot.success()) {
+            let scale = 1.0 + c.damage.abs();
+            assert!(
+                (c.damage - h.damage).abs() <= 1e-6 * scale,
+                "damage diverged at seed {base_seed} trial {t}: cold {} warm {}",
+                c.damage,
+                h.damage
+            );
+            // Whatever vertex the warm solve landed on must satisfy the
+            // attack's own budget constraint (Constraint 1).
+            assert!(
+                scapegoat_tomography::attack::manipulation::satisfies_constraint_1(
+                    &h.manipulation,
+                    &attackers,
+                    scenario.path_cap,
+                    1e-6
+                ),
+                "warm vertex violates Constraint 1 at seed {base_seed} trial {t}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Plain (non-evasive) chosen-victim sweep: the fig. 7 workload.
+    #[test]
+    fn warm_equals_cold_plain(seed in 0u64..200) {
+        sweep_matches(&AttackScenario::paper_defaults(), seed);
+    }
+
+    /// Detection-evading sweep: exercises the sparse evasion rows too.
+    #[test]
+    fn warm_equals_cold_stealthy(seed in 0u64..200) {
+        sweep_matches(&AttackScenario::paper_defaults_stealthy(), seed);
+    }
+}
