@@ -15,12 +15,15 @@ use serde::{Deserialize, Serialize};
 use tomo_core::delay::DelayModel;
 use tomo_core::TomographySystem;
 use tomo_graph::{LinkId, NodeId};
+use tomo_linalg::Vector;
 use tomo_lp::WarmStart;
 use tomo_obs::LazyCounter;
 use tomo_par::{derive_seed, Executor};
 
 static TRIALS: LazyCounter = LazyCounter::new("attack.montecarlo.trials");
 static DEGENERATE: LazyCounter = LazyCounter::new("attack.montecarlo.degenerate");
+static FAULT_RECOVERED: LazyCounter = LazyCounter::new("attack.montecarlo.fault.recovered");
+static FAULT_QUARANTINED: LazyCounter = LazyCounter::new("attack.montecarlo.fault.quarantined");
 
 use crate::attacker::AttackerSet;
 use crate::cut::analyze_cut;
@@ -92,6 +95,44 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
     warm: Option<&WarmStart>,
     rng: &mut R,
 ) -> Result<Option<ChosenVictimTrial>, AttackError> {
+    Ok(
+        chosen_victim_trial_detailed(system, scenario, delay_model, num_attackers, warm, rng)?
+            .map(|d| d.trial),
+    )
+}
+
+/// A chosen-victim trial's full context, beyond the summary record:
+/// the sampled world and, on success, the manipulation vector. The
+/// chaos experiment needs these to replay the attacked measurements
+/// through a fault-injected detection round.
+#[derive(Debug, Clone)]
+pub struct ChosenVictimTrialDetail {
+    /// The summary record (what [`chosen_victim_trial`] returns).
+    pub trial: ChosenVictimTrial,
+    /// The framed victim link.
+    pub victim: LinkId,
+    /// The sampled routine link delays `x`.
+    pub true_delays: Vector,
+    /// The manipulation vector `m` when the attack LP was feasible
+    /// (attacked measurements are `y = R x + m`).
+    pub manipulation: Option<Vector>,
+}
+
+/// [`chosen_victim_trial`] with the sampled world attached — identical
+/// RNG draw sequence, so both variants produce the same trial for the
+/// same stream.
+///
+/// # Errors
+///
+/// Propagates attack-construction errors.
+pub fn chosen_victim_trial_detailed<R: Rng + ?Sized>(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    num_attackers: usize,
+    warm: Option<&WarmStart>,
+    rng: &mut R,
+) -> Result<Option<ChosenVictimTrialDetail>, AttackError> {
     TRIALS.inc();
     let attackers = AttackerSet::new(system, sample_attackers(system, num_attackers, rng))?;
     let free_links: Vec<LinkId> = (0..system.num_links())
@@ -109,16 +150,124 @@ pub fn chosen_victim_trial<R: Rng + ?Sized>(
     }
     let x = delay_model.sample(system.num_links(), rng);
     let outcome = strategy::chosen_victim_warm(system, &attackers, scenario, &x, &[victim], warm)?;
-    let (success, damage) = match outcome.success() {
-        Some(s) => (true, s.damage),
-        None => (false, 0.0),
+    let (success, damage, manipulation) = match outcome.success() {
+        Some(s) => (true, s.damage, Some(s.manipulation.clone())),
+        None => (false, 0.0, None),
     };
-    Ok(Some(ChosenVictimTrial {
-        presence_ratio: cut.presence_ratio(),
-        perfect_cut: cut.is_perfect(),
-        success,
-        damage,
+    Ok(Some(ChosenVictimTrialDetail {
+        trial: ChosenVictimTrial {
+            presence_ratio: cut.presence_ratio(),
+            perfect_cut: cut.is_perfect(),
+            success,
+            damage,
+        },
+        victim,
+        true_delays: x,
+        manipulation,
     }))
+}
+
+/// Outcome of a fault-injected chosen-victim trial
+/// (see [`chosen_victim_trial_faulted`]).
+#[derive(Debug, Clone)]
+pub enum FaultedTrial {
+    /// The trial produced a record (possibly after absorbing injected
+    /// solver faults through retries).
+    Completed {
+        /// The trial detail (`None` on a degenerate draw).
+        detail: Option<ChosenVictimTrialDetail>,
+        /// Injected solver faults absorbed by the retry ladder.
+        recovered_faults: u32,
+    },
+    /// The retry budget was exhausted; the trial is abandoned with the
+    /// final typed error rendered for the fault report.
+    Quarantined {
+        /// Display form of the last solver error.
+        error: String,
+    },
+}
+
+/// `true` for the typed LP errors the chaos layer injects
+/// ([`tomo_lp::chaos`]) — the failures montecarlo converts into recorded
+/// outcomes rather than aborts.
+#[must_use]
+pub fn is_injected_solver_fault(e: &AttackError) -> bool {
+    matches!(
+        e,
+        AttackError::Lp(
+            tomo_lp::LpError::IterationLimit { .. } | tomo_lp::LpError::SingularBasis { .. }
+        )
+    )
+}
+
+/// Runs a chosen-victim trial under an optionally armed solver fault,
+/// with a bounded deterministic retry ladder.
+///
+/// Every attempt reseeds an identical RNG stream from `rng_seed`, so a
+/// retry replays *exactly* the same trial — the only difference is that
+/// the armed fault has been consumed, letting the solve complete. Solver
+/// breakdowns that are **not** injected faults propagate as errors;
+/// injected ones either recover (counted in `recovered_faults`) or,
+/// after `max_retries` additional attempts, quarantine the trial as a
+/// recorded outcome instead of an abort.
+///
+/// The armed fault is always disarmed before returning, whatever the
+/// path, so no fault can leak into the next trial on this worker thread.
+///
+/// # Errors
+///
+/// Propagates attack-construction errors unrelated to fault injection.
+#[allow(clippy::too_many_arguments)] // mirrors chosen_victim_trial + the fault knobs
+pub fn chosen_victim_trial_faulted(
+    system: &TomographySystem,
+    scenario: &AttackScenario,
+    delay_model: &DelayModel,
+    num_attackers: usize,
+    warm: Option<&WarmStart>,
+    solver_fault: Option<tomo_lp::chaos::SolveFault>,
+    max_retries: u32,
+    rng_seed: u64,
+) -> Result<FaultedTrial, AttackError> {
+    let mut recovered = 0u32;
+    for attempt in 0..=max_retries {
+        if attempt == 0 {
+            if let Some(fault) = solver_fault {
+                tomo_lp::chaos::arm(fault);
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+        let result = chosen_victim_trial_detailed(
+            system,
+            scenario,
+            delay_model,
+            num_attackers,
+            warm,
+            &mut rng,
+        );
+        tomo_lp::chaos::disarm();
+        match result {
+            Ok(detail) => {
+                if recovered > 0 {
+                    FAULT_RECOVERED.add(u64::from(recovered));
+                }
+                return Ok(FaultedTrial::Completed {
+                    detail,
+                    recovered_faults: recovered,
+                });
+            }
+            Err(e) if is_injected_solver_fault(&e) => {
+                if attempt == max_retries {
+                    FAULT_QUARANTINED.inc();
+                    return Ok(FaultedTrial::Quarantined {
+                        error: e.to_string(),
+                    });
+                }
+                recovered += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the retry loop always returns")
 }
 
 /// Runs one single-attacker maximum-damage trial (Fig. 8).
@@ -388,6 +537,147 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detailed_trial_matches_summary_trial() {
+        let (system, scenario, delays) = fig1_setup();
+        for seed in [3u64, 11, 19] {
+            let summary = chosen_victim_trial(
+                &system,
+                &scenario,
+                &delays,
+                2,
+                None,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            )
+            .unwrap();
+            let detail = chosen_victim_trial_detailed(
+                &system,
+                &scenario,
+                &delays,
+                2,
+                None,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            )
+            .unwrap();
+            assert_eq!(summary, detail.as_ref().map(|d| d.trial));
+            if let Some(d) = detail {
+                assert_eq!(d.true_delays.len(), system.num_links());
+                assert_eq!(d.manipulation.is_some(), d.trial.success);
+                if let Some(m) = &d.manipulation {
+                    assert_eq!(m.len(), system.num_paths());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_trial_without_fault_matches_plain_trial() {
+        let (system, scenario, delays) = fig1_setup();
+        let outcome =
+            chosen_victim_trial_faulted(&system, &scenario, &delays, 2, None, None, 1, 77).unwrap();
+        let FaultedTrial::Completed {
+            detail,
+            recovered_faults,
+        } = outcome
+        else {
+            panic!("unfaulted trial cannot quarantine");
+        };
+        assert_eq!(recovered_faults, 0);
+        let plain = chosen_victim_trial(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(77),
+        )
+        .unwrap();
+        assert_eq!(detail.map(|d| d.trial), plain);
+    }
+
+    #[test]
+    fn injected_solver_faults_recover_through_retry() {
+        let (system, scenario, delays) = fig1_setup();
+        for fault in [
+            tomo_lp::chaos::SolveFault::IterationExhaustion,
+            tomo_lp::chaos::SolveFault::SingularWarmBasis,
+        ] {
+            let outcome = chosen_victim_trial_faulted(
+                &system,
+                &scenario,
+                &delays,
+                2,
+                None,
+                Some(fault),
+                1,
+                77,
+            )
+            .unwrap();
+            let FaultedTrial::Completed {
+                detail,
+                recovered_faults,
+            } = outcome
+            else {
+                panic!("{fault:?}: one retry must recover");
+            };
+            assert_eq!(recovered_faults, 1, "{fault:?}");
+            // The retry replays the identical trial.
+            let plain = chosen_victim_trial(
+                &system,
+                &scenario,
+                &delays,
+                2,
+                None,
+                &mut ChaCha8Rng::seed_from_u64(77),
+            )
+            .unwrap();
+            assert_eq!(detail.map(|d| d.trial), plain, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_quarantines_instead_of_aborting() {
+        let (system, scenario, delays) = fig1_setup();
+        let outcome = chosen_victim_trial_faulted(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            None,
+            Some(tomo_lp::chaos::SolveFault::IterationExhaustion),
+            0,
+            77,
+        )
+        .unwrap();
+        let FaultedTrial::Quarantined { error } = outcome else {
+            panic!("zero retries must quarantine");
+        };
+        assert!(error.contains("iterations"), "error: {error}");
+        // The armed fault was consumed: the next plain trial is healthy.
+        assert!(chosen_victim_trial(
+            &system,
+            &scenario,
+            &delays,
+            2,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(77),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn injected_fault_classifier() {
+        assert!(is_injected_solver_fault(&AttackError::Lp(
+            tomo_lp::LpError::IterationLimit { limit: 5 }
+        )));
+        assert!(is_injected_solver_fault(&AttackError::Lp(
+            tomo_lp::LpError::SingularBasis { rows: 3 }
+        )));
+        assert!(!is_injected_solver_fault(&AttackError::Lp(
+            tomo_lp::LpError::NonFiniteCoefficient { context: "x" }
+        )));
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub enum CoreError {
         /// Explanation.
         reason: String,
     },
+    /// A measurement value was NaN or infinite where a finite reading is
+    /// required (degraded solves must drop such rows, not ingest them).
+    NonFiniteMeasurement {
+        /// The offending row (path index within the supplied subset).
+        row: usize,
+    },
     /// A vector argument has the wrong length.
     DimensionMismatch {
         /// What was being measured/estimated.
@@ -68,6 +74,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::PlacementFailed { reason } => {
                 write!(f, "monitor placement failed: {reason}")
+            }
+            CoreError::NonFiniteMeasurement { row } => {
+                write!(f, "measurement row {row} is NaN or infinite")
             }
             CoreError::DimensionMismatch {
                 context,

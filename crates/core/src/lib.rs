@@ -52,4 +52,4 @@ pub mod selection;
 
 pub use error::CoreError;
 pub use state::{LinkState, StateThresholds};
-pub use system::{SystemDiagnostics, TomographySystem};
+pub use system::{DegradedSolve, SystemDiagnostics, TomographySystem, DEFAULT_RIDGE_LAMBDA};

@@ -9,6 +9,14 @@ use crate::{CoreError, LinkState, StateThresholds};
 
 static ESTIMATOR_HITS: LazyCounter = LazyCounter::new("core.estimator_cache.hits");
 static ESTIMATOR_BUILDS: LazyCounter = LazyCounter::new("core.estimator_cache.builds");
+static DEGRADED_SOLVES: LazyCounter = LazyCounter::new("core.degraded.solves");
+static DEGRADED_RIDGE: LazyCounter = LazyCounter::new("core.degraded.ridge");
+
+/// Regularization strength for the ridge fallback of
+/// [`TomographySystem::solve_degraded`]: small enough to leave
+/// identifiable links essentially unbiased, large enough to keep the
+/// shifted Gram matrix positive definite under rank deficiency.
+pub const DEFAULT_RIDGE_LAMBDA: f64 = 1e-6;
 
 /// Lazily materialized derived operators of a fixed measurement system.
 ///
@@ -232,6 +240,82 @@ impl TomographySystem {
         Ok(())
     }
 
+    /// Estimates link metrics from a *surviving subset* of measurements —
+    /// the graceful-degradation path after probe loss.
+    ///
+    /// `surviving_rows` are the path indices whose measurements arrived
+    /// (ascending, duplicate-free) and `y_sub` their readings, in the same
+    /// order. When the surviving rows still span all links, this is the
+    /// exact least-squares inversion restricted to those rows. When rank
+    /// collapsed below `|L|`, the exact estimator no longer exists: the
+    /// solve falls back to ridge regularization
+    /// ([`tomo_linalg::lstsq::solve_ridge`] with [`DEFAULT_RIDGE_LAMBDA`])
+    /// and reports which links became unidentifiable so downstream
+    /// detection can ignore their coordinates. Never panics on rank
+    /// deficiency.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::DimensionMismatch`] if `y_sub.len()` differs from
+    ///   `surviving_rows.len()`, a row index is out of range, rows are
+    ///   not strictly ascending, or no rows survive,
+    /// * [`CoreError::NonFiniteMeasurement`] if a surviving reading is
+    ///   NaN or infinite (corrupted rows must be dropped, not ingested).
+    pub fn solve_degraded(
+        &self,
+        surviving_rows: &[usize],
+        y_sub: &Vector,
+    ) -> Result<DegradedSolve, CoreError> {
+        if y_sub.len() != surviving_rows.len() || surviving_rows.is_empty() {
+            return Err(CoreError::DimensionMismatch {
+                context: "solve_degraded: surviving measurement vector",
+                expected: surviving_rows.len(),
+                got: y_sub.len(),
+            });
+        }
+        for (k, &row) in surviving_rows.iter().enumerate() {
+            if row >= self.num_paths() || (k > 0 && surviving_rows[k - 1] >= row) {
+                return Err(CoreError::DimensionMismatch {
+                    context:
+                        "solve_degraded: surviving rows must be strictly ascending path indices",
+                    expected: self.num_paths(),
+                    got: row,
+                });
+            }
+        }
+        for (k, &v) in y_sub.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(CoreError::NonFiniteMeasurement { row: k });
+            }
+        }
+        DEGRADED_SOLVES.inc();
+        let r_sub = self.routing.select_rows(surviving_rows);
+        let rank = tomo_linalg::rank::rank(&r_sub);
+        if rank == self.num_links() {
+            let estimate = tomo_linalg::lstsq::solve(&r_sub, y_sub)?;
+            return Ok(DegradedSolve {
+                estimate,
+                surviving_rows: surviving_rows.to_vec(),
+                rank,
+                unidentifiable: Vec::new(),
+                used_ridge: false,
+            });
+        }
+        DEGRADED_RIDGE.inc();
+        let estimate = tomo_linalg::lstsq::solve_ridge(&r_sub, y_sub, DEFAULT_RIDGE_LAMBDA)?;
+        let unidentifiable = tomo_linalg::lstsq::unidentifiable_columns(&r_sub)
+            .into_iter()
+            .map(LinkId)
+            .collect();
+        Ok(DegradedSolve {
+            estimate,
+            surviving_rows: surviving_rows.to_vec(),
+            rank,
+            unidentifiable,
+            used_ridge: true,
+        })
+    }
+
     /// Classifies the estimate per Definition 1.
     #[must_use]
     pub fn classify(&self, estimate: &Vector, thresholds: &StateThresholds) -> Vec<LinkState> {
@@ -302,6 +386,25 @@ impl TomographySystem {
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// Result of a degraded estimation
+/// (see [`TomographySystem::solve_degraded`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSolve {
+    /// The link-metric estimate (exact when `used_ridge` is false, ridge
+    /// regularized otherwise). Coordinates listed in `unidentifiable`
+    /// carry no information and must not be interpreted.
+    pub estimate: Vector,
+    /// The path indices the estimate was computed from.
+    pub surviving_rows: Vec<usize>,
+    /// Rank of the surviving routing submatrix.
+    pub rank: usize,
+    /// Links whose metric is not determined by the surviving rows
+    /// (empty iff the solve stayed exact). Ascending.
+    pub unidentifiable: Vec<LinkId>,
+    /// Whether the ridge fallback was required.
+    pub used_ridge: bool,
 }
 
 /// Sparsity statistics of a routing matrix
@@ -431,6 +534,59 @@ mod tests {
             .estimator_matrix()
             .unwrap()
             .approx_eq(sys.estimator_matrix().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn degraded_solve_exact_when_rank_survives() {
+        let sys = tiny_system();
+        let x = Vector::from(vec![5.0, 7.0, 11.0]);
+        let y = sys.measure(&x).unwrap();
+        // Drop the redundant row 3; rows {0,1,2} are the identity on links.
+        let rows = [0usize, 1, 2];
+        let y_sub = Vector::from(vec![y[0], y[1], y[2]]);
+        let d = sys.solve_degraded(&rows, &y_sub).unwrap();
+        assert!(!d.used_ridge);
+        assert_eq!(d.rank, 3);
+        assert!(d.unidentifiable.is_empty());
+        assert!(d.estimate.approx_eq(&x, 1e-9));
+        assert_eq!(d.surviving_rows, rows);
+    }
+
+    #[test]
+    fn degraded_solve_ridge_flags_unidentifiable_links() {
+        let sys = tiny_system();
+        let x = Vector::from(vec![5.0, 7.0, 11.0]);
+        let y = sys.measure(&x).unwrap();
+        // Keep only rows 2 (link 2 alone) and 3 (links 0+1): link 2 stays
+        // identifiable, links 0 and 1 alias each other.
+        let rows = [2usize, 3];
+        let y_sub = Vector::from(vec![y[2], y[3]]);
+        let d = sys.solve_degraded(&rows, &y_sub).unwrap();
+        assert!(d.used_ridge);
+        assert_eq!(d.rank, 2);
+        assert_eq!(d.unidentifiable, vec![LinkId(0), LinkId(1)]);
+        assert!(d.estimate.iter().all(|v| v.is_finite()));
+        // The identifiable coordinate is still recovered (ridge bias is
+        // O(lambda)).
+        assert!((d.estimate[2] - 11.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degraded_solve_validates_input() {
+        let sys = tiny_system();
+        // Length mismatch.
+        assert!(sys.solve_degraded(&[0, 1], &Vector::zeros(3)).is_err());
+        // Empty subset.
+        assert!(sys.solve_degraded(&[], &Vector::zeros(0)).is_err());
+        // Out-of-range row.
+        assert!(sys.solve_degraded(&[0, 9], &Vector::zeros(2)).is_err());
+        // Not strictly ascending.
+        assert!(sys.solve_degraded(&[1, 1], &Vector::zeros(2)).is_err());
+        // Non-finite reading.
+        let err = sys
+            .solve_degraded(&[0, 1], &Vector::from(vec![1.0, f64::NAN]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NonFiniteMeasurement { row: 1 }));
     }
 
     #[test]

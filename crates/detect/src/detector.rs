@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use tomo_core::{params, CoreError, TomographySystem};
+use tomo_graph::LinkId;
 use tomo_linalg::{norms, Vector};
 
 /// The consistency-based scapegoating detector of Eq. (23) / Remark 4 —
@@ -136,6 +137,91 @@ impl ConsistencyDetector {
             detected: residual_l1 > self.alpha || implausible,
         })
     }
+
+    /// Runs the check(s) on a *surviving subset* of measurements — the
+    /// detector's graceful-degradation path after probe loss.
+    ///
+    /// With every row surviving this routes through [`inspect`]
+    /// (Self::inspect) and is bit-identical to it. Otherwise the estimate
+    /// comes from [`TomographySystem::solve_degraded`]; the residual is
+    /// accumulated over the surviving rows only, and the plausibility
+    /// check skips links flagged unidentifiable (their ridge coordinates
+    /// carry no information and must not trigger detection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of
+    /// [`TomographySystem::solve_degraded`].
+    pub fn inspect_degraded(
+        &self,
+        system: &TomographySystem,
+        surviving_rows: &[usize],
+        observed_sub: &Vector,
+    ) -> Result<DegradedVerdict, CoreError> {
+        if surviving_rows.len() == system.num_paths() {
+            // Full survival: defer to the exact path (also re-validates).
+            let verdict = self.inspect(system, observed_sub)?;
+            return Ok(DegradedVerdict {
+                verdict,
+                degraded: false,
+                rank: system.num_links(),
+                used_ridge: false,
+                unidentifiable: Vec::new(),
+            });
+        }
+        let solve = system.solve_degraded(surviving_rows, observed_sub)?;
+        let routing = system.routing_matrix();
+        let mut residual_l1 = 0.0;
+        for (k, &row) in surviving_rows.iter().enumerate() {
+            let reprojected: f64 = routing
+                .row(row)
+                .iter()
+                .zip(solve.estimate.iter())
+                .map(|(r, x)| r * x)
+                .sum();
+            residual_l1 += (reprojected - observed_sub[k]).abs();
+        }
+        let min_estimate = solve
+            .estimate
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !solve.unidentifiable.contains(&LinkId(*j)))
+            .map(|(_, &v)| v)
+            .fold(f64::INFINITY, f64::min);
+        let min_estimate = if min_estimate.is_finite() {
+            min_estimate
+        } else {
+            0.0
+        };
+        let implausible = self.plausibility_tol.is_some_and(|tol| min_estimate < -tol);
+        Ok(DegradedVerdict {
+            verdict: Verdict {
+                residual_l1,
+                min_estimate,
+                detected: residual_l1 > self.alpha || implausible,
+            },
+            degraded: true,
+            rank: solve.rank,
+            used_ridge: solve.used_ridge,
+            unidentifiable: solve.unidentifiable,
+        })
+    }
+}
+
+/// A [`Verdict`] from a degraded round, plus how degraded it was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedVerdict {
+    /// The detection decision.
+    pub verdict: Verdict,
+    /// `false` when every measurement survived (the decision then equals
+    /// [`ConsistencyDetector::inspect`] exactly).
+    pub degraded: bool,
+    /// Rank of the surviving routing submatrix.
+    pub rank: usize,
+    /// Whether estimation needed the ridge fallback.
+    pub used_ridge: bool,
+    /// Links excluded from the plausibility check as unidentifiable.
+    pub unidentifiable: Vec<LinkId>,
 }
 
 #[cfg(test)]
@@ -270,6 +356,76 @@ mod tests {
             .unwrap();
         assert!(v.detected, "plausibility check must fire");
         assert!(v.min_estimate < -500.0);
+    }
+
+    #[test]
+    fn degraded_inspect_matches_full_inspect_when_everything_survives() {
+        let system = fig1::fig1_system().unwrap();
+        let detector = ConsistencyDetector::recommended();
+        let y = system.measure(&Vector::filled(10, 15.0)).unwrap();
+        let rows: Vec<usize> = (0..system.num_paths()).collect();
+        let full = detector.inspect(&system, &y).unwrap();
+        let deg = detector.inspect_degraded(&system, &rows, &y).unwrap();
+        assert!(!deg.degraded);
+        assert_eq!(
+            deg.verdict.residual_l1.to_bits(),
+            full.residual_l1.to_bits()
+        );
+        assert_eq!(
+            deg.verdict.min_estimate.to_bits(),
+            full.min_estimate.to_bits()
+        );
+        assert_eq!(deg.verdict.detected, full.detected);
+    }
+
+    #[test]
+    fn degraded_inspect_survives_rank_collapse() {
+        // Keep so few rows that some links become unidentifiable: the
+        // detector must not panic, must flag the degradation, and a clean
+        // (fault-free) subset must not raise a false alarm.
+        let system = fig1::fig1_system().unwrap();
+        let detector = ConsistencyDetector::recommended();
+        let x = Vector::filled(10, 15.0);
+        let y = system.measure(&x).unwrap();
+        let rows: Vec<usize> = (0..4).collect();
+        let y_sub: Vector = rows.iter().map(|&i| y[i]).collect();
+        let deg = detector.inspect_degraded(&system, &rows, &y_sub).unwrap();
+        assert!(deg.degraded);
+        assert!(deg.used_ridge);
+        assert!(deg.rank < system.num_links());
+        assert!(!deg.unidentifiable.is_empty());
+        assert!(
+            !deg.verdict.detected,
+            "clean degraded round must stay silent: residual {} min {}",
+            deg.verdict.residual_l1, deg.verdict.min_estimate
+        );
+    }
+
+    #[test]
+    fn degraded_inspect_still_detects_attacks_on_surviving_rows() {
+        // Drop one redundant row; the imperfect-cut attack's residual
+        // lives across many rows, so detection must survive the loss.
+        let system = fig1::fig1_system().unwrap();
+        let topo = fig1::fig1_topology();
+        let attackers = AttackerSet::new(&system, topo.attackers.clone()).unwrap();
+        let x = Vector::filled(10, 10.0);
+        let outcome = strategy::chosen_victim(
+            &system,
+            &attackers,
+            &AttackScenario::paper_defaults(),
+            &x,
+            &[topo.paper_link(10)],
+        )
+        .unwrap();
+        let s = outcome.success().unwrap();
+        let y_attacked = &system.measure(&x).unwrap() + &s.manipulation;
+        let rows: Vec<usize> = (0..system.num_paths()).filter(|&i| i != 5).collect();
+        let y_sub: Vector = rows.iter().map(|&i| y_attacked[i]).collect();
+        let deg = ConsistencyDetector::recommended()
+            .inspect_degraded(&system, &rows, &y_sub)
+            .unwrap();
+        assert!(deg.degraded);
+        assert!(deg.verdict.detected, "residual {}", deg.verdict.residual_l1);
     }
 
     #[test]

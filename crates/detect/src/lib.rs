@@ -46,4 +46,4 @@ pub mod localize;
 pub mod roc;
 pub mod rounds;
 
-pub use detector::{ConsistencyDetector, Verdict};
+pub use detector::{ConsistencyDetector, DegradedVerdict, Verdict};

@@ -39,6 +39,12 @@ pub enum LpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A basis (e.g. from a warm start) turned out singular and could not
+    /// be repaired by the crash procedure.
+    SingularBasis {
+        /// Number of basic rows involved.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -58,6 +64,9 @@ impl fmt::Display for LpError {
             }
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex exceeded {limit} iterations")
+            }
+            LpError::SingularBasis { rows } => {
+                write!(f, "singular basis over {rows} rows")
             }
         }
     }
@@ -87,6 +96,7 @@ mod tests {
         assert!(LpError::IterationLimit { limit: 10 }
             .to_string()
             .contains("10"));
+        assert!(LpError::SingularBasis { rows: 4 }.to_string().contains('4'));
     }
 
     #[test]

@@ -348,6 +348,29 @@ fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSoluti
     };
     let first_artificial = n_struct + n_slack;
 
+    // Chaos seam: an armed fault (see `crate::chaos`) turns this solve
+    // into the corresponding typed failure before any pivoting happens,
+    // so downstream degradation paths can be exercised deterministically.
+    match crate::chaos::take() {
+        Some(crate::chaos::SolveFault::IterationExhaustion) => {
+            return Err(LpError::IterationLimit { limit: 0 });
+        }
+        Some(crate::chaos::SolveFault::SingularWarmBasis) => {
+            // Drive the crash procedure with an all-duplicate basis hint —
+            // structurally singular for m ≥ 2 — then report it as
+            // unrepairable, exercising the same restore path a corrupt
+            // remembered basis would.
+            let pristine_t = tab.t.clone();
+            let pristine_basis = tab.basis.clone();
+            if tab.crash_basis(&vec![0usize; m], first_artificial) == Crash::Failed {
+                tab.t = pristine_t;
+                tab.basis = pristine_basis;
+            }
+            return Err(LpError::SingularBasis { rows: m });
+        }
+        None => {}
+    }
+
     // Warm start: try to crash a remembered basis for this constraint
     // skeleton into the fresh tableau. `Phase2Ready` means we already
     // hold a basic feasible solution with zero artificial mass —
@@ -521,6 +544,33 @@ mod tests {
         lp.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, demand / 4.0)
             .unwrap();
         (lp, x, y)
+    }
+
+    #[test]
+    fn armed_faults_surface_as_typed_errors_then_clear() {
+        let (lp, _, _) = family_instance(10.0);
+
+        crate::chaos::arm(crate::chaos::SolveFault::IterationExhaustion);
+        match lp.solve() {
+            Err(crate::LpError::IterationLimit { .. }) => {}
+            other => panic!("expected IterationLimit, got {other:?}"),
+        }
+
+        crate::chaos::arm(crate::chaos::SolveFault::SingularWarmBasis);
+        match lp.solve() {
+            Err(crate::LpError::SingularBasis { rows }) => assert!(rows >= 2),
+            other => panic!("expected SingularBasis, got {other:?}"),
+        }
+
+        // The fault is consumed: the very next solve is healthy, and a
+        // warm solve after a faulted one still matches cold.
+        let cold = lp.solve().unwrap();
+        assert!(cold.is_optimal());
+        let warm = WarmStart::new();
+        crate::chaos::arm(crate::chaos::SolveFault::SingularWarmBasis);
+        assert!(lp.solve_warm(&warm).is_err());
+        let hot = lp.solve_warm(&warm).unwrap();
+        assert_close(hot.objective_value(), cold.objective_value());
     }
 
     #[test]

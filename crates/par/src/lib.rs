@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use tomo_obs::{LazyCounter, LazyGauge, LazyHistogram};
@@ -34,9 +35,30 @@ static TASKS: LazyCounter = LazyCounter::new("par.tasks");
 static BATCHES: LazyCounter = LazyCounter::new("par.batches");
 static WORKERS: LazyGauge = LazyGauge::new("par.workers");
 static WORKER_TASKS: LazyHistogram = LazyHistogram::new("par.worker.tasks");
+static TRIAL_PANICS: LazyCounter = LazyCounter::new("par.trial_panics");
+static QUARANTINED: LazyCounter = LazyCounter::new("par.quarantined");
+static RETRIES: LazyCounter = LazyCounter::new("par.retries");
 
-/// One worker's index-tagged results, or the first `(index, error)` it hit.
-type WorkerOutcome<T, E> = Result<Vec<(usize, T)>, (usize, E)>;
+/// Why a task failed: its own typed error, or a captured panic.
+enum TaskFailure<E> {
+    Err(E),
+    Panic(String),
+}
+
+/// One worker's index-tagged results, or the first `(index, failure)` it hit.
+type WorkerOutcome<T, E> = Result<Vec<(usize, T)>, (usize, TaskFailure<E>)>;
+
+/// Best-effort rendering of a panic payload (`&str` and `String` cover
+/// every `panic!` in this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Mixes an experiment seed and a trial index into one well-separated
 /// 64-bit seed (two rounds of the SplitMix64 finalizer).
@@ -136,7 +158,11 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates panics from worker threads.
+    /// A panicking task no longer kills the worker pool silently: the
+    /// panic is captured per task, every worker drains, and the panic is
+    /// re-raised on the caller's thread with the failing **trial index**
+    /// and the original message attached (the lowest-index failure wins,
+    /// like errors, so the report is schedule-independent).
     pub fn try_map<T, E, F>(&self, n: usize, f: F) -> Result<Vec<T>, E>
     where
         T: Send,
@@ -165,11 +191,16 @@ impl Executor {
                 if i >= n {
                     break;
                 }
-                match f(i) {
-                    Ok(v) => done.push((i, v)),
-                    Err(e) => {
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(Ok(v)) => done.push((i, v)),
+                    Ok(Err(e)) => {
                         failed.store(true, Ordering::Relaxed);
-                        return Err((i, e));
+                        return Err((i, TaskFailure::Err(e)));
+                    }
+                    Err(payload) => {
+                        TRIAL_PANICS.inc();
+                        failed.store(true, Ordering::Relaxed);
+                        return Err((i, TaskFailure::Panic(panic_message(payload.as_ref()))));
                     }
                 }
             }
@@ -181,12 +212,12 @@ impl Executor {
             let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("tomo-par worker panicked"))
+                .map(|h| h.join().expect("tomo-par worker bookkeeping panicked"))
                 .collect()
         });
 
         let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
-        let mut first_err: Option<(usize, E)> = None;
+        let mut first_err: Option<(usize, TaskFailure<E>)> = None;
         for outcome in per_worker {
             match outcome {
                 Ok(pairs) => indexed.extend(pairs),
@@ -197,12 +228,107 @@ impl Executor {
                 }
             }
         }
-        if let Some((_, e)) = first_err {
-            return Err(e);
+        match first_err {
+            Some((_, TaskFailure::Err(e))) => return Err(e),
+            Some((i, TaskFailure::Panic(msg))) => {
+                panic!("tomo-par: trial {i} panicked: {msg}")
+            }
+            None => {}
         }
         debug_assert_eq!(indexed.len(), n, "every trial index must be covered once");
         indexed.sort_unstable_by_key(|&(i, _)| i);
         Ok(indexed.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// [`map`](Executor::map) with panic quarantine: a panicking task is
+    /// retried up to `max_retries` times and, if it never completes,
+    /// yields `None` in its slot instead of aborting the batch. The
+    /// returned [`QuarantineReport`] lists every quarantined index with
+    /// its captured panic message, in ascending index order.
+    ///
+    /// The retry policy is deterministic per index (each attempt calls
+    /// `f(i)` again — trial closures derive all randomness from `i`, so a
+    /// deterministic panic quarantines and a flaky one may recover), and
+    /// quarantine decisions are schedule-independent for deterministic
+    /// closures.
+    pub fn map_quarantined<T, F>(
+        &self,
+        n: usize,
+        max_retries: u32,
+        f: F,
+    ) -> (Vec<Option<T>>, QuarantineReport)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let outcomes = self.map(n, |i| {
+            let mut attempts = 0u32;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => return (Some(v), attempts, None),
+                    Err(payload) => {
+                        TRIAL_PANICS.inc();
+                        let msg = panic_message(payload.as_ref());
+                        tomo_obs::warn!("par", "trial {i} panicked (attempt {attempts}): {msg}");
+                        if attempts >= max_retries {
+                            QUARANTINED.inc();
+                            return (None, attempts, Some(msg));
+                        }
+                        attempts += 1;
+                        RETRIES.inc();
+                    }
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut report = QuarantineReport::default();
+        for (i, (value, retries, panic)) in outcomes.into_iter().enumerate() {
+            if retries > 0 {
+                report.retried_tasks += 1;
+                report.retries += u64::from(retries);
+            }
+            if let Some(message) = panic {
+                report.quarantined.push(Quarantined {
+                    index: i,
+                    retries,
+                    message,
+                });
+            }
+            results.push(value);
+        }
+        (results, report)
+    }
+}
+
+/// One task abandoned by [`Executor::map_quarantined`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The trial index that never completed.
+    pub index: usize,
+    /// Retries spent before giving up.
+    pub retries: u32,
+    /// The captured panic message of the final attempt.
+    pub message: String,
+}
+
+/// Outcome summary of a [`Executor::map_quarantined`] batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Tasks that needed at least one retry (including those eventually
+    /// quarantined).
+    pub retried_tasks: u64,
+    /// Total retry attempts across the batch.
+    pub retries: u64,
+    /// Abandoned tasks, ascending by index.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl QuarantineReport {
+    /// `true` when every task completed without retries.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.retried_tasks == 0 && self.quarantined.is_empty()
     }
 }
 
@@ -279,6 +405,127 @@ mod tests {
     #[test]
     fn executor_clamps_zero_threads() {
         assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    /// Silences the default panic hook for the duration of a closure so
+    /// intentional test panics don't spam stderr. Global, so the tests
+    /// using it serialize on a lock.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        use std::sync::Mutex;
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = HOOK_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(prev);
+        match out {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn panicking_trial_no_longer_kills_the_run() {
+        // Regression: the old join().expect aborted the whole process'
+        // batch with "tomo-par worker panicked" and no trial context.
+        // Now the panic is captured, drained workers still return their
+        // results, and the re-raised panic names the failing trial.
+        let exec = Executor::new(4);
+        let payload = with_quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                exec.map(64, |i| {
+                    if i == 23 {
+                        panic!("injected fault in trial 23");
+                    }
+                    i
+                })
+            }))
+            .expect_err("panic must propagate")
+        });
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("trial 23"), "missing trial index: {msg}");
+        assert!(
+            msg.contains("injected fault"),
+            "missing original message: {msg}"
+        );
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_deterministically() {
+        let exec = Executor::new(4);
+        for _ in 0..5 {
+            let payload = with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    exec.map(100, |i| {
+                        if i % 7 == 3 {
+                            panic!("boom {i}");
+                        }
+                        i
+                    })
+                }))
+                .expect_err("panic must propagate")
+            });
+            let msg = panic_message(payload.as_ref());
+            assert!(msg.contains("trial 3"), "expected lowest index 3: {msg}");
+        }
+    }
+
+    #[test]
+    fn map_quarantined_isolates_deterministic_panics() {
+        let exec = Executor::new(4);
+        let (results, report) = with_quiet_panics(|| {
+            exec.map_quarantined(50, 1, |i| {
+                if i == 7 || i == 31 {
+                    panic!("trial {i} always fails");
+                }
+                i * 2
+            })
+        });
+        assert_eq!(results.len(), 50);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 || i == 31 {
+                assert_eq!(*r, None);
+            } else {
+                assert_eq!(*r, Some(i * 2));
+            }
+        }
+        assert_eq!(report.quarantined.len(), 2);
+        assert_eq!(report.quarantined[0].index, 7);
+        assert_eq!(report.quarantined[1].index, 31);
+        assert_eq!(report.quarantined[0].retries, 1, "retry budget spent");
+        assert!(report.quarantined[0].message.contains("trial 7"));
+        assert_eq!(report.retried_tasks, 2);
+        assert_eq!(report.retries, 2);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn map_quarantined_report_is_thread_count_independent() {
+        let run = |threads: usize| {
+            with_quiet_panics(|| {
+                Executor::new(threads).map_quarantined(40, 2, |i| {
+                    if i % 11 == 5 {
+                        panic!("deterministic failure at {i}");
+                    }
+                    derive_seed(9, i as u64)
+                })
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_quarantined_clean_batch_has_empty_report() {
+        let exec = Executor::new(3);
+        let (results, report) = exec.map_quarantined(20, 1, |i| i + 1);
+        assert_eq!(results, (1..=20).map(Some).collect::<Vec<_>>());
+        assert!(report.is_clean());
+        assert_eq!(report, QuarantineReport::default());
     }
 
     #[test]

@@ -59,9 +59,15 @@ fn campaign(
     let delays = params::default_delay_model();
     system.warm_estimator_cache()?;
     let nodes: Vec<_> = system.graph().nodes().collect();
+    if nodes.is_empty() {
+        return Err(SimError("defense: topology has no nodes".into()));
+    }
     let outcomes = exec.try_map(trials, |t| {
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, t as u64));
-        let attacker = *nodes.as_slice().choose(&mut rng).expect("nonempty");
+        let attacker = *nodes
+            .as_slice()
+            .choose(&mut rng)
+            .ok_or_else(|| SimError("defense: no candidate attacker nodes".into()))?;
         let attackers = AttackerSet::new(system, vec![attacker])?;
         let x = delays.sample(system.num_links(), &mut rng);
         let outcome = strategy::max_damage(system, &attackers, &scenario, &x)?;

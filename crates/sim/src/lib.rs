@@ -15,6 +15,7 @@
 //! | [`fig7`] | Fig. 7 | chosen-victim success prob. vs presence ratio |
 //! | [`fig8`] | Fig. 8 | single-attacker max-damage & obfuscation prob. |
 //! | [`fig9`] | Fig. 9 | detection ratios per strategy × cut |
+//! | [`chaos`] | — | detection degradation under injected faults |
 //!
 //! Wireline experiments run on the synthetic AS1221-scale ISP topology,
 //! wireless ones on the paper's 100-node λ=5 random geometric graph (see
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod defense;
 pub mod fig2;
 pub mod fig4;
@@ -79,6 +81,12 @@ impl From<tomo_graph::GraphError> for SimError {
     }
 }
 
+impl From<tomo_fault::FaultSpecError> for SimError {
+    fn from(e: tomo_fault::FaultSpecError) -> Self {
+        SimError(format!("bad fault spec: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +101,7 @@ mod tests {
         assert!(a.to_string().contains("empty"));
         let g: SimError = tomo_graph::GraphError::GenerationFailed { reason: "x".into() }.into();
         assert!(g.to_string().contains("x"));
+        let f: SimError = tomo_fault::FaultSpec::parse("loss=2").unwrap_err().into();
+        assert!(f.to_string().contains("bad fault spec"));
     }
 }

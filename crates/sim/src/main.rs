@@ -1,7 +1,7 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
 //! tomo-sim list
 //! ```
 //!
@@ -18,7 +18,8 @@ use std::process::ExitCode;
 
 use tomo_par::Executor;
 use tomo_sim::{
-    ablation, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report, SimError,
+    ablation, chaos, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report,
+    SimError,
 };
 
 #[derive(Debug, PartialEq)]
@@ -31,6 +32,7 @@ struct Args {
     threads: Option<usize>,
     metrics: Option<PathBuf>,
     verbose: bool,
+    faults: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +58,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             threads: None,
             metrics: None,
             verbose: false,
+            faults: None,
         });
     }
     if command != "run" {
@@ -74,6 +77,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut threads = None;
     let mut metrics = None;
     let mut verbose = false;
+    let mut faults = None;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -109,8 +113,19 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 verbose = true;
                 i += 1;
             }
+            "--faults" => {
+                let v = argv.get(i + 1).ok_or("--faults needs a value")?;
+                faults = Some(v.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    if faults.is_some() && target != "chaos" {
+        return Err(format!(
+            "--faults only applies to the chaos target\n{}",
+            usage()
+        ));
     }
     Ok(Args {
         command,
@@ -121,11 +136,13 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         threads,
         metrics,
         verbose,
+        faults,
     })
 }
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose]\n  tomo-sim list".to_string()
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all."
+        .to_string()
 }
 
 fn fig7_config(quick: bool) -> fig7::Fig7Config {
@@ -248,6 +265,27 @@ fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
                 report::write_json(&r, &p)?;
             }
         }
+        "chaos" => {
+            let spec = tomo_fault::FaultSpec::parse(
+                args.faults.as_deref().unwrap_or(chaos::DEFAULT_FAULTS),
+            )?;
+            let config = if args.quick {
+                chaos::ChaosConfig::quick()
+            } else {
+                chaos::ChaosConfig::default()
+            };
+            let r = chaos::run(seed, &spec, &config, exec)?;
+            println!("{}", chaos::render(&r));
+            if !r.totals.is_balanced() {
+                return Err(SimError(format!(
+                    "chaos: fault ledger unbalanced: {:?}",
+                    r.totals
+                )));
+            }
+            if let Some(p) = artifact("chaos.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
         other => return Err(SimError(format!("unknown figure {other:?}"))),
     }
     Ok(())
@@ -275,6 +313,7 @@ fn main() -> ExitCode {
              defense  Section VI security-aware placement vs random\n\
              noise  detector robustness vs measurement noise\n\
              gap  Theorem 3 gap: consistency-only evasion rates\n\
+             chaos  detection degradation under injected faults (--faults)\n\
              all   everything above (figures only)"
         );
         return ExitCode::SUCCESS;
@@ -393,6 +432,18 @@ mod tests {
         assert!(parse_args_from(&argv(&["run", "fig4", "--threads", "two"])).is_err());
         let a = parse_args_from(&argv(&["run", "fig4", "--threads", "2"])).unwrap();
         assert_eq!(a.threads, Some(2));
+    }
+
+    #[test]
+    fn faults_flag_is_chaos_only() {
+        let a = parse_args_from(&argv(&["run", "chaos", "--faults", "loss=0.1"])).unwrap();
+        assert_eq!(a.faults, Some("loss=0.1".to_string()));
+        let err = parse_args_from(&argv(&["run", "fig4", "--faults", "loss=0.1"])).unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
+        assert!(parse_args_from(&argv(&["run", "chaos", "--faults"])).is_err());
+        // chaos without --faults uses the default mix.
+        let d = parse_args_from(&argv(&["run", "chaos"])).unwrap();
+        assert_eq!(d.faults, None);
     }
 
     #[test]

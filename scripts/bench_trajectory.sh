@@ -2,7 +2,7 @@
 # Wall-clock scaling of the parallel Monte-Carlo engine, plus a cold vs
 # warm-start A/B of the simplex layer.
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON]
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON]
 #
 # Runs the fig7 quick workload through the release tomo-sim binary at 1,
 # 2, and max threads, verifies the JSON artifacts are byte-identical, and
@@ -10,12 +10,16 @@
 # trials/sec per thread count. Then reruns the same workload single
 # threaded with the LP basis cache disabled (TOMO_LP_WARM=0) and enabled,
 # and writes BENCH_lp.json comparing wall time, simplex pivot counts, and
-# the warm hit/miss/crash counters. Prints BENCH lines as it goes.
+# the warm hit/miss/crash counters. Finally A/Bs the fault-injection
+# machinery at rate zero (--faults off) against the TOMO_FAULT=0 bypass
+# and writes BENCH_chaos.json asserting the overhead stays below 10%.
+# Prints BENCH lines as it goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_JSON="${1:-BENCH_montecarlo.json}"
 LP_OUT_JSON="${2:-BENCH_lp.json}"
+CHAOS_OUT_JSON="${3:-BENCH_chaos.json}"
 SEED=42
 CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
@@ -157,3 +161,61 @@ print(f"BENCH lp cold pivots={cp} warm pivots={wp} "
       f"hits={report['warm']['warm_hits']} misses={report['warm']['warm_misses']}")
 PY
 echo "BENCH wrote $LP_OUT_JSON"
+
+# --- Fault-layer overhead A/B -------------------------------------------
+# The chaos harness with every rate at zero draws nothing, so the only
+# cost left is the machinery itself (plan construction, per-trial stream
+# seeding, disarm bookkeeping). TOMO_FAULT=0 bypasses all of it; both
+# runs must produce byte-identical artifacts and the machinery must cost
+# less than 10% wall clock.
+# One chaos --quick run is only a few ms, so each sample times CHAOS_REPS
+# back-to-back invocations to stay well clear of timer granularity.
+CHAOS_REPS=40
+measure_chaos() { # fault_flag(0|1) tag -> best wall secs per CHAOS_REPS runs
+  local flag="$1" tag="$2" best="" t0 t1 secs i
+  for _ in 1 2 3; do
+    t0=$(date +%s.%N)
+    for i in $(seq "$CHAOS_REPS"); do
+      TOMO_FAULT="$flag" "$BIN" run chaos --quick --seed "$SEED" --threads 1 \
+        --faults off --out "$WORK/chaos_$tag" >/dev/null
+    done
+    t1=$(date +%s.%N)
+    secs=$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')
+    if [ -z "$best" ] || awk -v a="$secs" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+      best="$secs"
+    fi
+  done
+  echo "$best"
+}
+
+BYPASS_SECS=$(measure_chaos 0 bypass)
+MACHINERY_SECS=$(measure_chaos 1 machinery)
+
+if ! cmp -s "$WORK/chaos_bypass/chaos.json" "$WORK/chaos_machinery/chaos.json"; then
+  echo "BENCH ERROR: chaos.json differs between TOMO_FAULT=0 and rate-zero runs" >&2
+  exit 1
+fi
+echo "BENCH artifacts byte-identical bypass vs rate-zero machinery"
+
+python3 - "$BYPASS_SECS" "$MACHINERY_SECS" "$CHAOS_OUT_JSON" <<'PY'
+import json, sys
+
+bypass_secs, machinery_secs, out_path = sys.argv[1:4]
+bypass, machinery = float(bypass_secs), float(machinery_secs)
+overhead = (machinery - bypass) / bypass if bypass > 0 else 0.0
+report = {
+    "workload": "tomo-sim run chaos --quick --seed 42 --threads 1 --faults off",
+    "runs_per_point": 3,
+    "invocations_per_sample": 40,
+    "bypass_wall_secs": bypass,
+    "machinery_wall_secs": machinery,
+    "overhead_frac": round(overhead, 4),
+}
+if overhead >= 0.10:
+    sys.exit(f"BENCH ERROR: fault-layer overhead {overhead:.1%} >= 10%")
+json.dump(report, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"BENCH chaos bypass={bypass}s machinery={machinery}s "
+      f"overhead={overhead:.1%}")
+PY
+echo "BENCH wrote $CHAOS_OUT_JSON"

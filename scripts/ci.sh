@@ -57,4 +57,30 @@ print(f"ci: warm-start smoke hit the basis cache "
       f"(hits={hits}, sparse nnz={nnz})")
 PY
 
+echo "==> tomo-sim chaos smoke (chaos --quick --threads 2 --metrics)"
+# Default fault mix (measurement faults only): faults must fire, every
+# one must be absorbed by a degradation path, and the run must exit 0.
+CHAOS_METRICS="$(mktemp /tmp/tomo-chaos-metrics.XXXXXX.json)"
+CHAOS_OUT="$(mktemp -d /tmp/tomo-chaos-out.XXXXXX)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS"; rm -rf "$CHAOS_OUT"' EXIT
+target/release/tomo-sim run chaos --quick --seed 42 --threads 2 \
+  --metrics "$CHAOS_METRICS" --out "$CHAOS_OUT" >/dev/null
+python3 - "$CHAOS_METRICS" "$CHAOS_OUT/chaos.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+artifact = json.load(open(sys.argv[2]))
+injected = counters.get("fault.injected", 0)
+if injected < 1:
+    sys.exit(f"ci: expected fault.injected > 0, got {injected}")
+totals = artifact["totals"]
+if totals["injected"] != totals["handled"] + totals["quarantined"]:
+    sys.exit(f"ci: chaos fault ledger unbalanced: {totals}")
+if totals["quarantined_trials"] != 0:
+    sys.exit(f"ci: default chaos mix quarantined "
+             f"{totals['quarantined_trials']} trials")
+print(f"ci: chaos smoke injected {injected} faults, "
+      f"all handled ({totals['degraded_trials']} degraded trials, "
+      f"0 quarantined)")
+PY
+
 echo "ci: all checks passed"

@@ -16,6 +16,7 @@
 //! | [`core`] | `tomo-core` | tomography: monitors, routing matrix, estimator |
 //! | [`attack`] | `tomo-attack` | the three scapegoating strategies + theory |
 //! | [`detect`] | `tomo-detect` | consistency detection, Fig. 9, ROC |
+//! | [`fault`] | `tomo-fault` | deterministic fault injection + accounting |
 //! | [`sim`] | `tomo-sim` | figure-by-figure experiment runners |
 //!
 //! ## Quickstart
@@ -56,6 +57,7 @@
 pub use tomo_attack as attack;
 pub use tomo_core as core;
 pub use tomo_detect as detect;
+pub use tomo_fault as fault;
 pub use tomo_graph as graph;
 pub use tomo_linalg as linalg;
 pub use tomo_lp as lp;

@@ -1,0 +1,113 @@
+//! Property tests for the degraded (rank-deficient) estimation path.
+//!
+//! Probe loss leaves the solver a random subset of routing rows, often
+//! without full column rank. The degradation ladder (DESIGN.md §5e)
+//! promises that `TomographySystem::solve_degraded` then never panics:
+//! it detects the rank collapse, falls back to a ridge-regularized
+//! normal-equation solve, and reports exactly the links the surviving
+//! rows cannot determine. These tests pin each promise on random row
+//! subsets of the paper's Fig. 1 system.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scapegoat_tomography::core::fig1::fig1_system;
+use scapegoat_tomography::core::params;
+use scapegoat_tomography::linalg::rank::rank_with_tol;
+use scapegoat_tomography::linalg::{Matrix, Vector};
+
+/// A random non-empty, strictly ascending row subset of the Fig. 1
+/// routing matrix (23 paths).
+fn random_rows(seed: u64, keep: usize) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..23).collect();
+    let keep = keep.clamp(1, all.len());
+    let (chosen, _) = all.partial_shuffle(&mut rng, keep);
+    let mut rows = chosen.to_vec();
+    rows.sort_unstable();
+    rows
+}
+
+/// Brute-force identifiability check: link `j` is determined by the
+/// surviving rows iff appending the probe row `eⱼ` does *not* increase
+/// the rank of the surviving submatrix.
+fn brute_force_unidentifiable(r_sub: &Matrix, tol: f64) -> Vec<usize> {
+    let base_rank = rank_with_tol(r_sub, tol);
+    let rows: Vec<Vec<f64>> = (0..r_sub.rows()).map(|i| r_sub.row(i).to_vec()).collect();
+    (0..r_sub.cols())
+        .filter(|&j| {
+            let mut augmented = rows.clone();
+            let mut probe = vec![0.0; r_sub.cols()];
+            probe[j] = 1.0;
+            augmented.push(probe);
+            rank_with_tol(&Matrix::from_rows(&augmented).unwrap(), tol) > base_rank
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The degraded solve never panics and always returns finite
+    /// numbers, whatever subset of probes survives.
+    #[test]
+    fn degraded_solve_is_total_and_finite(seed in 0u64..1000, keep in 1usize..=23) {
+        let system = fig1_system().unwrap();
+        let rows = random_rows(seed, keep);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd15e_a5ed);
+        let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+        let y = system.measure(&x).unwrap();
+        let y_sub: Vector = rows.iter().map(|&i| y[i]).collect();
+
+        let solve = system.solve_degraded(&rows, &y_sub).unwrap();
+        prop_assert_eq!(solve.estimate.len(), system.num_links());
+        for (j, v) in solve.estimate.iter().enumerate() {
+            prop_assert!(v.is_finite(), "estimate[{}] = {} not finite", j, v);
+        }
+        prop_assert_eq!(solve.used_ridge, solve.rank < system.num_links());
+        prop_assert_eq!(solve.unidentifiable.is_empty(), !solve.used_ridge);
+    }
+
+    /// The reported unidentifiable set matches a brute-force null-space
+    /// check (rank augmentation per link) on the surviving submatrix.
+    #[test]
+    fn unidentifiable_set_matches_rank_augmentation(seed in 0u64..1000, keep in 1usize..=23) {
+        let system = fig1_system().unwrap();
+        let rows = random_rows(seed, keep);
+        let y_sub = Vector::zeros(rows.len());
+
+        let solve = system.solve_degraded(&rows, &y_sub).unwrap();
+        let r_sub = system.routing_matrix().select_rows(&rows);
+        let expected = brute_force_unidentifiable(&r_sub, 1e-9);
+        let got: Vec<usize> = solve.unidentifiable.iter().map(|l| l.index()).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(solve.rank, rank_with_tol(&r_sub, 1e-9));
+    }
+
+    /// When the surviving rows still have full column rank, the degraded
+    /// path is the exact estimator: it reproduces the true delays.
+    #[test]
+    fn full_rank_subsets_recover_exactly(seed in 0u64..1000) {
+        let system = fig1_system().unwrap();
+        let rows = random_rows(seed, 12 + (seed % 12) as usize);
+        let r_sub = system.routing_matrix().select_rows(&rows);
+        prop_assume!(rank_with_tol(&r_sub, 1e-9) == system.num_links());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0bad_cafe);
+        let x = params::default_delay_model().sample(system.num_links(), &mut rng);
+        let y = system.measure(&x).unwrap();
+        let y_sub: Vector = rows.iter().map(|&i| y[i]).collect();
+
+        let solve = system.solve_degraded(&rows, &y_sub).unwrap();
+        prop_assert!(!solve.used_ridge);
+        prop_assert!(solve.unidentifiable.is_empty());
+        prop_assert!(
+            solve.estimate.approx_eq(&x, 1e-6),
+            "exact path diverged: {:?} vs {:?}",
+            solve.estimate,
+            x
+        );
+    }
+}

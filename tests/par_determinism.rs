@@ -5,8 +5,9 @@
 //! experiment must be byte-identical no matter how many workers ran it —
 //! including oversubscribed counts far above the machine's core count.
 
+use scapegoat_tomography::fault::FaultSpec;
 use scapegoat_tomography::par::Executor;
-use scapegoat_tomography::sim::{fig7, fig9};
+use scapegoat_tomography::sim::{chaos, fig7, fig9};
 
 fn fig7_config() -> fig7::Fig7Config {
     fig7::Fig7Config {
@@ -91,6 +92,35 @@ fn fig9_artifact_identical_with_and_without_warm_start() {
         serde_json::to_string(&warm).unwrap(),
         "warm-started fig9 run changed the artifact bytes"
     );
+}
+
+/// The chaos sweep must stay byte-identical across thread counts even
+/// with every fault kind firing: fault draws come from per-trial plan
+/// streams, trial RNGs reseed per retry attempt, and solver sabotage is
+/// armed thread-locally — none of it may leak across workers.
+#[test]
+fn chaos_artifact_is_byte_identical_across_thread_counts() {
+    let spec = FaultSpec::parse(
+        "loss=0.1,corrupt=0.05,stale=0.1,link_fail=0.05,lp_iter=0.1,lp_singular=0.05",
+    )
+    .unwrap();
+    let config = chaos::ChaosConfig {
+        trials_per_point: 16,
+        scales: vec![0.0, 1.0, 2.0],
+        ..chaos::ChaosConfig::default()
+    };
+    let baseline = chaos::run(42, &spec, &config, &Executor::single_threaded()).unwrap();
+    assert!(baseline.totals.is_balanced());
+    assert!(baseline.totals.injected > 0);
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    for threads in [2, 4] {
+        let parallel = chaos::run(42, &spec, &config, &Executor::new(threads)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            baseline_json,
+            "chaos artifact diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]
