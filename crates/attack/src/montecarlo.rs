@@ -116,6 +116,10 @@ pub struct ChosenVictimTrialDetail {
     /// The manipulation vector `m` when the attack LP was feasible
     /// (attacked measurements are `y = R x + m`).
     pub manipulation: Option<Vector>,
+    /// Warm-start outcome of the attack LP solve: `Some(true)` basis
+    /// cache hit, `Some(false)` miss, `None` cold solve. Strictly
+    /// observational — feeds trace provenance, never the results.
+    pub warm_outcome: Option<bool>,
 }
 
 /// [`chosen_victim_trial`] with the sampled world attached — identical
@@ -149,7 +153,11 @@ pub fn chosen_victim_trial_detailed<R: Rng + ?Sized>(
         return Ok(None);
     }
     let x = delay_model.sample(system.num_links(), rng);
+    // Drain any stale outcome from earlier solves on this thread so the
+    // take below reflects exactly the attack LP of *this* trial.
+    let _ = tomo_lp::take_last_warm_outcome();
     let outcome = strategy::chosen_victim_warm(system, &attackers, scenario, &x, &[victim], warm)?;
+    let warm_outcome = tomo_lp::take_last_warm_outcome();
     let (success, damage, manipulation) = match outcome.success() {
         Some(s) => (true, s.damage, Some(s.manipulation.clone())),
         None => (false, 0.0, None),
@@ -164,6 +172,7 @@ pub fn chosen_victim_trial_detailed<R: Rng + ?Sized>(
         victim,
         true_delays: x,
         manipulation,
+        warm_outcome,
     }))
 }
 

@@ -1,0 +1,325 @@
+//! `tomo-bench` — performance-regression gate over the committed
+//! `BENCH_*.json` baselines.
+//!
+//! ```text
+//! tomo-bench regression [--dir DIR] [--threshold FRAC] [--runs N]
+//! ```
+//!
+//! Loads `BENCH_montecarlo.json` from `DIR` (default: the current
+//! directory), re-runs each recorded workload point in-process, and
+//! fails when throughput regresses by more than `FRAC` (default 0.15)
+//! against the committed `trials_per_sec`. Points recorded on more
+//! cores than this machine has are skipped rather than failed, and
+//! `TOMO_BENCH_SKIP=1` bypasses the whole gate — both escape hatches
+//! keep the check honest on smaller CI runners.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tomo_par::Executor;
+use tomo_sim::fig7;
+
+/// Workload identity: must match `scripts/bench_trajectory.sh`.
+const BASELINE_FILE: &str = "BENCH_montecarlo.json";
+const BASELINE_SEED: u64 = 42;
+const DEFAULT_THRESHOLD: f64 = 0.15;
+const DEFAULT_RUNS: usize = 3;
+
+struct Options {
+    dir: PathBuf,
+    threshold: f64,
+    runs: usize,
+}
+
+fn usage() -> String {
+    "usage:\n  tomo-bench regression [--dir DIR] [--threshold FRAC] [--runs N]\n\n\
+     Re-runs the committed BENCH_montecarlo.json workload points and fails\n\
+     on >FRAC (default 0.15) throughput regression. Points needing more\n\
+     cores than available are skipped; TOMO_BENCH_SKIP=1 skips the gate."
+        .to_string()
+}
+
+fn parse_options(argv: &[String]) -> Result<Options, String> {
+    if argv.first().map(String::as_str) != Some("regression") {
+        return Err(usage());
+    }
+    let mut opts = Options {
+        dir: PathBuf::from("."),
+        threshold: DEFAULT_THRESHOLD,
+        runs: DEFAULT_RUNS,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => {
+                let v = argv.get(i + 1).ok_or("--dir needs a value")?;
+                opts.dir = PathBuf::from(v);
+                i += 2;
+            }
+            "--threshold" => {
+                let v = argv.get(i + 1).ok_or("--threshold needs a value")?;
+                let frac: f64 = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
+                if !(0.0..1.0).contains(&frac) {
+                    return Err("--threshold must be in [0, 1)".to_string());
+                }
+                opts.threshold = frac;
+                i += 2;
+            }
+            "--runs" => {
+                let v = argv.get(i + 1).ok_or("--runs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad run count {v:?}"))?;
+                if n == 0 {
+                    return Err("--runs must be at least 1".to_string());
+                }
+                opts.runs = n;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// One recorded throughput point from the baseline file.
+#[derive(Debug)]
+struct BaselinePoint {
+    threads: usize,
+    trials_per_sec: f64,
+    /// Cores present when the point was recorded (per-point override,
+    /// falling back to the file-level `cores` field).
+    cores: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Baseline {
+    trials: u64,
+    cores: Option<u64>,
+    points: Vec<BaselinePoint>,
+}
+
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let root = serde_json::parse_value(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let field_f64 = |v: &serde_json::Value, key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{}: missing numeric {key:?}", path.display()))
+    };
+    let trials = field_f64(&root, "trials")? as u64;
+    let cores = root.get("cores").and_then(serde_json::Value::as_f64);
+    let points = root
+        .get("points")
+        .and_then(|p| match p {
+            serde_json::Value::Array(items) => Some(items.as_slice()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("{}: missing \"points\" array", path.display()))?
+        .iter()
+        .map(|p| {
+            Ok(BaselinePoint {
+                threads: field_f64(p, "threads")? as usize,
+                trials_per_sec: field_f64(p, "trials_per_sec")?,
+                cores: p
+                    .get("cores")
+                    .and_then(serde_json::Value::as_f64)
+                    .map(|c| c as u64),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if points.is_empty() {
+        return Err(format!("{}: no points to check", path.display()));
+    }
+    Ok(Baseline {
+        trials,
+        cores: cores.map(|c| c as u64),
+        points,
+    })
+}
+
+/// The `tomo-sim run fig7 --quick` workload the baseline records,
+/// re-run in-process: same seed, same config, chosen thread count.
+fn run_workload(threads: usize, runs: usize) -> Result<(f64, u64), String> {
+    let config = fig7::Fig7Config {
+        num_systems: 1,
+        trials_per_system: 40,
+        ..fig7::Fig7Config::default()
+    };
+    let exec = Executor::new(threads);
+    let mut best = f64::INFINITY;
+    let mut trials = 0u64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let result = fig7::run(BASELINE_SEED, &config, &exec).map_err(|e| format!("fig7: {e}"))?;
+        let secs = start.elapsed().as_secs_f64();
+        trials = (result.wireline.trials + result.wireless.trials) as u64;
+        best = best.min(secs);
+    }
+    Ok((best, trials))
+}
+
+fn regression_gate(opts: &Options) -> Result<bool, String> {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let baseline = load_baseline(&opts.dir.join(BASELINE_FILE))?;
+    if let Some(cores) = baseline.cores {
+        println!("baseline recorded on {cores} core(s); this machine has {available}");
+    }
+    let mut failed = false;
+    for point in &baseline.points {
+        let recorded_cores = point.cores.or(baseline.cores);
+        if point.threads > available {
+            println!(
+                "  threads={}: SKIP (needs {} cores, have {available})",
+                point.threads, point.threads
+            );
+            continue;
+        }
+        if let Some(cores) = recorded_cores {
+            if point.threads as u64 > cores {
+                // An oversubscribed baseline point measures scheduler
+                // contention, not throughput; never gate on it.
+                println!(
+                    "  threads={}: SKIP (baseline oversubscribed: {} > {cores} cores)",
+                    point.threads, point.threads
+                );
+                continue;
+            }
+        }
+        let (secs, trials) = run_workload(point.threads, opts.runs)?;
+        if trials != baseline.trials {
+            return Err(format!(
+                "workload drift: baseline ran {} trials, re-run produced {trials} — \
+                 regenerate {BASELINE_FILE} with scripts/bench_trajectory.sh",
+                baseline.trials
+            ));
+        }
+        let current = trials as f64 / secs;
+        let floor = point.trials_per_sec * (1.0 - opts.threshold);
+        let verdict = if current < floor { "FAIL" } else { "ok" };
+        println!(
+            "  threads={}: {:.1} trials/s vs baseline {:.1} (floor {:.1}) — {verdict}",
+            point.threads, current, point.trials_per_sec, floor
+        );
+        if current < floor {
+            failed = true;
+        }
+    }
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if std::env::var("TOMO_BENCH_SKIP").as_deref() == Ok("1") {
+        println!("tomo-bench regression: skipped (TOMO_BENCH_SKIP=1)");
+        return ExitCode::SUCCESS;
+    }
+    match regression_gate(&opts) {
+        Ok(false) => {
+            println!("tomo-bench regression: ok");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!(
+                "tomo-bench regression: throughput regressed more than {:.0}% — \
+                 investigate, or regenerate baselines with scripts/bench_trajectory.sh",
+                opts.threshold * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("tomo-bench regression: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn requires_the_regression_subcommand() {
+        assert!(parse_options(&argv(&[])).is_err());
+        assert!(parse_options(&argv(&["bench"])).is_err());
+        assert!(parse_options(&argv(&["regression"])).is_ok());
+    }
+
+    #[test]
+    fn flags_are_validated() {
+        let o = parse_options(&argv(&[
+            "regression",
+            "--dir",
+            "baselines",
+            "--threshold",
+            "0.2",
+            "--runs",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(o.dir, PathBuf::from("baselines"));
+        assert!((o.threshold - 0.2).abs() < 1e-12);
+        assert_eq!(o.runs, 1);
+        assert!(parse_options(&argv(&["regression", "--threshold", "1.5"])).is_err());
+        assert!(parse_options(&argv(&["regression", "--runs", "0"])).is_err());
+        assert!(parse_options(&argv(&["regression", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn baseline_parses_committed_shape() {
+        let dir = std::env::temp_dir().join("tomo_bench_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(
+            &path,
+            r#"{
+              "workload": "tomo-sim run fig7 --quick --seed 42",
+              "trials": 80,
+              "cores": 1,
+              "runs_per_point": 3,
+              "points": [
+                {"threads": 1, "wall_secs": 2.8, "trials_per_sec": 28.0, "cores": 1}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let b = load_baseline(&path).unwrap();
+        assert_eq!(b.trials, 80);
+        assert_eq!(b.cores, Some(1));
+        assert_eq!(b.points.len(), 1);
+        assert_eq!(b.points[0].threads, 1);
+        assert_eq!(b.points[0].cores, Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn baseline_rejects_missing_fields() {
+        let dir = std::env::temp_dir().join("tomo_bench_baseline_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BASELINE_FILE);
+        std::fs::write(&path, r#"{"trials": 80}"#).unwrap();
+        assert!(load_baseline(&path).unwrap_err().contains("points"));
+        std::fs::write(&path, r#"{"points": []}"#).unwrap();
+        assert!(load_baseline(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn workload_reruns_the_quick_fig7_trial_count() {
+        // One run is enough to pin the trial count the gate checks.
+        let (secs, trials) = run_workload(1, 1).unwrap();
+        assert!(secs > 0.0);
+        assert_eq!(trials, 80);
+    }
+}

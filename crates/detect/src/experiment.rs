@@ -188,22 +188,43 @@ pub fn run_detection_experiment(
     // tolerance and plain attacks overshoot the threshold by orders of
     // magnitude, so basis reuse cannot flip a verdict.
     let lp_warm = warm_enabled().then(WarmStart::new);
-    let per_trial = exec.try_map(config.trials, |trial| {
-        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, trial as u64));
-        run_one_trial(
+    let per_trial = exec.try_map(config.trials, |trial| -> Result<_, AttackError> {
+        let trial_seed = derive_seed(seed, trial as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed);
+        let outcome = run_one_trial(
             system,
             detector,
             delay_model,
             config,
             lp_warm.as_ref(),
             &mut rng,
-        )
+        )?;
+        if tomo_obs::tracing_enabled() {
+            tomo_obs::record_trial(tomo_obs::TrialProvenance {
+                experiment: "detect.fig9".to_string(),
+                trial: trial as u64,
+                seed: trial_seed,
+                warm: tomo_lp::take_last_warm_outcome(),
+                verdict: Some(outcome.clean_detected),
+                residual: Some(outcome.clean_residual_l1),
+                ..tomo_obs::TrialProvenance::default()
+            });
+        }
+        Ok(outcome.report)
     })?;
     let mut report = DetectionReport::default();
     for trial_report in &per_trial {
         report.absorb(trial_report);
     }
     Ok(report)
+}
+
+/// One trial's report plus the clean-round verdict details that trace
+/// provenance records (and the aggregate report discards).
+struct TrialOutcome {
+    report: DetectionReport,
+    clean_residual_l1: f64,
+    clean_detected: bool,
 }
 
 /// One trial: fresh attackers and routine delays, a clean round for
@@ -215,7 +236,7 @@ fn run_one_trial<R: Rng + ?Sized>(
     config: &DetectionConfig,
     lp_warm: Option<&WarmStart>,
     rng: &mut R,
-) -> Result<DetectionReport, AttackError> {
+) -> Result<TrialOutcome, AttackError> {
     let mut report = DetectionReport::default();
     let mut nodes: Vec<NodeId> = system.graph().nodes().collect();
     let (sampled, _) = nodes.partial_shuffle(rng, config.num_attackers.max(1));
@@ -297,7 +318,11 @@ fn run_one_trial<R: Rng + ?Sized>(
         &outcome,
         &mut report,
     )?;
-    Ok(report)
+    Ok(TrialOutcome {
+        report,
+        clean_residual_l1: clean_verdict.residual_l1,
+        clean_detected: clean_verdict.detected,
+    })
 }
 
 /// Applies the detector to a successful attack and files it under the

@@ -60,6 +60,30 @@ impl FaultPlan {
         &self.spec
     }
 
+    /// A 64-bit digest identifying the fault stream of trial `index`:
+    /// every spec rate, the plan seed, and the trial index, FNV-folded.
+    ///
+    /// Two trials share a digest exactly when [`FaultPlan::trial`] would
+    /// hand them identical fault streams, so a digest recorded in a
+    /// trace journal suffices to replay the trial's faults.
+    #[must_use]
+    pub fn trial_digest(&self, index: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for v in [
+            self.spec.loss,
+            self.spec.corrupt,
+            self.spec.stale,
+            self.spec.link_fail,
+            self.spec.lp_iter,
+            self.spec.lp_singular,
+        ] {
+            h = (h ^ v.to_bits()).wrapping_mul(PRIME);
+        }
+        h = (h ^ self.seed).wrapping_mul(PRIME);
+        (h ^ index).wrapping_mul(PRIME)
+    }
+
     /// The fault decisions for trial `index`.
     #[must_use]
     pub fn trial(&self, index: u64) -> TrialFaults {
@@ -277,6 +301,23 @@ mod tests {
         let faults = t.inject_measurement(&mut y, &clean);
         let bits = y.iter().map(|v| v.to_bits()).collect();
         (solver, link, faults, bits, t.injected())
+    }
+
+    #[test]
+    fn trial_digest_separates_plans_and_trials() {
+        let plan = FaultPlan::new(busy_spec(), 42);
+        // Stable per (plan, index)…
+        assert_eq!(plan.trial_digest(3), plan.trial_digest(3));
+        // …distinct across indices, seeds, and specs.
+        assert_ne!(plan.trial_digest(3), plan.trial_digest(4));
+        assert_ne!(
+            plan.trial_digest(3),
+            FaultPlan::new(busy_spec(), 43).trial_digest(3)
+        );
+        assert_ne!(
+            plan.trial_digest(3),
+            FaultPlan::new(FaultSpec::default(), 42).trial_digest(3)
+        );
     }
 
     #[test]

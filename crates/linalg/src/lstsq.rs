@@ -11,9 +11,10 @@
 use crate::cholesky::Cholesky;
 use crate::qr::Qr;
 use crate::{CsrMatrix, LinalgError, Matrix, Vector};
-use tomo_obs::LazyHistogram;
+use tomo_obs::{LazyCounter, LazyHistogram};
 
 static SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lstsq.solve_seconds");
+static RIDGE_SOLVES: LazyCounter = LazyCounter::new("linalg.lstsq.ridge_solves");
 
 /// Solves `min ‖A x − b‖₂` via Householder QR.
 ///
@@ -225,6 +226,7 @@ pub fn solve_ridge(a: &Matrix, b: &Vector, lambda: f64) -> Result<Vector, Linalg
             rhs: (b.len(), 1),
         });
     }
+    RIDGE_SOLVES.inc();
     let _timer = SOLVE_SECONDS.start_timer();
     let mut gram = a.mul_transpose_self();
     let n = gram.rows();

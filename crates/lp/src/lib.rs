@@ -49,6 +49,7 @@ mod warm;
 
 pub use error::LpError;
 pub use model::{ConstraintActivity, LpProblem, Objective, Relation, VarId};
+pub use simplex::take_last_warm_outcome;
 pub use solution::{LpSolution, LpStatus};
 pub use warm::{warm_enabled, WarmStart};
 

@@ -27,6 +27,22 @@ static WARM_CRASH_OPS: LazyCounter = LazyCounter::new("lp.simplex.warm.crash_ops
 static WARM_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.warm.pivots");
 static COLD_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.cold.pivots");
 
+thread_local! {
+    /// Warm-start outcome of this thread's most recent solve: `None` for
+    /// a cold solve (no cache offered), `Some(hit)` when a [`WarmStart`]
+    /// was consulted. Read via [`take_last_warm_outcome`] by provenance
+    /// recording; thread-local so parallel trials never see each other's
+    /// solves.
+    static LAST_WARM: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+/// Takes (and clears) the calling thread's last solve's warm-start
+/// outcome: `Some(true)` cache hit, `Some(false)` miss, `None` when the
+/// last solve ran cold or no solve has happened since the last take.
+pub fn take_last_warm_outcome() -> Option<bool> {
+    LAST_WARM.with(|w| w.take())
+}
+
 /// Hard safety bound on simplex iterations per phase.
 const MAX_ITER_BASE: usize = 20_000;
 /// After this many iterations in a phase, switch from Dantzig to Bland.
@@ -247,6 +263,7 @@ pub(crate) fn solve_warm(problem: &LpProblem, warm: &WarmStart) -> Result<LpSolu
 
 fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSolution, LpError> {
     SOLVES.inc();
+    LAST_WARM.with(|w| w.set(None));
     let n_struct = problem.variables.len();
 
     // Assemble rows in (dense coeffs, relation, rhs) form over the shifted
@@ -404,6 +421,7 @@ fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSoluti
         } else {
             WARM_HITS.inc();
         }
+        LAST_WARM.with(|w| w.set(Some(crash != Crash::Failed)));
     }
     let warm_hit = crash != Crash::Failed;
 

@@ -1,0 +1,258 @@
+//! A zero-dependency blocking HTTP/1.1 scrape endpoint.
+//!
+//! [`MetricsServer`] serves the global registry in Prometheus text
+//! exposition at `GET /metrics` (plus a `GET /healthz` liveness probe).
+//! One connection is handled at a time — a scrape loop, not a web
+//! server — which keeps the implementation at plain `std::net` and is
+//! deliberately the first brick of the roadmap's `tomo-serve` daemon.
+//!
+//! The server binds loopback only: the simulator has no business
+//! listening on external interfaces.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::prometheus::prometheus_text;
+
+/// How long a single request may dawdle before the connection is cut.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A bound-but-not-yet-serving metrics endpoint.
+pub struct MetricsServer {
+    listener: TcpListener,
+}
+
+/// Handle to a [`MetricsServer`] running on a background thread.
+///
+/// Dropping the handle shuts the server down and joins the thread.
+pub struct MetricsServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (`port` 0 asks the OS for a free port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (e.g. the port is taken).
+    pub fn bind(port: u16) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        Ok(MetricsServer { listener })
+    }
+
+    /// The address the server is listening on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves scrapes on the calling thread until the process exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal `accept` error; per-connection errors
+    /// (malformed requests, client hangups) are swallowed.
+    pub fn serve_forever(self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            // A broken scrape must not take the loop down.
+            let _ = handle_connection(stream);
+        }
+    }
+
+    /// Serves scrapes on a background thread; the returned handle stops
+    /// the server when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if the local address cannot be read.
+    pub fn spawn(self) -> std::io::Result<MetricsServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let listener = self.listener;
+        let thread = std::thread::Builder::new()
+            .name("tomo-metrics".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let _ = handle_connection(stream);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(MetricsServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl MetricsServerHandle {
+    /// The address the background server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread (idempotent).
+    pub fn shutdown(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in `accept`; a throwaway self-connect
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the bodyless GETs we serve need none of them.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let target = path.split('?').next().unwrap_or(path);
+
+    let mut stream = reader.into_inner();
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match target {
+        "/metrics" => {
+            let body = prometheus_text(&crate::snapshot());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn scrape_loop_serves_metrics_health_and_404() {
+        crate::counter("http.test.scrapes").inc();
+        let server = MetricsServer::bind(0).expect("bind loopback");
+        let mut handle = server.spawn().expect("spawn");
+        let addr = handle.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("tomo_http_test_scrapes"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn non_get_method_is_rejected() {
+        let server = MetricsServer::bind(0).expect("bind loopback");
+        let handle = server.spawn().expect("spawn");
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        crate::counter("http.test.length").inc();
+        let server = MetricsServer::bind(0).expect("bind loopback");
+        let handle = server.spawn().expect("spawn");
+        let response = get(handle.local_addr(), "/metrics");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .parse()
+            .expect("numeric length");
+        assert_eq!(length, body.len());
+    }
+}

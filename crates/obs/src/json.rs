@@ -53,6 +53,39 @@ mod tests {
     }
 
     #[test]
+    fn quotes_and_backslashes_escape_independently() {
+        assert_eq!(string(""), "\"\"");
+        assert_eq!(string("\""), "\"\\\"\"");
+        assert_eq!(string("\\"), "\"\\\\\"");
+        // A backslash before a quote must not swallow the quote escape.
+        assert_eq!(string("\\\""), "\"\\\\\\\"\"");
+        // Already-escaped-looking input is data, not syntax.
+        assert_eq!(string("\\n"), "\"\\\\n\"");
+    }
+
+    #[test]
+    fn every_control_char_is_escaped() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let rendered = string(&c.to_string());
+            let expected = match c {
+                '\n' => "\"\\n\"".to_string(),
+                '\r' => "\"\\r\"".to_string(),
+                '\t' => "\"\\t\"".to_string(),
+                _ => format!("\"\\u{code:04x}\""),
+            };
+            assert_eq!(rendered, expected, "control char {code:#04x}");
+            // Nothing below 0x20 may survive raw inside the literal.
+            assert!(
+                rendered.chars().all(|r| (r as u32) >= 0x20),
+                "raw control char leaked for {code:#04x}"
+            );
+        }
+        // 0x20 and above (and non-ASCII) pass through untouched.
+        assert_eq!(string(" ~é∑"), "\" ~é∑\"");
+    }
+
+    #[test]
     fn floats_roundtrip_and_mark_integrals() {
         assert_eq!(float(1.0), "1.0");
         assert_eq!(float(0.1), "0.1");

@@ -16,6 +16,12 @@
 //! * **events** — a level-filtered log ([`info!`], [`debug!`], …)
 //!   controlled by the `TOMO_LOG` environment variable, rendering
 //!   human-readable lines to stderr and JSON lines to an optional file.
+//! * **traces** — opt-in ([`set_tracing`]) per-event recording of span
+//!   trees with explicit parent links that survive `tomo-par` thread
+//!   hops ([`TraceContext`]), plus per-trial provenance records
+//!   ([`record_trial`]), in a fixed-capacity ring journal exportable as
+//!   Chrome trace-event JSON ([`write_chrome_trace`]) or scrapeable as
+//!   Prometheus text ([`prometheus_text`], [`MetricsServer`]).
 //!
 //! Metric names follow `<crate>.<component>.<name>`, e.g.
 //! `lp.simplex.pivots` or `attack.chosen_victim.damage`.
@@ -39,17 +45,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod http;
 mod json;
 mod log;
 mod metrics;
+mod prometheus;
 mod span;
+mod trace;
 
+pub use http::{MetricsServer, MetricsServerHandle};
 pub use log::{log_enabled, log_record, set_log_json, set_max_level, Level};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, LazyCounter, LazyGauge,
     LazyHistogram, HISTOGRAM_BUCKETS,
 };
+pub use prometheus::prometheus_text;
 pub use span::{fmt_ns, set_verbose, span, verbose, SpanGuard, SpanSummary};
+pub use trace::{
+    chrome_trace_json, journal_capacity, journal_snapshot, now_ns, record_trial, reset_journal,
+    set_journal_capacity, set_tracing, thread_tid, tracing_enabled, write_chrome_trace,
+    ChromeTraceStats, ContextGuard, JournalSnapshot, TraceContext, TraceEvent, TrialProvenance,
+    DEFAULT_JOURNAL_CAPACITY,
+};
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};

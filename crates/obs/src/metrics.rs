@@ -463,6 +463,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_collapse_to_it() {
+        let h = Histogram::new();
+        h.record(3.25);
+        // One sample occupies one bucket; [min, max] clamping makes every
+        // quantile report the sample exactly, including the extremes.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(3.25), "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (3.25, 3.25));
+        assert_eq!((s.p50, s.p90, s.p99), (3.25, 3.25, 3.25));
+    }
+
+    #[test]
+    fn all_equal_samples_have_degenerate_spread() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(0.125);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p50, 0.125);
+        assert_eq!(s.p90, 0.125);
+        assert_eq!(s.p99, 0.125);
+        assert!((s.sum - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn single_bucket_percentiles_are_exact() {
         let h = Histogram::new();
         for _ in 0..8 {

@@ -1,0 +1,194 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Snapshot`].
+//!
+//! Renders every registered instrument into the plain-text scrape
+//! format: counters and gauges as single samples, histograms as
+//! `summary` families (pre-computed p50/p90/p99 quantiles plus
+//! `_sum`/`_count`), and span statistics as two labelled counter
+//! families keyed on the `/`-joined call path. Metric names are
+//! sanitized to the Prometheus charset and prefixed `tomo_`; rows come
+//! out name-sorted because snapshots are name-sorted by construction.
+
+use crate::{HistogramSummary, Snapshot, SpanSummary};
+
+/// Maps an internal dotted metric name (`lp.simplex.pivots`) to a legal
+/// Prometheus name (`tomo_lp_simplex_pivots`).
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("tomo_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+fn label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float sample value (Prometheus accepts `NaN`/`+Inf`/`-Inf`
+/// spellings, unlike JSON).
+fn sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        crate::json::float(v)
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, s: &HistogramSummary) {
+    let n = metric_name(name);
+    out.push_str(&format!("# TYPE {n} summary\n"));
+    for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+        out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", sample(v)));
+    }
+    out.push_str(&format!("{n}_sum {}\n", sample(s.sum)));
+    out.push_str(&format!("{n}_count {}\n", s.count));
+}
+
+fn push_spans(out: &mut String, spans: &[(String, SpanSummary)]) {
+    if spans.is_empty() {
+        return;
+    }
+    out.push_str("# TYPE tomo_span_calls_total counter\n");
+    for (path, s) in spans {
+        out.push_str(&format!(
+            "tomo_span_calls_total{{path=\"{}\"}} {}\n",
+            label_value(path),
+            s.count
+        ));
+    }
+    out.push_str("# TYPE tomo_span_duration_ns_total counter\n");
+    for (path, s) in spans {
+        out.push_str(&format!(
+            "tomo_span_duration_ns_total{{path=\"{}\"}} {}\n",
+            label_value(path),
+            s.duration_ns
+        ));
+    }
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+#[must_use]
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", sample(*value)));
+    }
+    for (name, summary) in &snapshot.histograms {
+        push_histogram(&mut out, name, summary);
+    }
+    push_spans(&mut out, &snapshot.spans);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![("lp.simplex.pivots".into(), 42)],
+            gauges: vec![("par.workers".into(), 2.0)],
+            histograms: vec![(
+                "attack.damage".into(),
+                HistogramSummary {
+                    count: 3,
+                    sum: 6.0,
+                    min: 1.0,
+                    max: 3.0,
+                    p50: 2.0,
+                    p90: 3.0,
+                    p99: 3.0,
+                },
+            )],
+            spans: vec![(
+                "sim.fig7/par.worker".into(),
+                SpanSummary {
+                    count: 80,
+                    duration_ns: 1_000_000,
+                    min_ns: 10,
+                    max_ns: 100_000,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn renders_all_instrument_families() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE tomo_lp_simplex_pivots counter\n"));
+        assert!(text.contains("tomo_lp_simplex_pivots 42\n"));
+        assert!(text.contains("# TYPE tomo_par_workers gauge\n"));
+        assert!(text.contains("tomo_par_workers 2.0\n"));
+        assert!(text.contains("# TYPE tomo_attack_damage summary\n"));
+        assert!(text.contains("tomo_attack_damage{quantile=\"0.5\"} 2.0\n"));
+        assert!(text.contains("tomo_attack_damage_sum 6.0\n"));
+        assert!(text.contains("tomo_attack_damage_count 3\n"));
+        assert!(text.contains("tomo_span_calls_total{path=\"sim.fig7/par.worker\"} 80\n"));
+        assert!(
+            text.contains("tomo_span_duration_ns_total{path=\"sim.fig7/par.worker\"} 1000000\n")
+        );
+    }
+
+    #[test]
+    fn sanitizes_names_and_escapes_labels() {
+        let snap = Snapshot {
+            counters: vec![("weird-name with spaces!".into(), 1)],
+            gauges: vec![],
+            histograms: vec![],
+            spans: vec![(
+                "path\"with\\quotes\nand newline".into(),
+                SpanSummary {
+                    count: 1,
+                    duration_ns: 1,
+                    min_ns: 1,
+                    max_ns: 1,
+                },
+            )],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("tomo_weird_name_with_spaces_ 1\n"));
+        assert!(text.contains("path=\"path\\\"with\\\\quotes\\nand newline\""));
+    }
+
+    #[test]
+    fn non_finite_samples_use_prometheus_spellings() {
+        assert_eq!(sample(f64::NAN), "NaN");
+        assert_eq!(sample(f64::INFINITY), "+Inf");
+        assert_eq!(sample(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(sample(1.5), "1.5");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            spans: vec![],
+        };
+        assert_eq!(prometheus_text(&snap), "");
+    }
+}

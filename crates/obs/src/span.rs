@@ -55,10 +55,22 @@ impl SpanSummary {
 }
 
 /// RAII timer for one span; records into the global registry on drop.
+///
+/// When tracing is enabled (see [`crate::set_tracing`]) the guard also
+/// carries a process-unique span id and an explicit parent link, and
+/// pushes a [`crate::TraceEvent::Span`] into the trace journal on drop.
 pub struct SpanGuard {
     path: String,
     depth: usize,
     start: Instant,
+    /// Trace identity: 0 when tracing was off at open time.
+    trace_id: u64,
+    /// The parent to restore on the thread when this span closes.
+    trace_prev: u64,
+    /// This span's parent id in the trace tree.
+    trace_parent: u64,
+    /// Open timestamp, ns since the trace epoch (only when traced).
+    start_ns: u64,
 }
 
 /// Opens a span named `name`, nested under the thread's innermost open
@@ -74,10 +86,21 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(path.clone());
         (path, stack.len() - 1)
     });
+    let (trace_id, trace_prev, trace_parent, start_ns) = if crate::tracing_enabled() {
+        let id = crate::trace::next_span_id();
+        let prev = crate::trace::swap_current_parent(id);
+        (id, prev, prev, crate::trace::now_ns())
+    } else {
+        (0, 0, 0, 0)
+    };
     SpanGuard {
         path,
         depth,
         start: Instant::now(),
+        trace_id,
+        trace_prev,
+        trace_parent,
+        start_ns,
     }
 }
 
@@ -92,6 +115,21 @@ impl Drop for SpanGuard {
                 stack.pop();
             }
         });
+        if self.trace_id != 0 {
+            crate::trace::restore_parent(self.trace_prev);
+            // Still journal the close even if tracing was switched off
+            // mid-span: a tree with holes is worse than a few extra
+            // events at the shutdown boundary.
+            let name = self.path.rsplit('/').next().unwrap_or(&self.path);
+            crate::trace::record_span_event(
+                self.trace_id,
+                self.trace_parent,
+                name,
+                &self.path,
+                self.start_ns,
+                ns,
+            );
+        }
         crate::record_span(&self.path, ns);
         if verbose() {
             let name = self.path.rsplit('/').next().unwrap_or(&self.path);

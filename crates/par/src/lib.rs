@@ -22,7 +22,12 @@
 //! gauge, and a `par.worker.tasks` histogram (tasks completed per
 //! worker — a utilization/steal balance signal) are recorded through
 //! `tomo-obs`; each worker thread opens a `par.worker` span, so nested
-//! spans from trial code get per-worker paths for free.
+//! spans from trial code get per-worker paths for free. When tracing is
+//! enabled ([`tomo_obs::set_tracing`]), the caller's
+//! [`tomo_obs::TraceContext`] is captured before the fan-out and
+//! installed in every worker, and each task runs inside a `trial` span —
+//! so the trace journal sees one connected tree
+//! (`sim.fig7 → par.worker → trial → …`) regardless of thread count.
 
 #![forbid(unsafe_code)]
 
@@ -173,14 +178,24 @@ impl Executor {
         TASKS.add(n as u64);
         let workers = self.threads.min(n.max(1));
         WORKERS.set(workers as f64);
+        // Capture the caller's innermost traced span *before* fanning
+        // out: worker threads start with an empty span stack, and
+        // installing this context re-parents their spans under the
+        // caller's (same hand-off discipline as derive_seed for RNG).
+        let ctx = tomo_obs::TraceContext::current();
+        let run_task = |i: usize| {
+            let _trial = tomo_obs::tracing_enabled().then(|| tomo_obs::span("trial"));
+            f(i)
+        };
         if workers == 1 {
             WORKER_TASKS.record(n as f64);
-            return (0..n).map(f).collect();
+            return (0..n).map(run_task).collect();
         }
 
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let run_worker = || -> WorkerOutcome<T, E> {
+            let _ctx = ctx.install();
             let _span = tomo_obs::span("par.worker");
             let mut done: Vec<(usize, T)> = Vec::new();
             loop {
@@ -191,7 +206,7 @@ impl Executor {
                 if i >= n {
                     break;
                 }
-                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                match catch_unwind(AssertUnwindSafe(|| run_task(i))) {
                     Ok(Ok(v)) => done.push((i, v)),
                     Ok(Err(e)) => {
                         failed.store(true, Ordering::Relaxed);
@@ -532,5 +547,50 @@ mod tests {
     fn from_env_defaults_to_parallelism() {
         // TOMO_THREADS is not set under `cargo test`; just assert sanity.
         assert!(Executor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn traced_fanout_builds_one_connected_tree() {
+        // Tracing state is process-global; this is the only test in the
+        // crate that enables it, so no cross-test lock is needed.
+        tomo_obs::reset_journal();
+        tomo_obs::set_tracing(true);
+        let root = tomo_obs::span("par.test.root");
+        Executor::new(3).map(8, |i| i);
+        drop(root);
+        tomo_obs::set_tracing(false);
+
+        let snap = tomo_obs::journal_snapshot();
+        let mut root_id = 0;
+        let mut spans = Vec::new();
+        for event in &snap.events {
+            if let tomo_obs::TraceEvent::Span {
+                id, parent, name, ..
+            } = event
+            {
+                if name == "par.test.root" {
+                    root_id = *id;
+                }
+                spans.push((*id, *parent, name.clone()));
+            }
+        }
+        assert_ne!(root_id, 0, "root span must be journaled");
+        // Other tests may run (and journal spans) while tracing is on;
+        // only spans reachable from our root are ours to assert on.
+        let worker_ids: std::collections::HashSet<u64> = spans
+            .iter()
+            .filter(|&&(_, parent, ref n)| n == "par.worker" && parent == root_id)
+            .map(|&(id, _, _)| id)
+            .collect();
+        assert!(
+            !worker_ids.is_empty(),
+            "workers must parent under the caller"
+        );
+        let trials = spans
+            .iter()
+            .filter(|&&(_, parent, ref n)| n == "trial" && worker_ids.contains(&parent))
+            .count();
+        assert_eq!(trials, 8, "one trial span per task, parented to a worker");
+        tomo_obs::reset_journal();
     }
 }

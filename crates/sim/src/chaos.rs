@@ -138,6 +138,9 @@ struct TrialOutcome {
     used_ridge: bool,
     unidentifiable: u64,
     blinded: bool,
+    /// Consistency residual of the degraded inspection, when one ran
+    /// (trace provenance only — the artifact aggregates booleans).
+    residual: Option<f64>,
 }
 
 fn run_point(
@@ -158,140 +161,161 @@ fn run_point(
 
     let (outcomes, qreport) =
         exec.map_quarantined(config.trials_per_point, config.panic_retries, |t| {
-            // A scheduled fault stream per trial; skipped wholesale when the
-            // layer is disabled (`TOMO_FAULT=0`). With every rate at zero the
-            // enabled path draws nothing either, so both produce identical
-            // trials — the bench harness compares exactly these two runs.
-            let mut faults = fault_on.then(|| plan.trial(t as u64));
-            let solver_fault =
-                faults
-                    .as_mut()
-                    .and_then(|f| f.solver_fault())
-                    .map(|kind| match kind {
-                        SolverFaultKind::IterationExhaustion => {
-                            tomo_lp::chaos::SolveFault::IterationExhaustion
-                        }
-                        SolverFaultKind::SingularBasis => {
-                            tomo_lp::chaos::SolveFault::SingularWarmBasis
-                        }
-                    });
-            let mut krng =
-                ChaCha8Rng::seed_from_u64(derive_seed(point_seed ^ COUNT_SALT, t as u64));
-            let k = krng.gen_range(1..=config.max_attackers.max(1));
-            let attack_seed = derive_seed(point_seed ^ ATTACK_SALT, t as u64);
-            // The attack LP runs cold: warm-started solves are
-            // schedule-dependent in their float paths, and this experiment
-            // consumes the manipulation vector itself.
-            let trial = match montecarlo::chosen_victim_trial_faulted(
-                system,
-                &scenario,
-                &delay_model,
-                k,
-                None,
-                solver_fault,
-                config.solver_retries,
-                attack_seed,
-            ) {
-                Ok(trial) => trial,
-                // Substrate failures (not injected faults) are genuine bugs:
-                // panic so the executor retries and then quarantines the
-                // trial instead of poisoning the sweep.
-                Err(e) => panic!("chaos trial {t}: attack substrate failed: {e}"),
-            };
-            let tally = |f: &Option<tomo_fault::TrialFaults>| {
-                f.as_ref()
-                    .map(|f| (f.injected(), *f.by_kind()))
-                    .unwrap_or_default()
-            };
-            let (detail, recovered) = match trial {
-                FaultedTrial::Quarantined { .. } => {
+            let run_trial = || -> TrialOutcome {
+                // A scheduled fault stream per trial; skipped wholesale when the
+                // layer is disabled (`TOMO_FAULT=0`). With every rate at zero the
+                // enabled path draws nothing either, so both produce identical
+                // trials — the bench harness compares exactly these two runs.
+                let mut faults = fault_on.then(|| plan.trial(t as u64));
+                let solver_fault =
+                    faults
+                        .as_mut()
+                        .and_then(|f| f.solver_fault())
+                        .map(|kind| match kind {
+                            SolverFaultKind::IterationExhaustion => {
+                                tomo_lp::chaos::SolveFault::IterationExhaustion
+                            }
+                            SolverFaultKind::SingularBasis => {
+                                tomo_lp::chaos::SolveFault::SingularWarmBasis
+                            }
+                        });
+                let mut krng =
+                    ChaCha8Rng::seed_from_u64(derive_seed(point_seed ^ COUNT_SALT, t as u64));
+                let k = krng.gen_range(1..=config.max_attackers.max(1));
+                let attack_seed = derive_seed(point_seed ^ ATTACK_SALT, t as u64);
+                // The attack LP runs cold: warm-started solves are
+                // schedule-dependent in their float paths, and this experiment
+                // consumes the manipulation vector itself.
+                let trial = match montecarlo::chosen_victim_trial_faulted(
+                    system,
+                    &scenario,
+                    &delay_model,
+                    k,
+                    None,
+                    solver_fault,
+                    config.solver_retries,
+                    attack_seed,
+                ) {
+                    Ok(trial) => trial,
+                    // Substrate failures (not injected faults) are genuine bugs:
+                    // panic so the executor retries and then quarantines the
+                    // trial instead of poisoning the sweep.
+                    Err(e) => panic!("chaos trial {t}: attack substrate failed: {e}"),
+                };
+                let tally = |f: &Option<tomo_fault::TrialFaults>| {
+                    f.as_ref()
+                        .map(|f| (f.injected(), *f.by_kind()))
+                        .unwrap_or_default()
+                };
+                let (detail, recovered) = match trial {
+                    FaultedTrial::Quarantined { .. } => {
+                        let (injected, by_kind) = tally(&faults);
+                        return TrialOutcome {
+                            injected,
+                            by_kind,
+                            quarantined: true,
+                            recovered: 0,
+                            feasible: false,
+                            detected: false,
+                            degraded: false,
+                            used_ridge: false,
+                            unidentifiable: 0,
+                            blinded: false,
+                            residual: None,
+                        };
+                    }
+                    FaultedTrial::Completed {
+                        detail,
+                        recovered_faults,
+                    } => (detail, recovered_faults),
+                };
+                let mut outcome = TrialOutcome {
+                    injected: 0,
+                    by_kind: FaultKindCounts::default(),
+                    quarantined: false,
+                    recovered,
+                    feasible: false,
+                    detected: false,
+                    degraded: false,
+                    used_ridge: false,
+                    unidentifiable: 0,
+                    blinded: false,
+                    residual: None,
+                };
+                let Some(detail) = detail else {
+                    // Degenerate draw (no frameable victim): nothing to measure.
                     let (injected, by_kind) = tally(&faults);
-                    return TrialOutcome {
-                        injected,
-                        by_kind,
-                        quarantined: true,
-                        recovered: 0,
-                        feasible: false,
-                        detected: false,
-                        degraded: false,
-                        used_ridge: false,
-                        unidentifiable: 0,
-                        blinded: false,
-                    };
+                    outcome.injected = injected;
+                    outcome.by_kind = by_kind;
+                    return outcome;
+                };
+                // The world the attacker planned against...
+                let mut x = detail.true_delays.clone();
+                let y_pre = match system.measure(&x) {
+                    Ok(y) => y,
+                    Err(e) => panic!("chaos trial {t}: measurement failed: {e}"),
+                };
+                // ...then a link fails under them: the manipulation was computed
+                // against delays that no longer exist.
+                if let Some(link) = faults.as_mut().and_then(|f| f.link_failure(num_links)) {
+                    x[link] += LINK_FAILURE_DELAY_MS;
                 }
-                FaultedTrial::Completed {
-                    detail,
-                    recovered_faults,
-                } => (detail, recovered_faults),
-            };
-            let mut outcome = TrialOutcome {
-                injected: 0,
-                by_kind: FaultKindCounts::default(),
-                quarantined: false,
-                recovered,
-                feasible: false,
-                detected: false,
-                degraded: false,
-                used_ridge: false,
-                unidentifiable: 0,
-                blinded: false,
-            };
-            let Some(detail) = detail else {
-                // Degenerate draw (no frameable victim): nothing to measure.
+                let mut y_observed = match system.measure(&x) {
+                    Ok(y) => y,
+                    Err(e) => panic!("chaos trial {t}: measurement failed: {e}"),
+                };
+                outcome.feasible = detail.manipulation.is_some();
+                if let Some(m) = &detail.manipulation {
+                    for (yo, mi) in y_observed.iter_mut().zip(m.iter()) {
+                        *yo += mi;
+                    }
+                }
+                // Measurement-layer sabotage; stale rows replay the pristine
+                // pre-attack, pre-failure reading.
+                let mfaults = faults
+                    .as_mut()
+                    .map(|f| f.inject_measurement(y_observed.as_mut_slice(), y_pre.as_slice()))
+                    .unwrap_or_default();
                 let (injected, by_kind) = tally(&faults);
                 outcome.injected = injected;
                 outcome.by_kind = by_kind;
-                return outcome;
-            };
-            // The world the attacker planned against...
-            let mut x = detail.true_delays.clone();
-            let y_pre = match system.measure(&x) {
-                Ok(y) => y,
-                Err(e) => panic!("chaos trial {t}: measurement failed: {e}"),
-            };
-            // ...then a link fails under them: the manipulation was computed
-            // against delays that no longer exist.
-            if let Some(link) = faults.as_mut().and_then(|f| f.link_failure(num_links)) {
-                x[link] += LINK_FAILURE_DELAY_MS;
-            }
-            let mut y_observed = match system.measure(&x) {
-                Ok(y) => y,
-                Err(e) => panic!("chaos trial {t}: measurement failed: {e}"),
-            };
-            outcome.feasible = detail.manipulation.is_some();
-            if let Some(m) = &detail.manipulation {
-                for (yo, mi) in y_observed.iter_mut().zip(m.iter()) {
-                    *yo += mi;
+                // Sanitization: lost rows are gone, non-finite corrupted rows are
+                // excised (a real collector rejects them); finite spikes stay and
+                // must be survived by the detector.
+                let surviving: Vec<usize> = (0..y_observed.len())
+                    .filter(|&i| !mfaults.dropped.contains(&i) && y_observed[i].is_finite())
+                    .collect();
+                if surviving.is_empty() {
+                    outcome.blinded = true;
+                    return outcome;
                 }
-            }
-            // Measurement-layer sabotage; stale rows replay the pristine
-            // pre-attack, pre-failure reading.
-            let mfaults = faults
-                .as_mut()
-                .map(|f| f.inject_measurement(y_observed.as_mut_slice(), y_pre.as_slice()))
-                .unwrap_or_default();
-            let (injected, by_kind) = tally(&faults);
-            outcome.injected = injected;
-            outcome.by_kind = by_kind;
-            // Sanitization: lost rows are gone, non-finite corrupted rows are
-            // excised (a real collector rejects them); finite spikes stay and
-            // must be survived by the detector.
-            let surviving: Vec<usize> = (0..y_observed.len())
-                .filter(|&i| !mfaults.dropped.contains(&i) && y_observed[i].is_finite())
-                .collect();
-            if surviving.is_empty() {
-                outcome.blinded = true;
-                return outcome;
-            }
-            let y_sub: Vector = surviving.iter().map(|&i| y_observed[i]).collect();
-            let verdict = match detector.inspect_degraded(system, &surviving, &y_sub) {
-                Ok(v) => v,
-                Err(e) => panic!("chaos trial {t}: degraded inspection failed: {e}"),
+                let y_sub: Vector = surviving.iter().map(|&i| y_observed[i]).collect();
+                let verdict = match detector.inspect_degraded(system, &surviving, &y_sub) {
+                    Ok(v) => v,
+                    Err(e) => panic!("chaos trial {t}: degraded inspection failed: {e}"),
+                };
+                outcome.detected = verdict.verdict.detected;
+                outcome.degraded = verdict.degraded;
+                outcome.used_ridge = verdict.used_ridge;
+                outcome.unidentifiable = verdict.unidentifiable.len() as u64;
+                outcome.residual = Some(verdict.verdict.residual_l1);
+                outcome
             };
-            outcome.detected = verdict.verdict.detected;
-            outcome.degraded = verdict.degraded;
-            outcome.used_ridge = verdict.used_ridge;
-            outcome.unidentifiable = verdict.unidentifiable.len() as u64;
+            let outcome = run_trial();
+            if tomo_obs::tracing_enabled() {
+                tomo_obs::record_trial(tomo_obs::TrialProvenance {
+                    experiment: format!("chaos.x{scale}"),
+                    trial: t as u64,
+                    seed: derive_seed(point_seed ^ ATTACK_SALT, t as u64),
+                    fault_digest: fault_on.then(|| plan.trial_digest(t as u64)),
+                    warm: None, // the chaos attack LP always runs cold
+                    degraded: outcome.degraded,
+                    used_ridge: outcome.used_ridge,
+                    verdict: Some(outcome.detected),
+                    residual: outcome.residual,
+                    success: Some(outcome.feasible),
+                });
+            }
             outcome
         });
 

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use tomo_attack::montecarlo::{chosen_victim_trial, ChosenVictimTrial, RatioBins};
+use tomo_attack::montecarlo::{chosen_victim_trial_detailed, ChosenVictimTrial, RatioBins};
 use tomo_attack::scenario::AttackScenario;
 use tomo_core::params;
 use tomo_lp::{warm_enabled, WarmStart};
@@ -91,11 +91,35 @@ fn run_family(
         let system = build_system(kind, sys_seed)?;
         system.warm_estimator_cache()?;
         let trial_seed = sys_seed ^ 0xabcd_ef01;
-        let outcomes = exec.try_map(config.trials_per_system, |t| {
-            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(trial_seed, t as u64));
-            let k = rng.gen_range(1..=config.max_attackers.max(1));
-            chosen_victim_trial(&system, &scenario, &delay_model, k, warm, &mut rng)
-        })?;
+        let outcomes = exec.try_map(
+            config.trials_per_system,
+            |t| -> Result<_, tomo_attack::AttackError> {
+                let stream_seed = derive_seed(trial_seed, t as u64);
+                let mut rng = ChaCha8Rng::seed_from_u64(stream_seed);
+                let k = rng.gen_range(1..=config.max_attackers.max(1));
+                // The detailed variant draws the identical RNG sequence; the
+                // extra context feeds trace provenance and is dropped below.
+                let detail = chosen_victim_trial_detailed(
+                    &system,
+                    &scenario,
+                    &delay_model,
+                    k,
+                    warm,
+                    &mut rng,
+                )?;
+                if tomo_obs::tracing_enabled() {
+                    tomo_obs::record_trial(tomo_obs::TrialProvenance {
+                        experiment: format!("fig7.{kind}.s{s}"),
+                        trial: t as u64,
+                        seed: stream_seed,
+                        warm: detail.as_ref().and_then(|d| d.warm_outcome),
+                        success: detail.as_ref().map(|d| d.trial.success),
+                        ..tomo_obs::TrialProvenance::default()
+                    });
+                }
+                Ok(detail.map(|d| d.trial))
+            },
+        )?;
         trials.extend(outcomes.into_iter().flatten());
     }
     Ok(Fig7Series {

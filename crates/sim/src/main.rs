@@ -33,6 +33,26 @@ struct Args {
     metrics: Option<PathBuf>,
     verbose: bool,
     faults: Option<String>,
+    trace_out: Option<PathBuf>,
+    serve_metrics: Option<u16>,
+}
+
+impl Args {
+    fn bare(command: &str) -> Args {
+        Args {
+            command: command.to_string(),
+            target: String::new(),
+            seed: 42,
+            out: None,
+            quick: false,
+            threads: None,
+            metrics: None,
+            verbose: false,
+            faults: None,
+            trace_out: None,
+            serve_metrics: None,
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,17 +69,23 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         if let Some(extra) = argv.get(1) {
             return Err(format!("unexpected argument {extra:?}\n{}", usage()));
         }
-        return Ok(Args {
-            command,
-            target: String::new(),
-            seed: 42,
-            out: None,
-            quick: false,
-            threads: None,
-            metrics: None,
-            verbose: false,
-            faults: None,
-        });
+        return Ok(Args::bare("list"));
+    }
+    if command == "serve-metrics" {
+        let mut args = Args::bare("serve-metrics");
+        args.serve_metrics = Some(DEFAULT_METRICS_PORT);
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--port" => {
+                    let v = argv.get(i + 1).ok_or("--port needs a value")?;
+                    args.serve_metrics = Some(v.parse().map_err(|_| format!("bad port {v:?}"))?);
+                    i += 2;
+                }
+                other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+            }
+        }
+        return Ok(args);
     }
     if command != "run" {
         return Err(format!("unknown command {command:?}\n{}", usage()));
@@ -78,6 +104,8 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut metrics = None;
     let mut verbose = false;
     let mut faults = None;
+    let mut trace_out = None;
+    let mut serve_metrics = None;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -118,6 +146,16 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 faults = Some(v.clone());
                 i += 2;
             }
+            "--trace-out" => {
+                let v = argv.get(i + 1).ok_or("--trace-out needs a value")?;
+                trace_out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--serve-metrics" => {
+                let v = argv.get(i + 1).ok_or("--serve-metrics needs a port")?;
+                serve_metrics = Some(v.parse().map_err(|_| format!("bad port {v:?}"))?);
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -137,11 +175,16 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         metrics,
         verbose,
         faults,
+        trace_out,
+        serve_metrics,
     })
 }
 
+/// Default port of the standalone `serve-metrics` scrape endpoint.
+const DEFAULT_METRICS_PORT: u16 = 9184;
+
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all."
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all.\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
         .to_string()
 }
 
@@ -300,6 +343,30 @@ fn main() -> ExitCode {
         }
     };
     tomo_obs::set_verbose(args.verbose);
+    if args.command == "serve-metrics" {
+        let port = args.serve_metrics.unwrap_or(DEFAULT_METRICS_PORT);
+        let server = match tomo_obs::MetricsServer::bind(port) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve-metrics: bind 127.0.0.1:{port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match server.local_addr() {
+            Ok(addr) => println!("serving Prometheus metrics at http://{addr}/metrics"),
+            Err(e) => {
+                eprintln!("serve-metrics: local_addr: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return match server.serve_forever() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve-metrics: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.command == "list" {
         println!(
             "fig2  strategy portraits on the Fig. 1 network\n\
@@ -321,6 +388,28 @@ fn main() -> ExitCode {
     let exec = match args.threads {
         Some(n) => Executor::new(n),
         None => Executor::from_env(),
+    };
+    // Tracing is passive: it never perturbs results, only records them.
+    if args.trace_out.is_some() {
+        tomo_obs::set_tracing(true);
+    }
+    // Scrape endpoint for the duration of the run; the handle shuts the
+    // server down when dropped at the end of main.
+    let _metrics_server = match args.serve_metrics {
+        Some(port) => match tomo_obs::MetricsServer::bind(port).and_then(|s| s.spawn()) {
+            Ok(handle) => {
+                eprintln!(
+                    "serving Prometheus metrics at http://{}/metrics",
+                    handle.local_addr()
+                );
+                Some(handle)
+            }
+            Err(e) => {
+                eprintln!("serve-metrics: bind 127.0.0.1:{port}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     let figures: Vec<&str> = if args.target == "all" {
         vec!["fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
@@ -345,6 +434,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        match tomo_obs::write_chrome_trace(path) {
+            Ok(stats) => eprintln!(
+                "trace written to {} ({} events, {} dropped)",
+                path.display(),
+                stats.events,
+                stats.dropped
+            ),
+            Err(e) => {
+                eprintln!("trace: write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -460,5 +563,35 @@ mod tests {
         assert!(parse_args_from(&argv(&["run", "fig4", "--out"])).is_err());
         assert!(parse_args_from(&argv(&["run", "fig4", "--metrics"])).is_err());
         assert!(parse_args_from(&argv(&["run", "fig4", "--seed", "NaN"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig4", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_flag_parses() {
+        let a = parse_args_from(&argv(&["run", "fig7", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+        let d = parse_args_from(&argv(&["run", "fig7"])).unwrap();
+        assert_eq!(d.trace_out, None);
+    }
+
+    #[test]
+    fn serve_metrics_run_flag_is_validated() {
+        let a = parse_args_from(&argv(&["run", "fig7", "--serve-metrics", "9100"])).unwrap();
+        assert_eq!(a.serve_metrics, Some(9100));
+        assert!(parse_args_from(&argv(&["run", "fig7", "--serve-metrics"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig7", "--serve-metrics", "abc"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "fig7", "--serve-metrics", "99999"])).is_err());
+    }
+
+    #[test]
+    fn serve_metrics_command_parses_port() {
+        let d = parse_args_from(&argv(&["serve-metrics"])).unwrap();
+        assert_eq!(d.command, "serve-metrics");
+        assert_eq!(d.serve_metrics, Some(DEFAULT_METRICS_PORT));
+        let a = parse_args_from(&argv(&["serve-metrics", "--port", "1234"])).unwrap();
+        assert_eq!(a.serve_metrics, Some(1234));
+        assert!(parse_args_from(&argv(&["serve-metrics", "--port"])).is_err());
+        assert!(parse_args_from(&argv(&["serve-metrics", "--port", "nope"])).is_err());
+        assert!(parse_args_from(&argv(&["serve-metrics", "--quick"])).is_err());
     }
 }

@@ -53,55 +53,67 @@ pub fn bar_series(title: &str, labels: &[String], values: &[f64], unit: &str) ->
 
 /// Renders a metrics snapshot as aligned two-column tables, one section
 /// per instrument kind; empty sections are omitted entirely.
+///
+/// Rows are sorted by name: the registry lists instruments in first-use
+/// order, which depends on thread interleaving, and the summary must be
+/// stable run-to-run.
 #[must_use]
 pub fn metrics_summary(snap: &tomo_obs::Snapshot) -> String {
+    fn sorted(mut rows: Vec<(String, String)>) -> Vec<(String, String)> {
+        rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+        rows
+    }
     let mut out = String::new();
     if !snap.counters.is_empty() {
-        let rows: Vec<(String, String)> = snap
-            .counters
-            .iter()
-            .map(|(name, v)| (name.clone(), v.to_string()))
-            .collect();
+        let rows = sorted(
+            snap.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), v.to_string()))
+                .collect(),
+        );
         out.push_str(&two_column_table("Counters", ("name", "count"), &rows));
         out.push('\n');
     }
     if !snap.gauges.is_empty() {
-        let rows: Vec<(String, String)> = snap
-            .gauges
-            .iter()
-            .map(|(name, v)| (name.clone(), format!("{v}")))
-            .collect();
+        let rows = sorted(
+            snap.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), format!("{v}")))
+                .collect(),
+        );
         out.push_str(&two_column_table("Gauges", ("name", "value"), &rows));
         out.push('\n');
     }
     if !snap.histograms.is_empty() {
-        let rows: Vec<(String, String)> = snap
-            .histograms
-            .iter()
-            .map(|(name, h)| {
-                (
-                    name.clone(),
-                    format!(
-                        "n={} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e}",
-                        h.count, h.p50, h.p90, h.p99, h.max
-                    ),
-                )
-            })
-            .collect();
+        let rows = sorted(
+            snap.histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        format!(
+                            "n={} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e}",
+                            h.count, h.p50, h.p90, h.p99, h.max
+                        ),
+                    )
+                })
+                .collect(),
+        );
         out.push_str(&two_column_table("Histograms", ("name", "summary"), &rows));
         out.push('\n');
     }
     if !snap.spans.is_empty() {
-        let rows: Vec<(String, String)> = snap
-            .spans
-            .iter()
-            .map(|(path, s)| {
-                (
-                    path.clone(),
-                    format!("n={} total={}", s.count, tomo_obs::fmt_ns(s.duration_ns)),
-                )
-            })
-            .collect();
+        let rows = sorted(
+            snap.spans
+                .iter()
+                .map(|(path, s)| {
+                    (
+                        path.clone(),
+                        format!("n={} total={}", s.count, tomo_obs::fmt_ns(s.duration_ns)),
+                    )
+                })
+                .collect(),
+        );
         out.push_str(&two_column_table("Spans", ("path", "timing"), &rows));
         out.push('\n');
     }
@@ -175,6 +187,18 @@ mod tests {
         assert!(s.contains("report.test.counter"));
         assert!(s.contains("Spans"));
         assert!(s.contains("report.test.span"));
+    }
+
+    #[test]
+    fn metrics_summary_sorts_rows_by_name() {
+        // Register deliberately out of order; the summary must not echo
+        // registry (first-use) order.
+        tomo_obs::counter("report.sort.zz").inc();
+        tomo_obs::counter("report.sort.aa").inc();
+        let s = metrics_summary(&tomo_obs::snapshot());
+        let aa = s.find("report.sort.aa").expect("aa row");
+        let zz = s.find("report.sort.zz").expect("zz row");
+        assert!(aa < zz, "rows not sorted:\n{s}");
     }
 
     #[test]

@@ -83,4 +83,64 @@ print(f"ci: chaos smoke injected {injected} faults, "
       f"0 quarantined)")
 PY
 
+echo "==> tomo-sim trace smoke (fig7 --quick --trace-out)"
+# --trace-out must emit valid Chrome trace-event JSON with one span and
+# one provenance instant per Monte-Carlo trial (fig7 --quick = 80).
+TRACE_JSON="$(mktemp /tmp/tomo-trace.XXXXXX.json)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$CHAOS_OUT"' EXIT
+target/release/tomo-sim run fig7 --quick --seed 42 --threads 2 \
+  --trace-out "$TRACE_JSON" >/dev/null 2>&1
+python3 - "$TRACE_JSON" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+trials = [e for e in events if e.get("ph") == "X" and e.get("name") == "trial"]
+instants = [e for e in events if e.get("ph") == "i"]
+if len(trials) < 80:
+    sys.exit(f"ci: expected >= 80 trial spans, got {len(trials)}")
+if len(instants) < 80:
+    sys.exit(f"ci: expected >= 80 provenance instants, got {len(instants)}")
+orphans = [e for e in instants
+           if str(e["args"].get("parent_id", "0")) == "0"]
+if orphans:
+    sys.exit(f"ci: {len(orphans)} provenance instants have no parent span")
+keys = {"seed", "warm", "trial"}
+missing = [e for e in instants if not keys <= set(e["args"])]
+if missing:
+    sys.exit(f"ci: {len(missing)} provenance instants missing {keys}")
+print(f"ci: trace smoke captured {len(trials)} trial spans and "
+      f"{len(instants)} provenance records")
+PY
+
+echo "==> tomo-sim serve-metrics smoke (live Prometheus scrape mid-run)"
+# Scrape the run-scoped endpoint while fig7 is still executing: the
+# response must carry Prometheus type families for the live counters.
+SERVE_PORT=9184
+target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
+  --serve-metrics "$SERVE_PORT" >/dev/null 2>&1 &
+SERVE_PID=$!
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$CHAOS_OUT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+python3 - "$SERVE_PORT" <<'PY'
+import sys, time, urllib.request
+port = sys.argv[1]
+url = f"http://127.0.0.1:{port}/metrics"
+for _ in range(50):  # fig7 --quick runs ~2s; poll until families appear
+    try:
+        body = urllib.request.urlopen(url, timeout=1).read().decode()
+        if "# TYPE tomo_" in body:
+            families = sum(1 for l in body.splitlines()
+                           if l.startswith("# TYPE "))
+            print(f"ci: mid-run scrape returned {families} "
+                  f"Prometheus families")
+            sys.exit(0)
+    except OSError:
+        pass
+    time.sleep(0.1)
+sys.exit("ci: never scraped Prometheus text from the running simulator")
+PY
+wait "$SERVE_PID"
+
+echo "==> tomo-bench regression (committed BENCH baselines)"
+# TOMO_BENCH_SKIP=1 skips the gate (e.g. on shared/noisy runners).
+target/release/tomo-bench regression
+
 echo "ci: all checks passed"
