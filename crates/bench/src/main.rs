@@ -8,8 +8,11 @@
 //! Loads `BENCH_montecarlo.json` from `DIR` (default: the current
 //! directory), re-runs each recorded workload point in-process, and
 //! fails when throughput regresses by more than `FRAC` (default 0.15)
-//! against the committed `trials_per_sec`. Points recorded on more
-//! cores than this machine has are skipped rather than failed, and
+//! against the committed `trials_per_sec`. When `BENCH_scale.json` is
+//! also present, its smallest sweep point (the sparse Gram + system
+//! build + revised-simplex pipeline at ~1k links) is re-run the same
+//! way and gated on combined sparse-path seconds. Points recorded on
+//! more cores than this machine has are skipped rather than failed, and
 //! `TOMO_BENCH_SKIP=1` bypasses the whole gate — both escape hatches
 //! keep the check honest on smaller CI runners.
 
@@ -18,10 +21,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tomo_par::Executor;
-use tomo_sim::fig7;
+use tomo_sim::{fig7, scale};
 
 /// Workload identity: must match `scripts/bench_trajectory.sh`.
 const BASELINE_FILE: &str = "BENCH_montecarlo.json";
+const SCALE_FILE: &str = "BENCH_scale.json";
 const BASELINE_SEED: u64 = 42;
 const DEFAULT_THRESHOLD: f64 = 0.15;
 const DEFAULT_RUNS: usize = 3;
@@ -34,9 +38,10 @@ struct Options {
 
 fn usage() -> String {
     "usage:\n  tomo-bench regression [--dir DIR] [--threshold FRAC] [--runs N]\n\n\
-     Re-runs the committed BENCH_montecarlo.json workload points and fails\n\
-     on >FRAC (default 0.15) throughput regression. Points needing more\n\
-     cores than available are skipped; TOMO_BENCH_SKIP=1 skips the gate."
+     Re-runs the committed BENCH_montecarlo.json workload points (and, when\n\
+     present, BENCH_scale.json's smallest sweep point) and fails on >FRAC\n\
+     (default 0.15) regression. Points needing more cores than available\n\
+     are skipped; TOMO_BENCH_SKIP=1 skips the gate."
         .to_string()
 }
 
@@ -159,6 +164,108 @@ fn run_workload(threads: usize, runs: usize) -> Result<(f64, u64), String> {
     Ok((best, trials))
 }
 
+/// The smallest committed scale-sweep point, reduced to what the gate
+/// re-measures: identity (links/paths, for drift detection), the
+/// recorded sparse-path seconds, and the cores it was recorded on.
+#[derive(Debug)]
+struct ScaleBaseline {
+    links: u64,
+    paths: u64,
+    sparse_seconds: f64,
+    cores: Option<u64>,
+}
+
+fn load_scale_baseline(path: &Path) -> Result<ScaleBaseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let root = serde_json::parse_value(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let first = root
+        .get("points")
+        .and_then(|p| match p {
+            serde_json::Value::Array(items) => items.first(),
+            _ => None,
+        })
+        .ok_or_else(|| format!("{}: missing non-empty \"points\" array", path.display()))?;
+    let field = |key: &str| -> Result<f64, String> {
+        first
+            .get(key)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{}: point missing numeric {key:?}", path.display()))
+    };
+    Ok(ScaleBaseline {
+        links: field("links")? as u64,
+        paths: field("paths")? as u64,
+        sparse_seconds: field("sparse_seconds")?,
+        cores: first
+            .get("cores")
+            .and_then(serde_json::Value::as_f64)
+            .map(|c| c as u64)
+            .or_else(|| {
+                root.get("cores")
+                    .and_then(serde_json::Value::as_f64)
+                    .map(|c| c as u64)
+            }),
+    })
+}
+
+/// Re-runs the baseline's smallest sweep point: the full default-config
+/// workload at the 1000-link target (same derived seed as a full sweep,
+/// dense baselines off — the gate times only the sparse path it checks).
+fn run_scale_workload(runs: usize) -> Result<(f64, u64, u64), String> {
+    let config = scale::ScaleConfig {
+        sweep: vec![1_000],
+        max_links: 1_000,
+        ..scale::ScaleConfig::default()
+    };
+    let gate_config = scale::ScaleConfig {
+        dense_baseline_max_links: 0,
+        ..config
+    };
+    let mut best = f64::INFINITY;
+    let mut identity = (0u64, 0u64);
+    for _ in 0..runs {
+        let result = scale::run(BASELINE_SEED, &gate_config).map_err(|e| format!("scale: {e}"))?;
+        let p = &result.points[0];
+        identity = (p.links as u64, p.paths as u64);
+        let secs =
+            p.gram_sparse_seconds + p.lp_revised_seconds + p.system_build_seconds.unwrap_or(0.0);
+        best = best.min(secs);
+    }
+    Ok((best, identity.0, identity.1))
+}
+
+fn scale_gate(opts: &Options, available: usize) -> Result<bool, String> {
+    let path = opts.dir.join(SCALE_FILE);
+    if !path.exists() {
+        println!("  {SCALE_FILE}: SKIP (not present)");
+        return Ok(false);
+    }
+    let baseline = load_scale_baseline(&path)?;
+    if let Some(cores) = baseline.cores {
+        if cores > available as u64 {
+            println!("  scale: SKIP (baseline recorded on {cores} cores, have {available})");
+            return Ok(false);
+        }
+    }
+    let (secs, links, paths) = run_scale_workload(opts.runs)?;
+    if links != baseline.links || paths != baseline.paths {
+        return Err(format!(
+            "workload drift: baseline point has {}/{} links/paths, re-run produced {links}/{paths} — \
+             regenerate {SCALE_FILE} with scripts/bench_trajectory.sh",
+            baseline.links, baseline.paths
+        ));
+    }
+    // Mirror the throughput gate: fail when the sparse path got slower
+    // by more than the threshold fraction.
+    let ceiling = baseline.sparse_seconds / (1.0 - opts.threshold);
+    let verdict = if secs > ceiling { "FAIL" } else { "ok" };
+    println!(
+        "  scale {links} links: {secs:.3}s sparse path vs baseline {:.3}s (ceiling {ceiling:.3}s) — {verdict}",
+        baseline.sparse_seconds
+    );
+    Ok(secs > ceiling)
+}
+
 fn regression_gate(opts: &Options) -> Result<bool, String> {
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let baseline = load_baseline(&opts.dir.join(BASELINE_FILE))?;
@@ -204,6 +311,9 @@ fn regression_gate(opts: &Options) -> Result<bool, String> {
         if current < floor {
             failed = true;
         }
+    }
+    if scale_gate(opts, available)? {
+        failed = true;
     }
     Ok(failed)
 }
@@ -312,6 +422,46 @@ mod tests {
         assert!(load_baseline(&path).unwrap_err().contains("points"));
         std::fs::write(&path, r#"{"points": []}"#).unwrap();
         assert!(load_baseline(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scale_baseline_parses_committed_shape() {
+        let dir = std::env::temp_dir().join("tomo_bench_scale_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SCALE_FILE);
+        std::fs::write(
+            &path,
+            r#"{
+              "workload": "tomo-sim run scale --seed 42",
+              "seed": 42,
+              "cores": 1,
+              "points": [
+                {"links": 1005, "paths": 3005, "sparse_seconds": 0.11, "cores": 1},
+                {"links": 2015, "paths": 4015, "sparse_seconds": 0.78}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let b = load_scale_baseline(&path).unwrap();
+        assert_eq!(b.links, 1005);
+        assert_eq!(b.paths, 3005);
+        assert!((b.sparse_seconds - 0.11).abs() < 1e-12);
+        assert_eq!(b.cores, Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scale_baseline_rejects_missing_fields() {
+        let dir = std::env::temp_dir().join("tomo_bench_scale_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SCALE_FILE);
+        std::fs::write(&path, r#"{"points": []}"#).unwrap();
+        assert!(load_scale_baseline(&path).unwrap_err().contains("points"));
+        std::fs::write(&path, r#"{"points": [{"links": 10, "paths": 20}]}"#).unwrap();
+        assert!(load_scale_baseline(&path)
+            .unwrap_err()
+            .contains("sparse_seconds"));
         std::fs::remove_file(&path).ok();
     }
 

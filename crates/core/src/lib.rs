@@ -52,4 +52,7 @@ pub mod selection;
 
 pub use error::CoreError;
 pub use state::{LinkState, StateThresholds};
-pub use system::{DegradedSolve, SystemDiagnostics, TomographySystem, DEFAULT_RIDGE_LAMBDA};
+pub use system::{
+    build_routing_csr, DegradedSolve, KernelKind, SystemDiagnostics, TomographySystem,
+    DEFAULT_RIDGE_LAMBDA, DENSE_KERNEL_MAX_CELLS,
+};

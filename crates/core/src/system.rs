@@ -11,6 +11,29 @@ static ESTIMATOR_HITS: LazyCounter = LazyCounter::new("core.estimator_cache.hits
 static ESTIMATOR_BUILDS: LazyCounter = LazyCounter::new("core.estimator_cache.builds");
 static DEGRADED_SOLVES: LazyCounter = LazyCounter::new("core.degraded.solves");
 static DEGRADED_RIDGE: LazyCounter = LazyCounter::new("core.degraded.ridge");
+static KERNEL_DENSE: LazyCounter = LazyCounter::new("core.kernel.dense");
+static KERNEL_SPARSE: LazyCounter = LazyCounter::new("core.kernel.sparse");
+
+/// Routing matrices with at most this many cells (`|P|·|L|`) take the
+/// dense construction path: materialize the dense `R` eagerly and
+/// certify identifiability with an explicit Gaussian-elimination rank
+/// computation. Above the gate the O(|P|·|L|²) rank pre-check (hours at
+/// Rocketfuel scale) and the dense copy of `R` are skipped; the Cholesky
+/// factorization of the Gram matrix — which construction performs
+/// anyway — becomes the identifiability certificate instead.
+pub const DENSE_KERNEL_MAX_CELLS: usize = 1 << 20;
+
+/// Which construction/validation kernel a [`TomographySystem`] selected
+/// (see [`TomographySystem::kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Dense routing matrix materialized eagerly; identifiability
+    /// certified by an explicit rank computation.
+    Dense,
+    /// Routing kept in CSR only (the dense view materializes lazily on
+    /// first request); identifiability certified by the Gram Cholesky.
+    Sparse,
+}
 
 /// Regularization strength for the ridge fallback of
 /// [`TomographySystem::solve_degraded`]: small enough to leave
@@ -46,10 +69,11 @@ pub struct TomographySystem {
     graph: Graph,
     monitors: Vec<NodeId>,
     paths: Vec<Path>,
-    routing: Matrix,
+    routing: OnceLock<Matrix>,
     routing_csr: CsrMatrix,
     solver: NormalEquationsSolver,
     cache: EstimatorCache,
+    kernel: KernelKind,
 }
 
 impl TomographySystem {
@@ -63,6 +87,18 @@ impl TomographySystem {
     ///   are not two distinct monitors,
     /// * [`CoreError::NotIdentifiable`] if `R` lacks full column rank.
     pub fn new(graph: Graph, monitors: Vec<NodeId>, paths: Vec<Path>) -> Result<Self, CoreError> {
+        Self::new_gated(graph, monitors, paths, DENSE_KERNEL_MAX_CELLS)
+    }
+
+    /// [`Self::new`] with an explicit dense-kernel gate, the testing
+    /// seam for exercising the sparse construction path on small
+    /// systems (`dense_gate_cells = 0` forces it).
+    fn new_gated(
+        graph: Graph,
+        monitors: Vec<NodeId>,
+        paths: Vec<Path>,
+        dense_gate_cells: usize,
+    ) -> Result<Self, CoreError> {
         let mut unique = monitors.clone();
         unique.sort();
         unique.dedup();
@@ -79,16 +115,45 @@ impl TomographySystem {
                 return Err(CoreError::PathNotBetweenMonitors { path_index: i });
             }
         }
-        let routing_csr = build_routing_csr(&paths, graph.num_links())?;
-        let routing = routing_csr.to_dense();
-        let rank = tomo_linalg::rank::rank(&routing);
-        if rank < graph.num_links() {
-            return Err(CoreError::NotIdentifiable {
-                rank,
-                links: graph.num_links(),
-            });
+        let num_links = graph.num_links();
+        let routing_csr = build_routing_csr(&paths, num_links)?;
+        let cells = paths.len().saturating_mul(num_links);
+        let routing = OnceLock::new();
+        let kernel = if cells <= dense_gate_cells {
+            KernelKind::Dense
+        } else {
+            KernelKind::Sparse
+        };
+        if kernel == KernelKind::Dense {
+            KERNEL_DENSE.inc();
+            let dense = routing_csr.to_dense();
+            let rank = tomo_linalg::rank::rank(&dense);
+            if rank < num_links {
+                return Err(CoreError::NotIdentifiable {
+                    rank,
+                    links: num_links,
+                });
+            }
+            let _ = routing.set(dense);
+        } else {
+            KERNEL_SPARSE.inc();
         }
-        let solver = NormalEquationsSolver::from_sparse(routing_csr.clone())?;
+        // The Gram Cholesky below doubles as the identifiability
+        // certificate on the sparse path: it succeeds iff RᵀR is
+        // positive definite, i.e. iff R has full column rank. The
+        // failing pivot index is a lower bound on the achieved rank.
+        let solver = match NormalEquationsSolver::from_sparse(routing_csr.clone()) {
+            Ok(s) => s,
+            Err(tomo_linalg::LinalgError::NotPositiveDefinite { index })
+                if kernel == KernelKind::Sparse =>
+            {
+                return Err(CoreError::NotIdentifiable {
+                    rank: index,
+                    links: num_links,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
         Ok(TomographySystem {
             graph,
             monitors: unique,
@@ -97,7 +162,16 @@ impl TomographySystem {
             routing_csr,
             solver,
             cache: EstimatorCache::default(),
+            kernel,
         })
+    }
+
+    /// Which construction/validation kernel the size gauge selected:
+    /// [`KernelKind::Dense`] at or below [`DENSE_KERNEL_MAX_CELLS`]
+    /// routing cells, [`KernelKind::Sparse`] above.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The network topology.
@@ -119,9 +193,14 @@ impl TomographySystem {
     }
 
     /// The routing matrix `R` (|paths| × |links|), dense view.
+    ///
+    /// Under the dense kernel this was materialized at construction;
+    /// under the sparse kernel ([`Self::kernel`]) the first call expands
+    /// the CSR form and caches it for the system's lifetime, so the hot
+    /// sparse paths never pay for a matrix nobody asks for.
     #[must_use]
     pub fn routing_matrix(&self) -> &Matrix {
-        &self.routing
+        self.routing.get_or_init(|| self.routing_csr.to_dense())
     }
 
     /// The routing matrix `R` in CSR form — the representation the hot
@@ -289,7 +368,7 @@ impl TomographySystem {
             }
         }
         DEGRADED_SOLVES.inc();
-        let r_sub = self.routing.select_rows(surviving_rows);
+        let r_sub = self.routing_matrix().select_rows(surviving_rows);
         let rank = tomo_linalg::rank::rank(&r_sub);
         if rank == self.num_links() {
             let estimate = tomo_linalg::lstsq::solve(&r_sub, y_sub)?;
@@ -699,6 +778,61 @@ mod tests {
         let r = build_routing_matrix(&[], 5);
         assert_eq!(r.shape(), (0, 5));
         assert_eq!(build_routing_csr(&[], 5).unwrap().shape(), (0, 5));
+    }
+
+    #[test]
+    fn sparse_kernel_matches_dense_kernel() {
+        // Rebuild the tiny system with the dense gate forced shut: the
+        // sparse construction path must accept it, defer the dense
+        // routing view, and produce identical estimates.
+        let dense_sys = tiny_system();
+        let g = dense_sys.graph().clone();
+        let monitors = dense_sys.monitors().to_vec();
+        let paths = dense_sys.paths().to_vec();
+        let sparse_sys = TomographySystem::new_gated(g, monitors, paths, 0).unwrap();
+        assert_eq!(dense_sys.kernel(), KernelKind::Dense);
+        assert_eq!(sparse_sys.kernel(), KernelKind::Sparse);
+
+        let x = Vector::from(vec![5.0, 7.0, 11.0]);
+        let y_d = dense_sys.measure(&x).unwrap();
+        let y_s = sparse_sys.measure(&x).unwrap();
+        for (a, b) in y_d.iter().zip(y_s.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let e_d = dense_sys.estimate(&y_d).unwrap();
+        let e_s = sparse_sys.estimate(&y_s).unwrap();
+        for (a, b) in e_d.iter().zip(e_s.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "same solver, same bits");
+        }
+        // The lazy dense view expands to the same matrix.
+        assert_eq!(sparse_sys.routing_matrix(), dense_sys.routing_matrix());
+        // Degraded solves (which need the dense view) still work.
+        let rows = [0usize, 1, 2];
+        let y_sub = Vector::from(vec![y_s[0], y_s[1], y_s[2]]);
+        let d = sparse_sys.solve_degraded(&rows, &y_sub).unwrap();
+        assert!(d.estimate.approx_eq(&x, 1e-9));
+    }
+
+    #[test]
+    fn sparse_kernel_rejects_rank_deficiency_via_cholesky() {
+        // One path over two links: not identifiable. The sparse path
+        // must report NotIdentifiable (from the Gram Cholesky), not a
+        // raw linalg error.
+        let mut g = Graph::new();
+        let m0 = g.add_node("m0");
+        let v = g.add_node("v");
+        let m1 = g.add_node("m1");
+        g.add_link(m0, v).unwrap();
+        g.add_link(v, m1).unwrap();
+        let p = Path::from_nodes(&g, &[m0, v, m1]).unwrap();
+        let err = TomographySystem::new_gated(g, vec![m0, m1], vec![p], 0).unwrap_err();
+        match err {
+            CoreError::NotIdentifiable { rank, links } => {
+                assert!(rank < links, "rank bound {rank} must be below {links}");
+                assert_eq!(links, 2);
+            }
+            other => panic!("expected NotIdentifiable, got {other:?}"),
+        }
     }
 
     #[test]

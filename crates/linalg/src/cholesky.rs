@@ -9,6 +9,17 @@ use tomo_obs::LazyHistogram;
 
 static FACTOR_SECONDS: LazyHistogram = LazyHistogram::new("linalg.cholesky.factor_seconds");
 
+/// Matrix dimension at/above which [`Cholesky::new`] dispatches to the
+/// cache-blocked factorization. Below it the flat column loop wins (and
+/// every committed-artifact workload stays on the historical code path).
+pub const BLOCK_THRESHOLD: usize = 128;
+
+/// Panel width of the blocked factorization. Tuned on the 1-core bench
+/// runner: the trailing-update working set per output row is
+/// `BLOCK × 8` bytes per operand row, so 64 keeps four concurrent
+/// operand rows inside L1 while amortizing the panel sweep.
+pub const BLOCK: usize = 64;
+
 /// A Cholesky factorization `A = L Lᵀ` of an SPD matrix.
 ///
 /// ```
@@ -41,6 +52,21 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is
     ///   non-positive (within a relative tolerance).
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if a.is_square() && a.rows() >= BLOCK_THRESHOLD {
+            Self::factor_blocked(a)
+        } else {
+            Self::factor_unblocked(a)
+        }
+    }
+
+    /// The flat (unblocked) column-by-column factorization. Public so
+    /// benches and parity tests can pin the blocked path against it;
+    /// [`Cholesky::new`] uses it below [`BLOCK_THRESHOLD`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cholesky::new`].
+    pub fn factor_unblocked(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { dims: a.shape() });
         }
@@ -65,6 +91,116 @@ impl Cholesky {
                 }
                 l[(i, j)] = v / ljj;
             }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Cache-blocked right-looking factorization, bit-identical to
+    /// [`Cholesky::factor_unblocked`].
+    ///
+    /// Entry `(i, j)` of the factor is `(a[i][j] - Σ_{k<j} l[i][k]·l[j][k])
+    /// / l[j][j]`, and the unblocked loop applies those subtractions one
+    /// term at a time in ascending `k`. This routine performs the *same
+    /// per-entry subtraction chain* — earlier panels' terms land during
+    /// each panel's trailing update (ascending `k` within the panel,
+    /// panels ascending), the current panel's terms inside the panel
+    /// sweep — so every entry sees an identical sequence of f64
+    /// operations and the result matches bit for bit. What blocking buys
+    /// is locality (the trailing update touches only a `BLOCK`-wide strip
+    /// of each operand row) and instruction-level parallelism (four
+    /// independent accumulator chains share one cached row strip).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cholesky::new`].
+    pub fn factor_blocked(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { dims: a.shape() });
+        }
+        let _timer = FACTOR_SECONDS.start_timer();
+        let n = a.rows();
+        let tol = 1e-12 * (1.0 + a.max_abs());
+        let mut l = Matrix::zeros(n, n);
+        // Seed the lower triangle with `a`; updates subtract in place.
+        for i in 0..n {
+            l.as_mut_slice()[i * n..i * n + i + 1].copy_from_slice(&a.row(i)[..=i]);
+        }
+        let mut strip = [0.0f64; BLOCK];
+        let mut kb = 0;
+        while kb < n {
+            let ke = (kb + BLOCK).min(n);
+            // Panel sweep: columns kb..ke over all rows below, applying
+            // only the in-panel terms k ∈ [kb, j) — earlier terms were
+            // already subtracted by previous trailing updates.
+            {
+                let d = l.as_mut_slice();
+                for j in kb..ke {
+                    let mut diag = d[j * n + j];
+                    for k in kb..j {
+                        let v = d[j * n + k];
+                        diag -= v * v;
+                    }
+                    if diag <= tol {
+                        return Err(LinalgError::NotPositiveDefinite { index: j });
+                    }
+                    let ljj = diag.sqrt();
+                    d[j * n + j] = ljj;
+                    for i in (j + 1)..n {
+                        let mut v = d[i * n + j];
+                        for k in kb..j {
+                            v -= d[i * n + k] * d[j * n + k];
+                        }
+                        d[i * n + j] = v / ljj;
+                    }
+                }
+            }
+            // Trailing update: subtract this panel's terms (k ascending
+            // in kb..ke) from every entry (i, j) with ke <= j <= i.
+            let bs = ke - kb;
+            let d = l.as_mut_slice();
+            for i in ke..n {
+                let (lo, hi) = d.split_at_mut(i * n);
+                let ri = &mut hi[..n];
+                strip[..bs].copy_from_slice(&ri[kb..ke]);
+                let li = &strip[..bs];
+                let mut j = ke;
+                // Four independent subtraction chains share `li`.
+                while j + 4 <= i {
+                    let p0 = &lo[j * n + kb..j * n + ke];
+                    let p1 = &lo[(j + 1) * n + kb..(j + 1) * n + ke];
+                    let p2 = &lo[(j + 2) * n + kb..(j + 2) * n + ke];
+                    let p3 = &lo[(j + 3) * n + kb..(j + 3) * n + ke];
+                    let (mut v0, mut v1, mut v2, mut v3) = (ri[j], ri[j + 1], ri[j + 2], ri[j + 3]);
+                    for k in 0..bs {
+                        let a = li[k];
+                        v0 -= a * p0[k];
+                        v1 -= a * p1[k];
+                        v2 -= a * p2[k];
+                        v3 -= a * p3[k];
+                    }
+                    ri[j] = v0;
+                    ri[j + 1] = v1;
+                    ri[j + 2] = v2;
+                    ri[j + 3] = v3;
+                    j += 4;
+                }
+                while j < i {
+                    let pj = &lo[j * n + kb..j * n + ke];
+                    let mut v = ri[j];
+                    for k in 0..bs {
+                        v -= li[k] * pj[k];
+                    }
+                    ri[j] = v;
+                    j += 1;
+                }
+                // Diagonal entry: the operand row is row i itself.
+                let mut v = ri[i];
+                for &a in li {
+                    v -= a * a;
+                }
+                ri[i] = v;
+            }
+            kb = ke;
         }
         Ok(Cholesky { l })
     }
@@ -234,5 +370,66 @@ mod tests {
         let chol = Cholesky::new(&spd()).unwrap();
         assert!(chol.solve(&Vector::zeros(2)).is_err());
         assert!(chol.solve_mat(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    /// A deterministic SPD matrix big enough to span several panels
+    /// plus a ragged tail (n = 2·BLOCK + tail with BLOCK = 64).
+    fn big_spd(n: usize) -> Matrix {
+        let r = Matrix::from_fn(n + 7, n, |i, j| {
+            let v = ((i * 37 + j * 11) as f64).sin();
+            if i == j {
+                v + 4.0
+            } else {
+                v
+            }
+        });
+        r.gram()
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_bitwise() {
+        let n = BLOCK_THRESHOLD + 41;
+        let a = big_spd(n);
+        let blocked = Cholesky::factor_blocked(&a).unwrap();
+        let unblocked = Cholesky::factor_unblocked(&a).unwrap();
+        for (x, y) in blocked.l().as_slice().iter().zip(unblocked.l().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The public constructor dispatches to the blocked path here…
+        let via_new = Cholesky::new(&a).unwrap();
+        assert_eq!(via_new.l(), blocked.l());
+        // …and to the unblocked one below the threshold.
+        let small = big_spd(BLOCK_THRESHOLD - 1);
+        let s_new = Cholesky::new(&small).unwrap();
+        let s_un = Cholesky::factor_unblocked(&small).unwrap();
+        assert_eq!(s_new.l(), s_un.l());
+    }
+
+    #[test]
+    fn blocked_rejects_non_spd_at_same_pivot() {
+        // Rank-deficient Gram (duplicate columns) must fail in both
+        // paths with the same pivot index: the per-entry subtraction
+        // chains are identical, so the failing diagonal value is too.
+        // Column 130 duplicates column 7, so the failure surfaces past
+        // two panel boundaries.
+        let n = BLOCK_THRESHOLD + 9;
+        let r = Matrix::from_fn(n, n, |i, j| {
+            let jj = if j == 130 { 7 } else { j };
+            ((i * jj + 5 * i + 2 * jj) as f64).sin()
+        });
+        let a = r.gram();
+        let blocked = Cholesky::factor_blocked(&a).unwrap_err();
+        let unblocked = Cholesky::factor_unblocked(&a).unwrap_err();
+        match (blocked, unblocked) {
+            (
+                LinalgError::NotPositiveDefinite { index: b },
+                LinalgError::NotPositiveDefinite { index: u },
+            ) => assert_eq!(b, u),
+            other => panic!("expected NotPositiveDefinite pair, got {other:?}"),
+        }
+        assert!(matches!(
+            Cholesky::factor_blocked(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 }

@@ -49,7 +49,7 @@ pub mod qr;
 pub mod rank;
 
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MTS_BLOCK_THRESHOLD};
 pub use sparse::{CsrBuilder, CsrMatrix};
 pub use vector::Vector;
 

@@ -342,6 +342,105 @@ impl CsrMatrix {
         }
         out
     }
+
+    /// Returns the transpose as a new CSR matrix.
+    ///
+    /// Counting sort over column indices, O(nnz + rows + cols). Because
+    /// the source is scanned in row-major order, each output row's
+    /// indices come out strictly ascending. Does not republish the
+    /// `linalg.sparse.*` gauges (it is an internal building block of
+    /// [`CsrMatrix::gram_csr`], not a new routing matrix).
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for c in 1..=self.cols {
+            counts[c] += counts[c - 1];
+        }
+        let indptr = counts.clone();
+        let mut next = counts;
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for i in 0..self.rows {
+            for (j, a) in self.row_iter(i) {
+                let p = next[j];
+                next[j] += 1;
+                indices[p] = i;
+                values[p] = a;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Sparse-output Gram matrix `AᵀA` as CSR, with entries bit-identical
+    /// to [`CsrMatrix::gram`] (and hence to the dense
+    /// [`Matrix::mul_transpose_self`]) on [`CsrMatrix::to_dense`].
+    ///
+    /// For path routing matrices the Gram matrix is itself sparse — two
+    /// links couple only if some path crosses both — so at Rocketfuel
+    /// scale (tens of thousands of links) the `cols²` dense output of
+    /// [`CsrMatrix::gram`] is the memory wall, not the flops. This
+    /// routine builds only the structurally nonzero entries: row `ja` of
+    /// the upper triangle is the merge of every matrix row containing
+    /// column `ja` (found via [`CsrMatrix::transpose`], rows ascending)
+    /// into a dense accumulator over the touched columns.
+    ///
+    /// Bit-parity argument: entry `(ja, jb)` accumulates exactly the
+    /// products `a[i][ja]·a[i][jb]` over stored rows `i` in ascending
+    /// `i` — the same terms in the same order as the dense upper-triangle
+    /// loop (which merely adds invisible `±0.0` terms; the accumulator
+    /// starts at `+0.0` and can never become `-0.0`, see the module
+    /// docs). Entries that cancel to an exact `0.0` are dropped by the
+    /// builder, which expands back to the same `+0.0` the dense path
+    /// stores. The lower triangle is the transpose of the upper one —
+    /// the same bit-copy mirroring the dense path performs.
+    #[must_use]
+    pub fn gram_csr(&self) -> CsrMatrix {
+        let n = self.cols;
+        let at = self.transpose();
+        let mut acc = vec![0.0f64; n];
+        let mut stamp = vec![usize::MAX; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut upper = CsrBuilder::new(n);
+        for ja in 0..n {
+            touched.clear();
+            for (i, va) in at.row_iter(ja) {
+                let idx = self.row_indices(i);
+                let val = self.row_values(i);
+                let start = idx.partition_point(|&j| j < ja);
+                for (&jb, &vb) in idx[start..].iter().zip(&val[start..]) {
+                    if stamp[jb] != ja {
+                        stamp[jb] = ja;
+                        acc[jb] = 0.0;
+                        touched.push(jb);
+                    }
+                    acc[jb] += va * vb;
+                }
+            }
+            touched.sort_unstable();
+            upper
+                .push_row(touched.iter().map(|&jb| (jb, acc[jb])))
+                .expect("touched columns are ascending and in range");
+        }
+        let u = upper.finish();
+        let ut = u.transpose();
+        // Symmetric assembly: strict lower part from Uᵀ, then U's row.
+        let mut b = CsrBuilder::new(n);
+        for ja in 0..n {
+            let lower = ut.row_iter(ja).filter(|&(jb, _)| jb < ja);
+            b.push_row(lower.chain(u.row_iter(ja)))
+                .expect("lower then upper columns are ascending and in range");
+        }
+        b.finish()
+    }
 }
 
 /// Incremental row-by-row construction of a [`CsrMatrix`].
@@ -561,6 +660,56 @@ mod tests {
         assert_eq!(csr.nnz(), 0);
         assert_eq!(csr.density(), 0.0);
         assert_eq!(csr.gram().shape(), (0, 0));
+        assert_eq!(csr.transpose().shape(), (0, 0));
+        assert_eq!(csr.gram_csr().shape(), (0, 0));
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let dense = sample_dense();
+        let csr = CsrMatrix::from_dense(&dense);
+        let t = csr.transpose();
+        assert_eq!(t.shape(), (5, 4));
+        assert_eq!(t.to_dense(), dense.transpose());
+        // Double transpose is the identity, including stored order.
+        assert_eq!(t.transpose(), csr);
+        // Rows of the transpose list the original rows ascending.
+        assert_eq!(t.row_indices(0), &[0, 3]);
+        assert_eq!(t.row_indices(3), &[3]);
+    }
+
+    #[test]
+    fn gram_csr_bit_identical_to_dense_gram() {
+        // Irregular (non-0/1) coefficients, including a zero column.
+        let dense = Matrix::from_fn(9, 6, |i, j| {
+            if j == 4 || (i + j) % 3 == 0 {
+                0.0
+            } else {
+                ((i * 6 + j) as f64).sin() * 7.3 - 2.1
+            }
+        });
+        let csr = CsrMatrix::from_dense(&dense);
+        let sparse = csr.gram_csr();
+        let exact = dense.mul_transpose_self();
+        assert_eq!(sparse.shape(), exact.shape());
+        for (a, b) in sparse.to_dense().as_slice().iter().zip(exact.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The zero column produces a structurally empty row/column.
+        assert_eq!(sparse.row_indices(4), &[] as &[usize]);
+    }
+
+    #[test]
+    fn gram_csr_matches_gram_on_path_matrices() {
+        let paths = vec![vec![0, 2, 4], vec![1, 2], vec![0, 3], vec![2, 4], vec![]];
+        let csr = CsrMatrix::from_paths(&paths, 5).unwrap();
+        let sparse = csr.gram_csr();
+        let exact = csr.gram();
+        for (a, b) in sparse.to_dense().as_slice().iter().zip(exact.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Links 0 and 1 never share a path: structurally absent.
+        assert!(!sparse.row_indices(0).contains(&1));
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //! solver must report [`LpStatus::Infeasible`] reliably, not merely find
 //! optima.
 //!
-//! The implementation is a dense two-phase primal simplex with Dantzig
-//! pricing and an automatic fallback to Bland's rule to guarantee
-//! termination under degeneracy.
+//! Two interchangeable backends share one model API: a dense two-phase
+//! tableau simplex (Dantzig pricing with an automatic fallback to
+//! Bland's rule to guarantee termination under degeneracy) for small
+//! instances, and a sparse-basis revised simplex (Gilbert–Peierls LU
+//! factorization with product-form eta updates and periodic
+//! refactorization) for Rocketfuel-scale problems. [`SolverMode::Auto`]
+//! picks by problem size; `solve_with` forces a backend explicitly.
 //!
 //! # Example
 //!
@@ -43,13 +47,14 @@
 pub mod chaos;
 mod error;
 mod model;
+mod revised;
 mod simplex;
 mod solution;
 mod warm;
 
 pub use error::LpError;
 pub use model::{ConstraintActivity, LpProblem, Objective, Relation, VarId};
-pub use simplex::take_last_warm_outcome;
+pub use simplex::{take_last_warm_outcome, SolverMode};
 pub use solution::{LpSolution, LpStatus};
 pub use warm::{warm_enabled, WarmStart};
 

@@ -411,6 +411,37 @@ impl LpProblem {
     pub fn solve_warm(&self, warm: &crate::WarmStart) -> Result<LpSolution, LpError> {
         simplex::solve_warm(self, warm)
     }
+
+    /// Solves the problem with an explicitly chosen backend.
+    ///
+    /// [`SolverMode::Auto`](crate::SolverMode::Auto) reproduces
+    /// [`Self::solve`]; [`SolverMode::Dense`](crate::SolverMode::Dense)
+    /// and [`SolverMode::Revised`](crate::SolverMode::Revised) force the
+    /// tableau and sparse revised simplex respectively regardless of
+    /// problem size. The backends are decision-equivalent: same status
+    /// and objective up to solver tolerance, though degenerate optima
+    /// may surface as different (equally optimal) vertices.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    pub fn solve_with(&self, mode: crate::SolverMode) -> Result<LpSolution, LpError> {
+        simplex::solve_with(self, None, mode)
+    }
+
+    /// Solves with an explicit backend and a warm-start cache — the
+    /// composition of [`Self::solve_warm`] and [`Self::solve_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::solve`].
+    pub fn solve_warm_with(
+        &self,
+        warm: &crate::WarmStart,
+        mode: crate::SolverMode,
+    ) -> Result<LpSolution, LpError> {
+        simplex::solve_with(self, Some(warm), mode)
+    }
 }
 
 #[cfg(test)]

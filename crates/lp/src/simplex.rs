@@ -13,19 +13,20 @@ use crate::solution::{LpSolution, LpStatus};
 use crate::warm::WarmStart;
 use crate::{LpError, LP_TOL};
 
-static SOLVES: LazyCounter = LazyCounter::new("lp.simplex.solves");
-static PIVOTS: LazyCounter = LazyCounter::new("lp.simplex.pivots");
-static ITERATIONS: LazyCounter = LazyCounter::new("lp.simplex.iterations");
-static OPTIMAL: LazyCounter = LazyCounter::new("lp.simplex.optimal");
-static INFEASIBLE: LazyCounter = LazyCounter::new("lp.simplex.infeasible");
-static UNBOUNDED: LazyCounter = LazyCounter::new("lp.simplex.unbounded");
-static PHASE1_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase1_seconds");
-static PHASE2_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase2_seconds");
-static WARM_HITS: LazyCounter = LazyCounter::new("lp.simplex.warm.hits");
-static WARM_MISSES: LazyCounter = LazyCounter::new("lp.simplex.warm.misses");
-static WARM_CRASH_OPS: LazyCounter = LazyCounter::new("lp.simplex.warm.crash_ops");
-static WARM_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.warm.pivots");
-static COLD_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.cold.pivots");
+pub(crate) static SOLVES: LazyCounter = LazyCounter::new("lp.simplex.solves");
+pub(crate) static PIVOTS: LazyCounter = LazyCounter::new("lp.simplex.pivots");
+pub(crate) static ITERATIONS: LazyCounter = LazyCounter::new("lp.simplex.iterations");
+pub(crate) static OPTIMAL: LazyCounter = LazyCounter::new("lp.simplex.optimal");
+pub(crate) static INFEASIBLE: LazyCounter = LazyCounter::new("lp.simplex.infeasible");
+pub(crate) static UNBOUNDED: LazyCounter = LazyCounter::new("lp.simplex.unbounded");
+pub(crate) static PHASE1_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase1_seconds");
+pub(crate) static PHASE2_SECONDS: LazyHistogram = LazyHistogram::new("lp.simplex.phase2_seconds");
+pub(crate) static WARM_HITS: LazyCounter = LazyCounter::new("lp.simplex.warm.hits");
+pub(crate) static WARM_MISSES: LazyCounter = LazyCounter::new("lp.simplex.warm.misses");
+pub(crate) static WARM_CRASH_OPS: LazyCounter = LazyCounter::new("lp.simplex.warm.crash_ops");
+pub(crate) static WARM_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.warm.pivots");
+pub(crate) static COLD_PIVOTS: LazyHistogram = LazyHistogram::new("lp.simplex.cold.pivots");
+static WARM_SKIPPED_SMALL: LazyCounter = LazyCounter::new("lp.simplex.warm.skipped_small");
 
 thread_local! {
     /// Warm-start outcome of this thread's most recent solve: `None` for
@@ -43,14 +44,140 @@ pub fn take_last_warm_outcome() -> Option<bool> {
     LAST_WARM.with(|w| w.take())
 }
 
+/// Records a warm-start outcome for the current thread's solve (shared
+/// with the revised-simplex backend so both report through the same
+/// [`take_last_warm_outcome`] channel).
+pub(crate) fn set_last_warm(outcome: Option<bool>) {
+    LAST_WARM.with(|w| w.set(outcome));
+}
+
 /// Hard safety bound on simplex iterations per phase.
-const MAX_ITER_BASE: usize = 20_000;
+pub(crate) const MAX_ITER_BASE: usize = 20_000;
 /// After this many iterations in a phase, switch from Dantzig to Bland.
-const BLAND_SWITCH: usize = 2_000;
+pub(crate) const BLAND_SWITCH: usize = 2_000;
+
+/// Which simplex backend a solve should use.
+///
+/// Both backends implement the same two-phase primal simplex — same
+/// pricing rules, ratio-test tie-breaking, phase-1 infeasibility test
+/// and warm-start protocol — so they are *decision-equivalent*: equal
+/// [`LpStatus`](crate::LpStatus) and equal objective up to solver
+/// tolerance. Vertices (and thus low-order solution bits) may differ
+/// when the optimum is not unique, exactly like warm vs cold solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Pick by standard-form size: the dense tableau below
+    /// [`AUTO_REVISED_MIN_CELLS`] cells (`m·ncols`), the revised simplex
+    /// at or above it. The `TOMO_LP_MODE` environment variable
+    /// (`dense` / `revised`, case-insensitive, read per solve) overrides
+    /// the size heuristic but not an explicit mode choice in code.
+    #[default]
+    Auto,
+    /// Dense tableau pivots: fastest on small instances, O(m·ncols)
+    /// memory traffic per pivot.
+    Dense,
+    /// Revised simplex over sparse columns with a sparse-LU basis
+    /// factorization and product-form eta updates: the only viable
+    /// backend at Rocketfuel scale.
+    Revised,
+}
+
+/// `Auto` switches to the revised backend when the standard form holds
+/// at least this many tableau cells (`m·ncols`). Below it the dense
+/// tableau's contiguous row arithmetic wins; above it the tableau's
+/// per-pivot O(m·ncols) traffic (and its memory footprint) loses to
+/// sparse FTRAN/BTRAN solves.
+pub(crate) const AUTO_REVISED_MIN_CELLS: usize = 1 << 20;
+
+/// Warm-start bases are only worth their crash cost on instances with
+/// at least this many standard-form cells; below it the cache is
+/// skipped (recorded in `lp.simplex.warm.skipped_small`) unless
+/// `TOMO_LP_WARM` forces it (`1` / `force` / `always`).
+pub(crate) const WARM_MIN_CELLS: usize = 1 << 18;
+
+/// `true` when `TOMO_LP_WARM` explicitly forces warm-starting even on
+/// instances below [`WARM_MIN_CELLS`] — the hook
+/// `scripts/bench_trajectory.sh` uses to compare cold vs warm pivot
+/// counts on the (small) fig7 workload.
+fn warm_forced() -> bool {
+    match std::env::var("TOMO_LP_WARM") {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "force" | "always"),
+        Err(_) => false,
+    }
+}
+
+/// Standard-form dimensions `(m, ncols)` the assembly in `solve_inner`
+/// (and its sparse mirror in [`crate::revised`]) will produce, computed
+/// without allocating the tableau: rows are the user constraints plus
+/// one row per finite upper bound; columns are structural + one slack
+/// per inequality + one artificial per row that is `Ge`/`Eq` *after*
+/// rhs-sign normalization (which flips `Le` rows with negative shifted
+/// rhs into `Ge` and vice versa).
+pub(crate) fn standard_dims(problem: &LpProblem) -> (usize, usize) {
+    let n_struct = problem.variables.len();
+    let mut m = 0usize;
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for c in &problem.constraints {
+        let mut shift = 0.0;
+        for &(j, a) in &c.terms {
+            shift += a * problem.variables[j].lower;
+        }
+        let rhs = c.rhs - shift;
+        let relation = if rhs < 0.0 {
+            match c.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Eq => Relation::Eq,
+                Relation::Ge => Relation::Le,
+            }
+        } else {
+            c.relation
+        };
+        m += 1;
+        if relation != Relation::Eq {
+            n_slack += 1;
+        }
+        if relation != Relation::Le {
+            n_art += 1;
+        }
+    }
+    // Upper-bound rows x'_j ≤ upper − lower always have rhs ≥ 0
+    // (bounds are validated at add_variable), so they are always `Le`.
+    let n_upper = problem
+        .variables
+        .iter()
+        .filter(|v| v.upper.is_some())
+        .count();
+    m += n_upper;
+    n_slack += n_upper;
+    (m, n_struct + n_slack + n_art)
+}
+
+/// Resolves the backend for one solve: explicit choice > `TOMO_LP_MODE`
+/// environment override > size heuristic.
+fn resolve_mode(requested: SolverMode, m: usize, ncols: usize) -> SolverMode {
+    match requested {
+        SolverMode::Dense | SolverMode::Revised => requested,
+        SolverMode::Auto => {
+            if let Ok(v) = std::env::var("TOMO_LP_MODE") {
+                match v.to_ascii_lowercase().as_str() {
+                    "dense" | "tableau" => return SolverMode::Dense,
+                    "revised" | "sparse" => return SolverMode::Revised,
+                    _ => {}
+                }
+            }
+            if m.saturating_mul(ncols) >= AUTO_REVISED_MIN_CELLS {
+                SolverMode::Revised
+            } else {
+                SolverMode::Dense
+            }
+        }
+    }
+}
 
 /// Outcome of crashing a remembered basis into a fresh tableau.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Crash {
+pub(crate) enum Crash {
     /// Basic feasible solution with zero artificial mass: skip phase 1.
     Phase2Ready,
     /// Primal feasible but artificials still carry weight: re-enter
@@ -253,12 +380,38 @@ impl Tableau {
 
 /// Solves the model; see [`LpProblem::solve`].
 pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
-    solve_inner(problem, None)
+    solve_with(problem, None, SolverMode::Auto)
 }
 
 /// Solves the model with basis reuse; see [`LpProblem::solve_warm`].
 pub(crate) fn solve_warm(problem: &LpProblem, warm: &WarmStart) -> Result<LpSolution, LpError> {
-    solve_inner(problem, Some(warm))
+    solve_with(problem, Some(warm), SolverMode::Auto)
+}
+
+/// Mode-dispatching entry point shared by every public solve call:
+/// sizes the standard form, applies the warm-start size gate, resolves
+/// the backend and hands off to the dense tableau or the revised
+/// simplex.
+pub(crate) fn solve_with(
+    problem: &LpProblem,
+    warm: Option<&WarmStart>,
+    mode: SolverMode,
+) -> Result<LpSolution, LpError> {
+    let (m, ncols) = standard_dims(problem);
+    let warm = match warm {
+        Some(_) if m.saturating_mul(ncols) < WARM_MIN_CELLS && !warm_forced() => {
+            // At toy scale the crash + pristine-tableau bookkeeping costs
+            // more wall time than the pivots it saves, so the cache is
+            // bypassed (the solve runs cold and reports no warm outcome).
+            WARM_SKIPPED_SMALL.inc();
+            None
+        }
+        other => other,
+    };
+    match resolve_mode(mode, m, ncols) {
+        SolverMode::Revised => crate::revised::solve_revised(problem, warm),
+        _ => solve_inner(problem, warm),
+    }
 }
 
 fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSolution, LpError> {
@@ -543,9 +696,31 @@ fn solve_inner(problem: &LpProblem, warm: Option<&WarmStart>) -> Result<LpSoluti
 #[cfg(test)]
 mod tests {
     use crate::{LpProblem, LpStatus, Objective, Relation, VarId, WarmStart};
+    use std::sync::Mutex;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Serializes tests that manipulate `TOMO_LP_WARM` — process-global
+    /// environment, so concurrent test threads would race otherwise.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `f` with the warm-start size gate forced open (the test
+    /// problems here are all far below [`super::WARM_MIN_CELLS`]),
+    /// restoring the prior environment afterwards.
+    fn with_warm_forced(f: impl FnOnce()) {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prior = std::env::var("TOMO_LP_WARM").ok();
+        std::env::set_var("TOMO_LP_WARM", "force");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match prior {
+            Some(v) => std::env::set_var("TOMO_LP_WARM", v),
+            None => std::env::remove_var("TOMO_LP_WARM"),
+        }
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
     }
 
     /// A small Ge/Eq-laden problem family parameterized by rhs, so warm
@@ -593,91 +768,99 @@ mod tests {
 
     #[test]
     fn warm_solve_matches_cold_across_rhs_sweep() {
-        let warm = WarmStart::new();
-        for step in 0..20 {
-            let demand = 4.0 + f64::from(step) * 1.7;
-            let (lp, x, y) = family_instance(demand);
-            let cold = lp.solve().unwrap();
-            let hot = lp.solve_warm(&warm).unwrap();
-            assert_eq!(cold.status(), hot.status(), "demand {demand}");
-            assert!(
-                (cold.objective_value() - hot.objective_value()).abs()
-                    <= 1e-9 * (1.0 + cold.objective_value().abs()),
-                "demand {demand}: cold {} warm {}",
-                cold.objective_value(),
-                hot.objective_value()
-            );
-            for v in [x, y] {
-                assert!((cold.value(v) - hot.value(v)).abs() <= 1e-7);
+        with_warm_forced(|| {
+            let warm = WarmStart::new();
+            for step in 0..20 {
+                let demand = 4.0 + f64::from(step) * 1.7;
+                let (lp, x, y) = family_instance(demand);
+                let cold = lp.solve().unwrap();
+                let hot = lp.solve_warm(&warm).unwrap();
+                assert_eq!(cold.status(), hot.status(), "demand {demand}");
+                assert!(
+                    (cold.objective_value() - hot.objective_value()).abs()
+                        <= 1e-9 * (1.0 + cold.objective_value().abs()),
+                    "demand {demand}: cold {} warm {}",
+                    cold.objective_value(),
+                    hot.objective_value()
+                );
+                for v in [x, y] {
+                    assert!((cold.value(v) - hot.value(v)).abs() <= 1e-7);
+                }
             }
-        }
-        // The sweep shares one skeleton.
-        assert_eq!(warm.len(), 1);
+            // The sweep shares one skeleton.
+            assert_eq!(warm.len(), 1);
+        });
     }
 
     #[test]
     fn warm_falls_back_cold_when_basis_goes_infeasible() {
-        let warm = WarmStart::new();
-        // Seed the cache at a comfortably feasible instance…
-        let (lp, _, _) = family_instance(10.0);
-        assert!(lp.solve_warm(&warm).unwrap().is_optimal());
-        // …then jump to an infeasible instance of the same skeleton
-        // (demand above both upper bounds combined).
-        let (hard, _, _) = family_instance(500.0);
-        let sol = hard.solve_warm(&warm).unwrap();
-        assert_eq!(sol.status(), LpStatus::Infeasible);
-        // And back: the cache must still warm the feasible region.
-        let (back, x, y) = family_instance(12.0);
-        let sol = back.solve_warm(&warm).unwrap();
-        assert!(sol.is_optimal());
-        let cold = back.solve().unwrap();
-        assert_close(sol.objective_value(), cold.objective_value());
-        assert_close(sol.value(x), cold.value(x));
-        assert_close(sol.value(y), cold.value(y));
+        with_warm_forced(|| {
+            let warm = WarmStart::new();
+            // Seed the cache at a comfortably feasible instance…
+            let (lp, _, _) = family_instance(10.0);
+            assert!(lp.solve_warm(&warm).unwrap().is_optimal());
+            // …then jump to an infeasible instance of the same skeleton
+            // (demand above both upper bounds combined).
+            let (hard, _, _) = family_instance(500.0);
+            let sol = hard.solve_warm(&warm).unwrap();
+            assert_eq!(sol.status(), LpStatus::Infeasible);
+            // And back: the cache must still warm the feasible region.
+            let (back, x, y) = family_instance(12.0);
+            let sol = back.solve_warm(&warm).unwrap();
+            assert!(sol.is_optimal());
+            let cold = back.solve().unwrap();
+            assert_close(sol.objective_value(), cold.objective_value());
+            assert_close(sol.value(x), cold.value(x));
+            assert_close(sol.value(y), cold.value(y));
+        });
     }
 
     #[test]
     fn warm_reenters_phase1_on_repeated_infeasible_skeleton() {
-        let warm = WarmStart::new();
-        // The first infeasible solve must cache its phase-1 terminal
-        // basis (before this existed, infeasible solves stored nothing
-        // and streams of infeasible instances never warmed up).
-        let (a, _, _) = family_instance(500.0);
-        assert_eq!(a.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
-        assert_eq!(warm.len(), 1, "infeasible solve must seed the cache");
-        // A second infeasible instance of the same skeleton crashes the
-        // cached basis and re-certifies infeasibility from it.
-        let (b, _, _) = family_instance(480.0);
-        assert_eq!(b.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
-        assert_eq!(b.solve().unwrap().status(), LpStatus::Infeasible);
-        // And a feasible instance afterwards still solves correctly.
-        let (c, x, y) = family_instance(12.0);
-        let hot = c.solve_warm(&warm).unwrap();
-        let cold = c.solve().unwrap();
-        assert!(hot.is_optimal());
-        assert_close(hot.objective_value(), cold.objective_value());
-        assert_close(hot.value(x), cold.value(x));
-        assert_close(hot.value(y), cold.value(y));
+        with_warm_forced(|| {
+            let warm = WarmStart::new();
+            // The first infeasible solve must cache its phase-1 terminal
+            // basis (before this existed, infeasible solves stored nothing
+            // and streams of infeasible instances never warmed up).
+            let (a, _, _) = family_instance(500.0);
+            assert_eq!(a.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
+            assert_eq!(warm.len(), 1, "infeasible solve must seed the cache");
+            // A second infeasible instance of the same skeleton crashes the
+            // cached basis and re-certifies infeasibility from it.
+            let (b, _, _) = family_instance(480.0);
+            assert_eq!(b.solve_warm(&warm).unwrap().status(), LpStatus::Infeasible);
+            assert_eq!(b.solve().unwrap().status(), LpStatus::Infeasible);
+            // And a feasible instance afterwards still solves correctly.
+            let (c, x, y) = family_instance(12.0);
+            let hot = c.solve_warm(&warm).unwrap();
+            let cold = c.solve().unwrap();
+            assert!(hot.is_optimal());
+            assert_close(hot.objective_value(), cold.objective_value());
+            assert_close(hot.value(x), cold.value(x));
+            assert_close(hot.value(y), cold.value(y));
+        });
     }
 
     #[test]
     fn warm_handles_unbounded_and_all_le_problems() {
-        let warm = WarmStart::new();
-        // All-Le problem: no artificials, warm path must still work.
-        let mut lp = LpProblem::new(Objective::Maximize);
-        let x = lp.add_variable("x", 0.0, Some(7.0)).unwrap();
-        lp.set_objective_coefficient(x, 1.0);
-        lp.add_constraint(&[(x, 1.0)], Relation::Le, 5.0).unwrap();
-        assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
-        assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
+        with_warm_forced(|| {
+            let warm = WarmStart::new();
+            // All-Le problem: no artificials, warm path must still work.
+            let mut lp = LpProblem::new(Objective::Maximize);
+            let x = lp.add_variable("x", 0.0, Some(7.0)).unwrap();
+            lp.set_objective_coefficient(x, 1.0);
+            lp.add_constraint(&[(x, 1.0)], Relation::Le, 5.0).unwrap();
+            assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
+            assert_close(lp.solve_warm(&warm).unwrap().value(x), 5.0);
 
-        // Unbounded problem solved warm twice.
-        let mut ub = LpProblem::new(Objective::Maximize);
-        let z = ub.add_variable("z", 0.0, None).unwrap();
-        ub.set_objective_coefficient(z, 1.0);
-        ub.add_constraint(&[(z, -1.0)], Relation::Le, 3.0).unwrap();
-        assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
-        assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
+            // Unbounded problem solved warm twice.
+            let mut ub = LpProblem::new(Objective::Maximize);
+            let z = ub.add_variable("z", 0.0, None).unwrap();
+            ub.set_objective_coefficient(z, 1.0);
+            ub.add_constraint(&[(z, -1.0)], Relation::Le, 3.0).unwrap();
+            assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
+            assert_eq!(ub.solve_warm(&warm).unwrap().status(), LpStatus::Unbounded);
+        });
     }
 
     #[test]
@@ -695,6 +878,105 @@ mod tests {
         c.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 2.5)
             .unwrap();
         assert_ne!(a.skeleton_hash(), c.skeleton_hash());
+    }
+
+    #[test]
+    fn warm_cache_skipped_below_size_gate() {
+        // With TOMO_LP_WARM unset, toy problems (far below
+        // WARM_MIN_CELLS) must bypass the cache entirely: no slots
+        // stored, no hit/miss outcome recorded.
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prior = std::env::var("TOMO_LP_WARM").ok();
+        std::env::remove_var("TOMO_LP_WARM");
+        let result = std::panic::catch_unwind(|| {
+            let warm = WarmStart::new();
+            let (lp, _, _) = family_instance(10.0);
+            let hot = lp.solve_warm(&warm).unwrap();
+            let cold = lp.solve().unwrap();
+            assert!(hot.is_optimal());
+            assert_close(hot.objective_value(), cold.objective_value());
+            assert!(warm.is_empty(), "gated solve must not touch the cache");
+            assert_eq!(
+                crate::take_last_warm_outcome(),
+                None,
+                "gated solve records no warm outcome"
+            );
+        });
+        match prior {
+            Some(v) => std::env::set_var("TOMO_LP_WARM", v),
+            None => std::env::remove_var("TOMO_LP_WARM"),
+        }
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    #[test]
+    fn standard_dims_counts_rows_and_columns() {
+        // family_instance: Ge + Eq rows plus two upper-bound rows →
+        // m = 4; slacks: Ge surplus + 2 upper-bound slacks = 3;
+        // artificials: Ge + Eq = 2; ncols = 2 structural + 3 + 2.
+        let (lp, _, _) = family_instance(10.0);
+        assert_eq!(super::standard_dims(&lp), (4, 7));
+
+        // A negative-rhs Le row flips to Ge and gains an artificial.
+        let mut neg = LpProblem::new(Objective::Minimize);
+        let x = neg.add_variable("x", 0.0, None).unwrap();
+        neg.set_objective_coefficient(x, 1.0);
+        neg.add_constraint(&[(x, -1.0)], Relation::Le, -3.0)
+            .unwrap();
+        // m = 1; slack (surplus after the flip) = 1; artificial = 1.
+        assert_eq!(super::standard_dims(&neg), (1, 3));
+
+        // Lower-bound shifts change the effective rhs sign: x ≥ 5 with
+        // rhs 2 becomes x' ≥ -3, normalized to a Le row (slack, no
+        // artificial).
+        let mut shifted = LpProblem::new(Objective::Minimize);
+        let x = shifted.add_variable("x", 5.0, None).unwrap();
+        shifted.set_objective_coefficient(x, 1.0);
+        shifted
+            .add_constraint(&[(x, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
+        assert_eq!(super::standard_dims(&shifted), (1, 2));
+    }
+
+    #[test]
+    fn mode_resolution_precedence() {
+        use super::{resolve_mode, SolverMode, AUTO_REVISED_MIN_CELLS};
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prior = std::env::var("TOMO_LP_MODE").ok();
+        std::env::remove_var("TOMO_LP_MODE");
+        let result = std::panic::catch_unwind(|| {
+            // Explicit modes pass through untouched.
+            assert_eq!(
+                resolve_mode(SolverMode::Dense, 1 << 20, 1 << 20),
+                SolverMode::Dense
+            );
+            assert_eq!(resolve_mode(SolverMode::Revised, 2, 2), SolverMode::Revised);
+            // Auto picks by cell count.
+            assert_eq!(resolve_mode(SolverMode::Auto, 10, 20), SolverMode::Dense);
+            assert_eq!(
+                resolve_mode(SolverMode::Auto, AUTO_REVISED_MIN_CELLS, 1),
+                SolverMode::Revised
+            );
+            // The env override steers Auto only.
+            std::env::set_var("TOMO_LP_MODE", "revised");
+            assert_eq!(resolve_mode(SolverMode::Auto, 2, 2), SolverMode::Revised);
+            assert_eq!(resolve_mode(SolverMode::Dense, 2, 2), SolverMode::Dense);
+            std::env::set_var("TOMO_LP_MODE", "dense");
+            assert_eq!(
+                resolve_mode(SolverMode::Auto, AUTO_REVISED_MIN_CELLS, 2),
+                SolverMode::Dense
+            );
+            assert_eq!(resolve_mode(SolverMode::Revised, 2, 2), SolverMode::Revised);
+        });
+        match prior {
+            Some(v) => std::env::set_var("TOMO_LP_MODE", v),
+            None => std::env::remove_var("TOMO_LP_MODE"),
+        }
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`fig8`] | Fig. 8 | single-attacker max-damage & obfuscation prob. |
 //! | [`fig9`] | Fig. 9 | detection ratios per strategy × cut |
 //! | [`chaos`] | — | detection degradation under injected faults |
+//! | [`scale`] | — | Rocketfuel-scale kernel sweep (1k–50k links) |
 //!
 //! Wireline experiments run on the synthetic AS1221-scale ISP topology,
 //! wireless ones on the paper's 100-node λ=5 random geometric graph (see
@@ -46,6 +47,7 @@ pub mod fig9;
 pub mod gap;
 pub mod noise;
 pub mod report;
+pub mod scale;
 pub mod topologies;
 
 use std::error::Error;

@@ -1,7 +1,7 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|scale|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
 //! tomo-sim list
 //! ```
 //!
@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use tomo_par::Executor;
 use tomo_sim::{
-    ablation, chaos, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report,
+    ablation, chaos, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, noise, report, scale,
     SimError,
 };
 
@@ -35,6 +35,7 @@ struct Args {
     faults: Option<String>,
     trace_out: Option<PathBuf>,
     serve_metrics: Option<u16>,
+    max_links: Option<usize>,
 }
 
 impl Args {
@@ -51,6 +52,7 @@ impl Args {
             faults: None,
             trace_out: None,
             serve_metrics: None,
+            max_links: None,
         }
     }
 }
@@ -106,6 +108,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut faults = None;
     let mut trace_out = None;
     let mut serve_metrics = None;
+    let mut max_links = None;
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -156,12 +159,27 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                 serve_metrics = Some(v.parse().map_err(|_| format!("bad port {v:?}"))?);
                 i += 2;
             }
+            "--max-links" => {
+                let v = argv.get(i + 1).ok_or("--max-links needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad link count {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-links must be at least 1".to_string());
+                }
+                max_links = Some(n);
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     if faults.is_some() && target != "chaos" {
         return Err(format!(
             "--faults only applies to the chaos target\n{}",
+            usage()
+        ));
+    }
+    if max_links.is_some() && target != "scale" {
+        return Err(format!(
+            "--max-links only applies to the scale target\n{}",
             usage()
         ));
     }
@@ -177,6 +195,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         faults,
         trace_out,
         serve_metrics,
+        max_links,
     })
 }
 
@@ -184,7 +203,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
 const DEFAULT_METRICS_PORT: u16 = 9184;
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all.\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|scale|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT] [--max-links N]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all.\n--max-links (scale only) caps the sweep's largest topology (default 10000).\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
         .to_string()
 }
 
@@ -221,6 +240,18 @@ fn fig9_config(quick: bool) -> fig9::Fig9Config {
     } else {
         fig9::Fig9Config::default()
     }
+}
+
+fn scale_config(quick: bool, max_links: Option<usize>) -> scale::ScaleConfig {
+    let mut cfg = if quick {
+        scale::ScaleConfig::quick()
+    } else {
+        scale::ScaleConfig::default()
+    };
+    if let Some(n) = max_links {
+        cfg.max_links = n;
+    }
+    cfg
 }
 
 fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
@@ -329,6 +360,13 @@ fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
                 report::write_json(&r, &p)?;
             }
         }
+        "scale" => {
+            let r = scale::run(seed, &scale_config(args.quick, args.max_links))?;
+            println!("{}", scale::render(&r));
+            if let Some(p) = artifact("scale.json") {
+                scale::write_artifact(&r, &p)?;
+            }
+        }
         other => return Err(SimError(format!("unknown figure {other:?}"))),
     }
     Ok(())
@@ -381,6 +419,7 @@ fn main() -> ExitCode {
              noise  detector robustness vs measurement noise\n\
              gap  Theorem 3 gap: consistency-only evasion rates\n\
              chaos  detection degradation under injected faults (--faults)\n\
+             scale  Rocketfuel-scale kernel sweep, 1k-50k links (--max-links)\n\
              all   everything above (figures only)"
         );
         return ExitCode::SUCCESS;
@@ -547,6 +586,29 @@ mod tests {
         // chaos without --faults uses the default mix.
         let d = parse_args_from(&argv(&["run", "chaos"])).unwrap();
         assert_eq!(d.faults, None);
+    }
+
+    #[test]
+    fn max_links_flag_is_scale_only() {
+        let a = parse_args_from(&argv(&["run", "scale", "--max-links", "5000"])).unwrap();
+        assert_eq!(a.max_links, Some(5000));
+        let err = parse_args_from(&argv(&["run", "fig4", "--max-links", "5000"])).unwrap_err();
+        assert!(err.contains("scale"), "{err}");
+        assert!(parse_args_from(&argv(&["run", "scale", "--max-links"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "scale", "--max-links", "0"])).is_err());
+        assert!(parse_args_from(&argv(&["run", "scale", "--max-links", "many"])).is_err());
+        // scale without --max-links keeps the config default.
+        let d = parse_args_from(&argv(&["run", "scale"])).unwrap();
+        assert_eq!(d.max_links, None);
+    }
+
+    #[test]
+    fn scale_config_respects_quick_and_cap() {
+        let quick = scale_config(true, None);
+        assert_eq!(quick.sweep, vec![1_000]);
+        let capped = scale_config(false, Some(2_000));
+        assert_eq!(capped.max_links, 2_000);
+        assert_eq!(capped.sweep, scale::ScaleConfig::default().sweep);
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! `scale` — Rocketfuel-scale kernel sweep (ISP topologies from 1k to
+//! 50k links).
+//!
+//! The paper's evaluation runs on ~100-node networks; the solve stack,
+//! however, claims to survive real Rocketfuel maps (AS1221 and larger).
+//! This experiment is the proof: it sweeps synthetic ISP topologies of
+//! increasing link count and times the kernels that scale poorly when
+//! dense — Gram assembly, system construction/identifiability, and the
+//! attack-budget LP — against their dense baselines where the dense
+//! kernels can still finish.
+//!
+//! Per sweep point the harness measures:
+//!
+//! * **Gram assembly** — sparse [`CsrMatrix::gram_csr`] vs the dense
+//!   `mul_transpose_self` accumulation (dense only at small sizes);
+//! * **system construction** — [`TomographySystem::new`], whose
+//!   size gauge picks the dense (eager `R`, explicit rank) or sparse
+//!   (lazy `R`, Cholesky-certified identifiability) kernel;
+//! * **estimation** — one measure/estimate round trip through the
+//!   factorized solver;
+//! * **the budget LP** — maximize total manipulation `Σ mₚ` under
+//!   per-link budgets `Σ_{p∋l} mₚ ≤ 1`: a pure phase-2 LP whose row
+//!   count is the link count, solved by the sparse revised simplex and
+//!   (at small sizes) the dense tableau for the speedup ratio.
+//!
+//! Every path set contains one one-hop path per link (all nodes are
+//! monitors), so `R` contains a permuted identity and identifiability
+//! holds by construction at every size; a capped number of extra
+//! multi-hop shortest paths adds the redundancy that makes the Gram
+//! matrix and the LP nontrivial. Timings land in the structured result
+//! and, when tracing is on, in the per-trial provenance journal.
+
+use std::time::Instant;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_core::{KernelKind, TomographySystem};
+use tomo_graph::isp::{self, IspConfig};
+use tomo_graph::shortest::shortest_path;
+use tomo_graph::{Graph, Path};
+use tomo_linalg::{CsrMatrix, Vector};
+use tomo_lp::{LpProblem, Objective, Relation, SolverMode, VarId};
+use tomo_par::derive_seed;
+
+use crate::{report, SimError};
+
+/// Sweep configuration (see [`ScaleConfig::default`] for the paper-run
+/// values and [`ScaleConfig::quick`] for the CI smoke point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Target link counts to sweep (actual counts vary slightly with
+    /// the seeded generator and are recorded per point).
+    pub sweep: Vec<usize>,
+    /// Skip sweep points whose target exceeds this (CLI `--max-links`).
+    pub max_links: usize,
+    /// Extra multi-hop shortest paths added on top of the per-link
+    /// one-hop paths (capped, so path count stays `links + O(1)`).
+    pub extra_paths: usize,
+    /// Run the dense Gram/LP baselines only for sweep points whose
+    /// *target* is at or below this many links — above it the dense
+    /// kernels take minutes to hours and the point reports sparse
+    /// timings only. (The target gates, not the generated count, so a
+    /// generator overshoot of a few percent cannot flip a point's
+    /// shape between runs.)
+    pub dense_baseline_max_links: usize,
+    /// Build the full [`TomographySystem`] (Gram + Cholesky) only for
+    /// sweep points whose target is at or below this many links; larger
+    /// points time the sparse kernels standalone (the `O(L³)`
+    /// factorization is out of reach there for any backend).
+    pub full_system_max_links: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            sweep: vec![1_000, 2_000, 5_000, 10_000, 20_000, 50_000],
+            max_links: 10_000,
+            extra_paths: 2_000,
+            dense_baseline_max_links: 2_000,
+            full_system_max_links: 10_000,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Single smallest point, no dense baselines: the CI smoke
+    /// configuration (`--quick`). Still large enough to trip the sparse
+    /// construction kernel and the revised simplex.
+    #[must_use]
+    pub fn quick() -> Self {
+        ScaleConfig {
+            sweep: vec![1_000],
+            max_links: 1_000,
+            extra_paths: 200,
+            dense_baseline_max_links: 0,
+            full_system_max_links: 10_000,
+        }
+    }
+}
+
+/// Timings and provenance of one sweep point. All durations are wall
+/// seconds on the current machine; `None` means the kernel was skipped
+/// at this size (see the [`ScaleConfig`] gates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Link count the generator aimed for.
+    pub target_links: usize,
+    /// Actual links in the generated topology.
+    pub links: usize,
+    /// Nodes in the generated topology.
+    pub nodes: usize,
+    /// Measurement paths (one-hop per link + extras).
+    pub paths: usize,
+    /// Nonzeros of the routing matrix `R`.
+    pub routing_nnz: usize,
+    /// Nonzeros of the Gram matrix `RᵀR` (sparse assembly).
+    pub gram_nnz: usize,
+    /// Routing matrix density `nnz / (paths·links)`.
+    pub density: f64,
+    /// Which construction kernel the system gauge picked
+    /// (`"dense"` / `"sparse"`, `"skipped"` above the system gate).
+    pub kernel: String,
+    /// Sparse Gram assembly ([`CsrMatrix::gram_csr`]) seconds.
+    pub gram_sparse_seconds: f64,
+    /// Dense Gram baseline seconds (small points only).
+    pub gram_dense_seconds: Option<f64>,
+    /// Full system construction seconds (Gram + Cholesky + validation).
+    pub system_build_seconds: Option<f64>,
+    /// One measure + estimate round trip seconds.
+    pub estimate_seconds: Option<f64>,
+    /// Budget-LP revised-simplex solve seconds.
+    pub lp_revised_seconds: f64,
+    /// Simplex pivots the revised solve spent.
+    pub lp_revised_pivots: u64,
+    /// Budget-LP optimum from the revised backend.
+    pub lp_objective: f64,
+    /// Dense-tableau baseline solve seconds (small points only).
+    pub lp_dense_seconds: Option<f64>,
+    /// Budget-LP optimum from the dense backend, when it ran.
+    pub lp_dense_objective: Option<f64>,
+}
+
+/// Structured result of the scale sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleResult {
+    /// Seed the sweep derives all per-point streams from.
+    pub seed: u64,
+    /// One entry per executed sweep point, ascending by target size.
+    pub points: Vec<ScalePoint>,
+}
+
+/// ISP generator configuration aimed at roughly `target_links` links:
+/// ring + chords in the core, the rest as (multi-homed) access routers.
+fn isp_config_for(target_links: usize) -> IspConfig {
+    let backbone = (target_links / 100).clamp(12, 400);
+    let chords = backbone / 2;
+    let base = IspConfig::default();
+    let remaining = target_links.saturating_sub(backbone + chords);
+    let access = (remaining as f64 / (1.0 + base.multihoming_prob)).round() as usize;
+    IspConfig {
+        backbone_nodes: backbone,
+        backbone_chords: chords,
+        access_nodes: access,
+        multihoming_prob: base.multihoming_prob,
+    }
+}
+
+/// One one-hop path per link (all nodes are monitors, so `R` embeds a
+/// permuted identity) plus up to `extra` multi-hop shortest paths
+/// between seeded random node pairs.
+fn build_paths(graph: &Graph, extra: usize, rng: &mut ChaCha8Rng) -> Result<Vec<Path>, SimError> {
+    let mut paths = Vec::with_capacity(graph.num_links() + extra);
+    for l in graph.links() {
+        let (a, b) = graph.endpoints(l)?;
+        paths.push(Path::from_nodes(graph, &[a, b])?);
+    }
+    let n = graph.num_nodes();
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < extra * 20 {
+        guard += 1;
+        let u = tomo_graph::NodeId(rng.gen_range(0..n));
+        let v = tomo_graph::NodeId(rng.gen_range(0..n));
+        if u == v {
+            continue;
+        }
+        if let Some(p) = shortest_path(graph, u, v)? {
+            if p.num_links() > 1 {
+                paths.push(p);
+                added += 1;
+            }
+        }
+    }
+    Ok(paths)
+}
+
+/// The budget LP over a routing matrix: maximize total manipulation
+/// `Σ mₚ` subject to a unit budget per link, `Σ_{p∋l} mₚ ≤ 1`, `m ⪰ 0`.
+/// Pure phase 2 (all rows `Le`, rhs ≥ 0), `links` rows by
+/// `paths + links` standard-form columns — the LP shape the attack
+/// strategies produce, at topology scale.
+fn budget_lp(routing: &CsrMatrix) -> Result<LpProblem, SimError> {
+    let lp_err = |e: tomo_lp::LpError| SimError(format!("budget LP: {e}"));
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let vars: Vec<VarId> = (0..routing.rows())
+        .map(|p| lp.add_variable(format!("m{p}"), 0.0, None))
+        .collect::<Result<_, _>>()
+        .map_err(lp_err)?;
+    for &v in &vars {
+        lp.set_objective_coefficient(v, 1.0);
+    }
+    let rt = routing.transpose();
+    for l in 0..rt.rows() {
+        let idx = rt.row_indices(l);
+        if idx.is_empty() {
+            continue;
+        }
+        lp.add_sparse_row(&vars, idx, rt.row_values(l), Relation::Le, 1.0)
+            .map_err(lp_err)?;
+    }
+    Ok(lp)
+}
+
+fn run_point(config: &ScaleConfig, target: usize, point_seed: u64) -> Result<ScalePoint, SimError> {
+    let _span = tomo_obs::span("sim.scale.point");
+    let mut rng = ChaCha8Rng::seed_from_u64(point_seed);
+    let graph = isp::generate(&isp_config_for(target), &mut rng)?;
+    let paths = build_paths(&graph, config.extra_paths, &mut rng)?;
+    let links = graph.num_links();
+    let nodes = graph.num_nodes();
+
+    let routing = tomo_core::build_routing_csr(&paths, links)?;
+    let t = Instant::now();
+    let gram = routing.gram_csr();
+    let gram_sparse_seconds = t.elapsed().as_secs_f64();
+    let gram_nnz = gram.nnz();
+
+    let gram_dense_seconds = (target <= config.dense_baseline_max_links).then(|| {
+        let dense = routing.to_dense();
+        let t = Instant::now();
+        let g = dense.mul_transpose_self();
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(g.shape(), (links, links));
+        secs
+    });
+
+    // Full system (Gram + Cholesky + validation) under the size gauge.
+    let mut kernel = "skipped".to_string();
+    let mut system_build_seconds = None;
+    let mut estimate_seconds = None;
+    if target <= config.full_system_max_links {
+        let monitors: Vec<_> = graph.nodes().collect();
+        let t = Instant::now();
+        let system = TomographySystem::new(graph.clone(), monitors, paths.clone())?;
+        system_build_seconds = Some(t.elapsed().as_secs_f64());
+        kernel = match system.kernel() {
+            KernelKind::Dense => "dense".to_string(),
+            KernelKind::Sparse => "sparse".to_string(),
+        };
+        let x: Vector = (0..links).map(|i| 100.0 + (i % 7) as f64).collect();
+        let t = Instant::now();
+        let y = system.measure(&x)?;
+        let x_hat = system.estimate(&y)?;
+        estimate_seconds = Some(t.elapsed().as_secs_f64());
+        if !x_hat.approx_eq(&x, 1e-4) {
+            return Err(SimError(format!(
+                "scale: estimate does not reproduce link metrics at {links} links"
+            )));
+        }
+    }
+
+    // Budget LP: revised simplex always, dense tableau at small sizes.
+    let lp = budget_lp(&routing)?;
+    let pivots_before = tomo_obs::snapshot()
+        .counter("lp.simplex.pivots")
+        .unwrap_or(0);
+    let t = Instant::now();
+    let revised = lp
+        .solve_with(SolverMode::Revised)
+        .map_err(|e| SimError(format!("budget LP (revised): {e}")))?;
+    let lp_revised_seconds = t.elapsed().as_secs_f64();
+    let lp_revised_pivots = tomo_obs::snapshot()
+        .counter("lp.simplex.pivots")
+        .unwrap_or(0)
+        .saturating_sub(pivots_before);
+    if !revised.is_optimal() {
+        return Err(SimError(format!(
+            "budget LP unexpectedly {:?} at {links} links",
+            revised.status()
+        )));
+    }
+
+    let mut lp_dense_seconds = None;
+    let mut lp_dense_objective = None;
+    if target <= config.dense_baseline_max_links {
+        let t = Instant::now();
+        let dense = lp
+            .solve_with(SolverMode::Dense)
+            .map_err(|e| SimError(format!("budget LP (dense): {e}")))?;
+        lp_dense_seconds = Some(t.elapsed().as_secs_f64());
+        lp_dense_objective = Some(dense.objective_value());
+        let scale_tol = 1e-6 * (1.0 + revised.objective_value().abs());
+        if (dense.objective_value() - revised.objective_value()).abs() > scale_tol {
+            return Err(SimError(format!(
+                "budget LP backends disagree at {links} links: dense {} vs revised {}",
+                dense.objective_value(),
+                revised.objective_value()
+            )));
+        }
+    }
+
+    Ok(ScalePoint {
+        target_links: target,
+        links,
+        nodes,
+        paths: paths.len(),
+        routing_nnz: routing.nnz(),
+        gram_nnz,
+        density: routing.density(),
+        kernel,
+        gram_sparse_seconds,
+        gram_dense_seconds,
+        system_build_seconds,
+        estimate_seconds,
+        lp_revised_seconds,
+        lp_revised_pivots,
+        lp_objective: revised.objective_value(),
+        lp_dense_seconds,
+        lp_dense_objective,
+    })
+}
+
+/// Runs the scale sweep: every configured point with `target ≤
+/// max_links`, each on its own derived RNG stream.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on generation failure, a non-optimal budget LP,
+/// or a dense/sparse disagreement (all of which indicate a kernel bug,
+/// not an unlucky seed).
+pub fn run(seed: u64, config: &ScaleConfig) -> Result<ScaleResult, SimError> {
+    let _span = tomo_obs::span("sim.scale");
+    let mut points = Vec::new();
+    for (i, &target) in config.sweep.iter().enumerate() {
+        if target > config.max_links {
+            continue;
+        }
+        let point_seed = derive_seed(seed, i as u64);
+        tomo_obs::info!(
+            "sim.scale",
+            "sweep point {target} links (seed {point_seed})"
+        );
+        let point = run_point(config, target, point_seed)?;
+        if tomo_obs::tracing_enabled() {
+            tomo_obs::record_trial(tomo_obs::TrialProvenance {
+                experiment: format!("scale.L{target}"),
+                trial: i as u64,
+                seed: point_seed,
+                warm: tomo_lp::take_last_warm_outcome(),
+                ..tomo_obs::TrialProvenance::default()
+            });
+        }
+        points.push(point);
+    }
+    if points.is_empty() {
+        return Err(SimError(format!(
+            "scale: no sweep point within --max-links {}",
+            config.max_links
+        )));
+    }
+    Ok(ScaleResult { seed, points })
+}
+
+fn fmt_opt_secs(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |s| format!("{s:.3}"))
+}
+
+/// Renders the sweep as a fixed-width table plus dense-vs-sparse
+/// speedup lines for the points where both ran.
+#[must_use]
+pub fn render(result: &ScaleResult) -> String {
+    let mut out = String::from(
+        "scale — Rocketfuel-scale kernel sweep (seconds, this machine)\n\
+         links   paths   nnz       gram_nnz  kernel   gram_s   gram_d   build    lp_rev   lp_dense  pivots\n",
+    );
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:<7} {:<7} {:<9} {:<9} {:<8} {:<8.3} {:<8} {:<8} {:<8.3} {:<9} {}\n",
+            p.links,
+            p.paths,
+            p.routing_nnz,
+            p.gram_nnz,
+            p.kernel,
+            p.gram_sparse_seconds,
+            fmt_opt_secs(p.gram_dense_seconds),
+            fmt_opt_secs(p.system_build_seconds),
+            p.lp_revised_seconds,
+            fmt_opt_secs(p.lp_dense_seconds),
+            p.lp_revised_pivots,
+        ));
+    }
+    for p in &result.points {
+        let (Some(gd), Some(ld)) = (p.gram_dense_seconds, p.lp_dense_seconds) else {
+            continue;
+        };
+        let dense_total = gd + ld;
+        let sparse_total = p.gram_sparse_seconds + p.lp_revised_seconds;
+        if sparse_total > 0.0 {
+            out.push_str(&format!(
+                "{} links: dense gram+LP {:.3}s vs sparse {:.3}s — {:.1}x\n",
+                p.links,
+                dense_total,
+                sparse_total,
+                dense_total / sparse_total
+            ));
+        }
+    }
+    out
+}
+
+/// Writes the result as the `scale.json` artifact.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on serialization or I/O failure.
+pub fn write_artifact(result: &ScaleResult, path: &std::path::Path) -> Result<(), SimError> {
+    report::write_json(result, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep that exercises both kernels and both LP
+    /// backends in test time.
+    fn tiny_config() -> ScaleConfig {
+        ScaleConfig {
+            sweep: vec![150, 400],
+            max_links: 400,
+            extra_paths: 60,
+            dense_baseline_max_links: 200,
+            full_system_max_links: 10_000,
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_agrees_across_backends() {
+        let r = run(11, &tiny_config()).unwrap();
+        assert_eq!(r.points.len(), 2);
+        for p in &r.points {
+            assert!(p.links > 0 && p.paths >= p.links);
+            assert!(p.gram_nnz >= p.links, "Gram has at least its diagonal");
+            assert!(p.lp_objective > 0.0, "budget LP optimum is positive");
+            assert!(p.system_build_seconds.is_some());
+        }
+        // First point is small enough for the dense baselines and the
+        // dense construction kernel; run_point itself asserts the dense
+        // and revised optima agree.
+        let small = &r.points[0];
+        assert_eq!(small.kernel, "dense");
+        assert!(small.gram_dense_seconds.is_some());
+        let dense_obj = small.lp_dense_objective.expect("dense baseline ran");
+        assert!((dense_obj - small.lp_objective).abs() <= 1e-6 * (1.0 + dense_obj.abs()));
+        // Second point exceeds the dense baseline gate.
+        assert!(r.points[1].gram_dense_seconds.is_none());
+        assert!(r.points[1].lp_dense_seconds.is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_structure() {
+        let a = run(7, &tiny_config()).unwrap();
+        let b = run(7, &tiny_config()).unwrap();
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.links, pb.links);
+            assert_eq!(pa.paths, pb.paths);
+            assert_eq!(pa.routing_nnz, pb.routing_nnz);
+            assert_eq!(pa.gram_nnz, pb.gram_nnz);
+            assert_eq!(pa.lp_objective.to_bits(), pb.lp_objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn max_links_filters_the_sweep() {
+        let mut cfg = tiny_config();
+        cfg.max_links = 200;
+        let r = run(3, &cfg).unwrap();
+        assert_eq!(r.points.len(), 1);
+        assert_eq!(r.points[0].target_links, 150);
+        cfg.max_links = 10;
+        assert!(run(3, &cfg).is_err(), "empty sweep is an error");
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let r = run(5, &tiny_config()).unwrap();
+        let s = render(&r);
+        assert!(s.contains("scale"));
+        assert!(s.contains("kernel"));
+        assert!(s.contains("dense"), "speedup line for the small point");
+    }
+
+    #[test]
+    fn isp_config_scales_roughly_with_target() {
+        for target in [1_000usize, 10_000, 50_000] {
+            let cfg = isp_config_for(target);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let g = isp::generate(&cfg, &mut rng).unwrap();
+            let links = g.num_links();
+            assert!(
+                (links as f64) > 0.8 * target as f64 && (links as f64) < 1.2 * target as f64,
+                "target {target}: got {links} links"
+            );
+        }
+    }
+}

@@ -2,7 +2,7 @@
 # Wall-clock scaling of the parallel Monte-Carlo engine, plus a cold vs
 # warm-start A/B of the simplex layer.
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON]
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON] [SCALE_OUT_JSON]
 #
 # Runs the fig7 quick workload through the release tomo-sim binary at the
 # thread counts this machine can honestly measure (1, 2, and max — but
@@ -16,9 +16,13 @@
 # time, simplex pivot counts, and the warm hit/miss/crash counters. Then
 # A/Bs the fault-injection machinery at rate zero (--faults off) against
 # the TOMO_FAULT=0 bypass and writes BENCH_chaos.json asserting the
-# overhead stays below 10%. Finally A/Bs span/provenance tracing
+# overhead stays below 10%. Then A/Bs span/provenance tracing
 # (--trace-out) against an untraced run and writes BENCH_obs.json
-# asserting the tracing overhead stays below 5%.
+# asserting the tracing overhead stays below 5%. Finally runs the
+# Rocketfuel-scale kernel sweep (tomo-sim run scale) and writes
+# BENCH_scale.json with per-point sparse/dense timings and the core
+# count, asserting the sparse path beats the dense baseline >= 3x on the
+# largest point where the dense kernels still finish.
 # Prints BENCH lines as it goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +31,7 @@ OUT_JSON="${1:-BENCH_montecarlo.json}"
 LP_OUT_JSON="${2:-BENCH_lp.json}"
 CHAOS_OUT_JSON="${3:-BENCH_chaos.json}"
 OBS_OUT_JSON="${4:-BENCH_obs.json}"
+SCALE_OUT_JSON="${5:-BENCH_scale.json}"
 SEED=42
 CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
@@ -304,3 +309,78 @@ print(f"BENCH obs untraced={untraced}s traced={traced}s "
       f"overhead={overhead:.1%} events={len(events)}")
 PY
 echo "BENCH wrote $OBS_OUT_JSON"
+
+# --- Rocketfuel-scale kernel sweep --------------------------------------
+# One full sweep (default config: 1k/2k/5k/10k targets, dense baselines
+# at <= 2k, full system builds at <= 10k). The sweep already times each
+# kernel internally, so a single run suffices; per-point `cores` records
+# what this machine could honestly measure, and tomo-bench regression
+# re-runs only the smallest point.
+echo "BENCH scale sweep (tomo-sim run scale --seed $SEED --threads 1)"
+mkdir -p "$WORK/scale"
+"$BIN" run scale --seed "$SEED" --threads 1 \
+  --out "$WORK/scale" --metrics "$WORK/scale_metrics.json"
+
+python3 - "$WORK/scale/scale.json" "$WORK/scale_metrics.json" \
+  "$CORES" "$SCALE_OUT_JSON" <<'PY'
+import json, sys
+
+scale_path, metrics_path, cores, out_path = sys.argv[1:5]
+result = json.load(open(scale_path))
+counters = json.load(open(metrics_path)).get("counters", {})
+cores = int(cores)
+
+if counters.get("core.kernel.sparse", 0) < 1:
+    sys.exit("BENCH ERROR: scale sweep never used the sparse kernel")
+if counters.get("lp.simplex.revised.solves", 0) < 1:
+    sys.exit("BENCH ERROR: scale sweep never used the revised simplex")
+
+points, best_speedup, best_links = [], None, None
+for p in result["points"]:
+    sparse = p["gram_sparse_seconds"] + p["lp_revised_seconds"] \
+        + (p["system_build_seconds"] or 0.0)
+    entry = {
+        "target_links": p["target_links"],
+        "links": p["links"],
+        "paths": p["paths"],
+        "routing_nnz": p["routing_nnz"],
+        "gram_nnz": p["gram_nnz"],
+        "kernel": p["kernel"],
+        "gram_sparse_seconds": p["gram_sparse_seconds"],
+        "gram_dense_seconds": p["gram_dense_seconds"],
+        "system_build_seconds": p["system_build_seconds"],
+        "lp_revised_seconds": p["lp_revised_seconds"],
+        "lp_revised_pivots": p["lp_revised_pivots"],
+        "lp_dense_seconds": p["lp_dense_seconds"],
+        "sparse_seconds": round(sparse, 6),
+        "cores": cores,
+    }
+    if p["gram_dense_seconds"] is not None and p["lp_dense_seconds"] is not None:
+        dense = p["gram_dense_seconds"] + p["lp_dense_seconds"]
+        fast = p["gram_sparse_seconds"] + p["lp_revised_seconds"]
+        if fast > 0:
+            entry["speedup_vs_dense"] = round(dense / fast, 2)
+            best_speedup, best_links = entry["speedup_vs_dense"], p["links"]
+    points.append(entry)
+
+if best_speedup is None:
+    sys.exit("BENCH ERROR: no sweep point ran the dense baselines")
+if best_speedup < 3.0:
+    sys.exit(f"BENCH ERROR: sparse path only {best_speedup}x vs dense "
+             f"at {best_links} links (need >= 3x)")
+
+report = {
+    "workload": "tomo-sim run scale --seed 42 --threads 1",
+    "seed": result["seed"],
+    "cores": cores,
+    "points": points,
+}
+json.dump(report, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+largest = points[-1]
+print(f"BENCH scale largest point links={largest['links']} "
+      f"kernel={largest['kernel']} sparse_seconds={largest['sparse_seconds']}")
+print(f"BENCH scale sparse vs dense speedup={best_speedup}x "
+      f"at {best_links} links")
+PY
+echo "BENCH wrote $SCALE_OUT_JSON"

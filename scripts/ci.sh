@@ -27,6 +27,12 @@ cargo test -q --test sparse_parity
 echo "==> cargo test -q --test warm_equivalence (warm vs cold simplex)"
 cargo test -q --test warm_equivalence
 
+echo "==> cargo test -q --test kernel_parity (blocked vs unblocked kernels)"
+cargo test -q --test kernel_parity
+
+echo "==> cargo test -q --test revised_equivalence (revised vs dense simplex)"
+cargo test -q --test revised_equivalence
+
 echo "==> tomo-sim 2-thread smoke (fig7 --quick --threads 2 --metrics)"
 SMOKE_METRICS="$(mktemp /tmp/tomo-metrics.XXXXXX.json)"
 trap 'rm -f "$SMOKE_METRICS"' EXIT
@@ -40,6 +46,9 @@ echo "ci: 2-thread smoke reported par.workers = 2"
 echo "==> tomo-sim warm-start smoke (fig7 --quick --threads 1 --metrics)"
 # Single threaded so the solve order — and therefore which skeleton
 # repeats find a cached basis — is deterministic for the fixed seed.
+# fig7's LPs sit below the warm size gate, so the default run must
+# *skip* the cache (and count the skips); forcing the cache on must
+# then produce hits. Both runs must agree on the artifact bytes.
 WARM_METRICS="$(mktemp /tmp/tomo-warm-metrics.XXXXXX.json)"
 trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS"' EXIT
 target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
@@ -47,14 +56,56 @@ target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
 python3 - "$WARM_METRICS" <<'PY'
 import json, sys
 snapshot = json.load(open(sys.argv[1]))
-hits = snapshot.get("counters", {}).get("lp.simplex.warm.hits", 0)
+counters = snapshot.get("counters", {})
+hits = counters.get("lp.simplex.warm.hits", 0)
+skipped = counters.get("lp.simplex.warm.skipped_small", 0)
 nnz = snapshot.get("gauges", {}).get("linalg.sparse.nnz", 0)
-if hits < 1:
-    sys.exit(f"ci: expected lp.simplex.warm.hits > 0, got {hits}")
+if skipped < 1:
+    sys.exit(f"ci: expected lp.simplex.warm.skipped_small > 0, got {skipped}")
+if hits != 0:
+    sys.exit(f"ci: size-gated run should not hit the cache, got hits={hits}")
 if nnz < 1:
     sys.exit(f"ci: expected linalg.sparse.nnz > 0, got {nnz}")
-print(f"ci: warm-start smoke hit the basis cache "
-      f"(hits={hits}, sparse nnz={nnz})")
+print(f"ci: warm-start smoke skipped the cache below the size gate "
+      f"(skipped_small={skipped}, sparse nnz={nnz})")
+PY
+WARM_FORCED_METRICS="$(mktemp /tmp/tomo-warm-forced-metrics.XXXXXX.json)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS"' EXIT
+TOMO_LP_WARM=force target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
+  --metrics "$WARM_FORCED_METRICS" >/dev/null
+python3 - "$WARM_FORCED_METRICS" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+hits = counters.get("lp.simplex.warm.hits", 0)
+if hits < 1:
+    sys.exit(f"ci: expected lp.simplex.warm.hits > 0 under TOMO_LP_WARM=force, got {hits}")
+print(f"ci: forced warm-start smoke hit the basis cache (hits={hits})")
+PY
+
+echo "==> tomo-sim scale smoke (scale --quick --threads 1 --metrics)"
+# The smallest sweep point must still cross the sparse-kernel gauge and
+# route its budget LP through the revised simplex, and the artifact must
+# land on disk.
+SCALE_METRICS="$(mktemp /tmp/tomo-scale-metrics.XXXXXX.json)"
+SCALE_OUT="$(mktemp -d /tmp/tomo-scale-out.XXXXXX)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS"; rm -rf "$SCALE_OUT"' EXIT
+target/release/tomo-sim run scale --quick --seed 42 --threads 1 \
+  --metrics "$SCALE_METRICS" --out "$SCALE_OUT" >/dev/null
+python3 - "$SCALE_METRICS" "$SCALE_OUT/scale.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+artifact = json.load(open(sys.argv[2]))
+sparse = counters.get("core.kernel.sparse", 0)
+revised = counters.get("lp.simplex.revised.solves", 0)
+if sparse < 1:
+    sys.exit(f"ci: expected core.kernel.sparse > 0, got {sparse}")
+if revised < 1:
+    sys.exit(f"ci: expected lp.simplex.revised.solves > 0, got {revised}")
+points = artifact.get("points", [])
+if not points or points[0].get("kernel") != "sparse":
+    sys.exit(f"ci: scale.json smallest point did not use the sparse kernel: {points}")
+print(f"ci: scale smoke used the sparse construction kernel and the revised "
+      f"simplex ({points[0]['links']} links, {points[0]['lp_revised_pivots']} pivots)")
 PY
 
 echo "==> tomo-sim chaos smoke (chaos --quick --threads 2 --metrics)"
@@ -62,7 +113,7 @@ echo "==> tomo-sim chaos smoke (chaos --quick --threads 2 --metrics)"
 # one must be absorbed by a degradation path, and the run must exit 0.
 CHAOS_METRICS="$(mktemp /tmp/tomo-chaos-metrics.XXXXXX.json)"
 CHAOS_OUT="$(mktemp -d /tmp/tomo-chaos-out.XXXXXX)"
-trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS"; rm -rf "$CHAOS_OUT"' EXIT
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS"; rm -rf "$SCALE_OUT" "$CHAOS_OUT"' EXIT
 target/release/tomo-sim run chaos --quick --seed 42 --threads 2 \
   --metrics "$CHAOS_METRICS" --out "$CHAOS_OUT" >/dev/null
 python3 - "$CHAOS_METRICS" "$CHAOS_OUT/chaos.json" <<'PY'
@@ -87,7 +138,7 @@ echo "==> tomo-sim trace smoke (fig7 --quick --trace-out)"
 # --trace-out must emit valid Chrome trace-event JSON with one span and
 # one provenance instant per Monte-Carlo trial (fig7 --quick = 80).
 TRACE_JSON="$(mktemp /tmp/tomo-trace.XXXXXX.json)"
-trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$CHAOS_OUT"' EXIT
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$SCALE_OUT" "$CHAOS_OUT"' EXIT
 target/release/tomo-sim run fig7 --quick --seed 42 --threads 2 \
   --trace-out "$TRACE_JSON" >/dev/null 2>&1
 python3 - "$TRACE_JSON" <<'PY'
@@ -118,7 +169,7 @@ SERVE_PORT=9184
 target/release/tomo-sim run fig7 --quick --seed 42 --threads 1 \
   --serve-metrics "$SERVE_PORT" >/dev/null 2>&1 &
 SERVE_PID=$!
-trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$CHAOS_OUT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$SCALE_OUT" "$CHAOS_OUT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
 python3 - "$SERVE_PORT" <<'PY'
 import sys, time, urllib.request
 port = sys.argv[1]

@@ -1,0 +1,183 @@
+//! Decision equivalence between the dense tableau simplex and the
+//! sparse-basis revised simplex.
+//!
+//! The two backends walk different pivot sequences (BTRAN-computed
+//! reduced costs differ in the last bits from tableau-maintained ones,
+//! so tie-breaks at non-unique optima may diverge), but every *decision*
+//! an experiment consumes has a unique answer: feasibility status,
+//! optimal objective value, and constraint satisfaction of the returned
+//! vertex. These tests pin that contract on random LP families via
+//! [`LpProblem::solve_with`] and on the fig. 7 chosen-victim workload
+//! via the `TOMO_LP_MODE` override that the `scale` experiment's large
+//! instances rely on.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use scapegoat_tomography::lp::{LpProblem, Objective, Relation, SolverMode, VarId};
+use scapegoat_tomography::prelude::*;
+
+/// Serializes tests that flip the process-wide `TOMO_LP_MODE` override.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// A random LP that is feasible by construction (`x = 0` satisfies every
+/// `Le` row; `Ge`/`Eq` rows get rhs ≤ 0 coverage via sign flips) yet
+/// exercises bounds, equalities, and mixed-sign objectives.
+fn random_lp(seed: u64) -> LpProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nvars = rng.gen_range(2..9usize);
+    let ncons = rng.gen_range(1..8usize);
+    let maximize = rng.gen_range(0..2) == 0;
+    let mut lp = LpProblem::new(if maximize {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let vars: Vec<VarId> = (0..nvars)
+        .map(|i| {
+            let lower = if rng.gen_range(0..3) == 0 {
+                rng.gen_range(-2.0..0.0)
+            } else {
+                0.0
+            };
+            let upper = (rng.gen_range(0..4) != 0).then(|| lower + rng.gen_range(0.5..8.0));
+            lp.add_variable(format!("x{i}"), lower, upper).unwrap()
+        })
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coefficient(v, rng.gen_range(-3.0..3.0));
+    }
+    for _ in 0..ncons {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &v in &vars {
+            if rng.gen_range(0..3) != 0 {
+                terms.push((v, rng.gen_range(-2.0..2.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        // `Le` with rhs ≥ 0 keeps the all-lower vertex feasible whenever
+        // lower bounds are 0; shifted lowers may still make the LP
+        // infeasible, which is fine — both backends must then agree on
+        // Infeasible.
+        lp.add_constraint(&terms, Relation::Le, rng.gen_range(0.0..6.0))
+            .unwrap();
+    }
+    lp
+}
+
+/// Asserts the two backends reach the same verdict on one problem.
+fn assert_decision_equivalent(lp: &LpProblem, what: &str) {
+    let dense = lp.solve_with(SolverMode::Dense).unwrap();
+    let revised = lp.solve_with(SolverMode::Revised).unwrap();
+    assert_eq!(dense.status(), revised.status(), "{what}: status diverged");
+    if dense.is_optimal() {
+        let scale = 1.0 + dense.objective_value().abs();
+        assert!(
+            (dense.objective_value() - revised.objective_value()).abs() <= 1e-6 * scale,
+            "{what}: objective diverged (dense {} vs revised {})",
+            dense.objective_value(),
+            revised.objective_value()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random bounded/unbounded/infeasible families agree on status and
+    /// optimum across both backends.
+    #[test]
+    fn random_lps_agree_across_backends(seed in 0u64..100_000) {
+        assert_decision_equivalent(&random_lp(seed), "random LP");
+    }
+}
+
+/// The fig. 7 chosen-victim workload — the LPs the paper's evaluation
+/// actually solves — reaches identical feasibility verdicts and damage
+/// under `TOMO_LP_MODE=dense` and `TOMO_LP_MODE=revised`.
+#[test]
+fn fig7_scenario_sweep_is_backend_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let prior = std::env::var("TOMO_LP_MODE").ok();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1701);
+    let config = scapegoat_tomography::graph::isp::IspConfig {
+        backbone_nodes: 6,
+        backbone_chords: 4,
+        access_nodes: 14,
+        multihoming_prob: 0.6,
+    };
+    let graph = scapegoat_tomography::graph::isp::generate(&config, &mut rng).unwrap();
+    let system = random_placement(&graph, &PlacementConfig::default(), &mut rng).unwrap();
+    let nodes: Vec<NodeId> = system.graph().nodes().collect();
+
+    let run_sweep = |mode: &str| {
+        std::env::set_var("TOMO_LP_MODE", mode);
+        let mut verdicts = Vec::new();
+        for trial in 0..10u64 {
+            let mut trng = ChaCha8Rng::seed_from_u64(0xf1c7 ^ (trial << 16));
+            let coalition: Vec<NodeId> = (0..2)
+                .map(|_| nodes[trng.gen_range(0..nodes.len())])
+                .collect();
+            let Ok(attackers) = AttackerSet::new(&system, coalition) else {
+                verdicts.push(None);
+                continue;
+            };
+            let victim = (0..system.num_links())
+                .map(LinkId)
+                .find(|&l| !attackers.controls_link(l));
+            let Some(victim) = victim else {
+                verdicts.push(None);
+                continue;
+            };
+            let x = params::default_delay_model().sample(system.num_links(), &mut trng);
+            let outcome = chosen_victim(
+                &system,
+                &attackers,
+                &AttackScenario::paper_defaults(),
+                &x,
+                &[victim],
+            )
+            .unwrap();
+            verdicts.push(Some((
+                outcome.is_success(),
+                outcome.success().map(|s| s.damage),
+            )));
+        }
+        verdicts
+    };
+
+    let dense = run_sweep("dense");
+    let revised = run_sweep("revised");
+    match prior {
+        Some(v) => std::env::set_var("TOMO_LP_MODE", v),
+        None => std::env::remove_var("TOMO_LP_MODE"),
+    }
+
+    assert_eq!(dense.len(), revised.len());
+    let mut attacks = 0;
+    for (t, (d, r)) in dense.iter().zip(&revised).enumerate() {
+        match (d, r) {
+            (None, None) => {}
+            (Some((df, dd)), Some((rf, rd))) => {
+                assert_eq!(df, rf, "trial {t}: feasibility flipped across backends");
+                if let (Some(dd), Some(rd)) = (dd, rd) {
+                    let scale = 1.0 + dd.abs();
+                    assert!(
+                        (dd - rd).abs() <= 1e-6 * scale,
+                        "trial {t}: damage diverged (dense {dd} vs revised {rd})"
+                    );
+                    attacks += 1;
+                }
+            }
+            other => panic!("trial {t}: instance construction diverged: {other:?}"),
+        }
+    }
+    assert!(attacks > 0, "sweep never produced a feasible attack");
+}

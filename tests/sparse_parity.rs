@@ -130,4 +130,34 @@ proptest! {
         let sparse = system.routing_csr().gram();
         assert_matrix_bits_eq(&sparse, &dense, "gram");
     }
+
+    /// The all-sparse Gram assembly (`gram_csr`, the Rocketfuel-scale
+    /// kernel) agrees bit-for-bit with both the dense-output sparse
+    /// `gram` and the fully dense product.
+    #[test]
+    fn gram_csr_bit_identical((family, seed) in (0u8..3, 0u64..500)) {
+        let system = random_system(family, seed);
+        let csr = system.routing_csr();
+        let all_sparse = csr.gram_csr();
+        assert_matrix_bits_eq(&all_sparse.to_dense(), &csr.gram(), "gram_csr vs gram");
+        assert_matrix_bits_eq(
+            &all_sparse.to_dense(),
+            &system.routing_matrix().gram(),
+            "gram_csr vs dense gram",
+        );
+        // Symmetry holds structurally, not just numerically.
+        prop_assert!(all_sparse == all_sparse.transpose());
+    }
+
+    /// CSR transposition round-trips exactly and matches the dense
+    /// transpose entry-for-entry.
+    #[test]
+    fn transpose_bit_identical((family, seed) in (0u8..3, 0u64..500)) {
+        let system = random_system(family, seed);
+        let csr = system.routing_csr();
+        let t = csr.transpose();
+        assert_matrix_bits_eq(&t.to_dense(), &system.routing_matrix().transpose(), "transpose");
+        prop_assert!(t.transpose() == *csr, "double transpose is the identity");
+        prop_assert_eq!(t.nnz(), csr.nnz());
+    }
 }

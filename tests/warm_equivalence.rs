@@ -56,12 +56,21 @@ fn random_instance(system: &TomographySystem, seed: u64) -> Option<(AttackerSet,
 fn sweep_matches(scenario: &AttackScenario, base_seed: u64) {
     use scapegoat_tomography::attack::strategy::chosen_victim_warm;
 
+    // These instances are far below the warm-start size gate
+    // (`WARM_MIN_CELLS`); force caching on so the sweep exercises warm
+    // reuse rather than silently degenerating into cold solves. Both
+    // sweeps set the same value and never unset it, so the write is
+    // idempotent across concurrently running tests.
+    std::env::set_var("TOMO_LP_WARM", "force");
+
     let warm = WarmStart::new();
     let system = random_system(base_seed);
+    let mut solved = 0u32;
     for t in 0..12u64 {
         let Some((attackers, victim, x)) = random_instance(&system, base_seed ^ (t << 8)) else {
             continue;
         };
+        solved += 1;
         let cold = chosen_victim(&system, &attackers, scenario, &x, &[victim]).unwrap();
         let hot =
             chosen_victim_warm(&system, &attackers, scenario, &x, &[victim], Some(&warm)).unwrap();
@@ -91,6 +100,10 @@ fn sweep_matches(scenario: &AttackScenario, base_seed: u64) {
             );
         }
     }
+    assert!(
+        solved == 0 || warm.len() >= 1,
+        "forced warm sweep never populated the cache at seed {base_seed}"
+    );
 }
 
 proptest! {
