@@ -53,6 +53,6 @@ pub mod selection;
 pub use error::CoreError;
 pub use state::{LinkState, StateThresholds};
 pub use system::{
-    build_routing_csr, DegradedSolve, KernelKind, SystemDiagnostics, TomographySystem,
-    DEFAULT_RIDGE_LAMBDA, DENSE_KERNEL_MAX_CELLS,
+    build_routing_csr, incremental_enabled, DegradedMode, DegradedSolve, DeltaEstimator,
+    KernelKind, SystemDiagnostics, TomographySystem, DEFAULT_RIDGE_LAMBDA, DENSE_KERNEL_MAX_CELLS,
 };

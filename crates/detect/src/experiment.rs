@@ -30,7 +30,7 @@ use tomo_graph::{LinkId, NodeId};
 use tomo_lp::{warm_enabled, WarmStart};
 use tomo_par::{derive_seed, Executor};
 
-use crate::ConsistencyDetector;
+use crate::{ConsistencyDetector, ResidualTally};
 
 /// Which scapegoating strategy a trial used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -244,8 +244,13 @@ fn run_one_trial<R: Rng + ?Sized>(
     let x = delay_model.sample(system.num_links(), rng);
     let y_clean = system.measure(&x)?;
 
-    // Clean round: false-alarm accounting.
-    let clean_verdict = detector.inspect(system, &y_clean)?;
+    // Clean round: false-alarm accounting. The running tally's base
+    // verdict is bit-identical to `inspect(system, &y_clean)`, and the
+    // cached base state then re-scores every attacked vector of this
+    // trial from its manipulation delta alone.
+    let residual_tally =
+        ResidualTally::new(detector, system, &y_clean).map_err(AttackError::Core)?;
+    let clean_verdict = residual_tally.base_verdict();
     report.clean_trials += 1;
     if clean_verdict.detected {
         report.false_alarms += 1;
@@ -271,7 +276,7 @@ fn run_one_trial<R: Rng + ?Sized>(
             system,
             detector,
             &attackers,
-            &y_clean,
+            &residual_tally,
             StrategyKind::ChosenVictim,
             &outcome,
             &mut report,
@@ -292,7 +297,7 @@ fn run_one_trial<R: Rng + ?Sized>(
         system,
         detector,
         &attackers,
-        &y_clean,
+        &residual_tally,
         StrategyKind::MaxDamage,
         &outcome,
         &mut report,
@@ -313,7 +318,7 @@ fn run_one_trial<R: Rng + ?Sized>(
         system,
         detector,
         &attackers,
-        &y_clean,
+        &residual_tally,
         StrategyKind::Obfuscation,
         &outcome,
         &mut report,
@@ -326,12 +331,14 @@ fn run_one_trial<R: Rng + ?Sized>(
 }
 
 /// Applies the detector to a successful attack and files it under the
-/// right (strategy, cut) cell.
+/// right (strategy, cut) cell. The attacked vector is `y_clean + m`, so
+/// the verdict comes from re-scoring the trial's running tally with the
+/// manipulation as a delta.
 fn tally(
     system: &TomographySystem,
     detector: &ConsistencyDetector,
     attackers: &AttackerSet,
-    y_clean: &tomo_linalg::Vector,
+    residual_tally: &ResidualTally,
     strategy: StrategyKind,
     outcome: &AttackOutcome,
     report: &mut DetectionReport,
@@ -340,9 +347,8 @@ fn tally(
         return Ok(());
     };
     let cut = analyze_cut(system, attackers, &s.victims);
-    let y_attacked = y_clean + &s.manipulation;
-    let verdict = detector
-        .inspect(system, &y_attacked)
+    let verdict = residual_tally
+        .rescore(detector, system, &s.manipulation)
         .map_err(AttackError::Core)?;
     let idx = strategy_index(strategy);
     let cell = match cut.kind {

@@ -45,5 +45,7 @@ pub mod experiment;
 pub mod localize;
 pub mod roc;
 pub mod rounds;
+pub mod tally;
 
 pub use detector::{ConsistencyDetector, DegradedVerdict, Verdict};
+pub use tally::ResidualTally;

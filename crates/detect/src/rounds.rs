@@ -17,7 +17,7 @@ use tomo_linalg::Vector;
 use tomo_obs::LazyCounter;
 use tomo_par::{derive_seed, Executor};
 
-use crate::ConsistencyDetector;
+use crate::{ConsistencyDetector, ResidualTally};
 
 static ROUNDS_TOTAL: LazyCounter = LazyCounter::new("detect.rounds.total");
 
@@ -89,11 +89,16 @@ pub fn run_campaign(
         Some(m) => &clean + m,
         None => clean,
     };
+    // Every round is `base + noise`: tally the base once and re-score
+    // each round (and the round average) from its noise delta instead of
+    // re-running the full estimate-and-reproject pipeline per vector.
+    let tally = ResidualTally::new(detector, system, &base)?;
 
     let per_round = exec.try_map(rounds, |round| {
         let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, round as u64));
         let y = noise.perturb(&base, &mut rng);
-        let verdict = detector.inspect(system, &y)?;
+        let delta = &y - &base;
+        let verdict = tally.rescore(detector, system, &delta)?;
         Ok::<_, CoreError>((verdict.residual_l1, verdict.detected, y))
     })?;
 
@@ -108,7 +113,7 @@ pub fn run_campaign(
         sum += y;
     }
     let mean = sum.scaled(1.0 / rounds as f64);
-    let mean_verdict = detector.inspect(system, &mean)?;
+    let mean_verdict = tally.rescore(detector, system, &(&mean - &base))?;
     Ok(CampaignOutcome {
         per_round_residuals,
         rounds_detected,

@@ -9,7 +9,13 @@
 //! * [`lu::Lu`] — LU decomposition with partial pivoting (solve, inverse,
 //!   determinant),
 //! * [`cholesky::Cholesky`] — SPD factorization used for the normal
-//!   equations `RᵀR`,
+//!   equations `RᵀR`, with rank-1 update/downdate for path deltas,
+//! * [`sparse_chol::SparseCholesky`] — up-looking sparse factorization
+//!   of CSR Gram matrices (the Rocketfuel-scale build kernel),
+//! * [`incremental`] — the delta engine: [`incremental::IncrementalNormalSolver`]
+//!   absorbs path add/drop deltas by rank-1 rotations with a
+//!   refactor-after-K drift cadence, plus Sherman–Morrison updates of a
+//!   materialized pseudo-inverse,
 //! * [`qr::Qr`] — Householder QR and column-pivoted QR (rank-revealing),
 //! * [`lstsq`] — least-squares solvers (QR-based, normal equations),
 //! * [`rank`] — numerical rank and the incremental rank tracker used by
@@ -42,11 +48,13 @@ mod sparse;
 mod vector;
 
 pub mod cholesky;
+pub mod incremental;
 pub mod lstsq;
 pub mod lu;
 pub mod norms;
 pub mod qr;
 pub mod rank;
+pub mod sparse_chol;
 
 pub use error::LinalgError;
 pub use matrix::{Matrix, MTS_BLOCK_THRESHOLD};

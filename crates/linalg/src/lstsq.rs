@@ -10,11 +10,38 @@
 
 use crate::cholesky::Cholesky;
 use crate::qr::Qr;
+use crate::sparse_chol::SparseCholesky;
 use crate::{CsrMatrix, LinalgError, Matrix, Vector};
 use tomo_obs::{LazyCounter, LazyHistogram};
 
 static SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("linalg.lstsq.solve_seconds");
 static RIDGE_SOLVES: LazyCounter = LazyCounter::new("linalg.lstsq.ridge_solves");
+
+/// Gram dimension at/above which [`NormalEquationsSolver::from_sparse`]
+/// factorizes with the sparse kernel instead of the dense one. Every
+/// committed-artifact workload (≈150-link topologies) sits far below
+/// this, so the historical dense code path — and its byte-exact
+/// artifacts — is untouched; the Rocketfuel-scale sweep sits far above
+/// it, where the dense kernel's 256s/800MB cost was the measured wall.
+/// `TOMO_SPARSE_CHOL=0` disables the sparse route, `=force` enables it
+/// at any size (parity tests use both).
+pub const SPARSE_FACTOR_MIN_DIM: usize = 512;
+
+fn use_sparse_factor(dim: usize) -> bool {
+    match std::env::var("TOMO_SPARSE_CHOL") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if v.eq_ignore_ascii_case("force") => true,
+        _ => dim >= SPARSE_FACTOR_MIN_DIM,
+    }
+}
+
+/// The cached Gram factorization: dense (updatable by rank-1
+/// corrections) below [`SPARSE_FACTOR_MIN_DIM`], sparse above it.
+#[derive(Debug, Clone)]
+enum GramFactor {
+    Dense(Cholesky),
+    Sparse(SparseCholesky),
+}
 
 /// Solves `min ‖A x − b‖₂` via Householder QR.
 ///
@@ -63,7 +90,7 @@ pub fn solve_normal_equations(a: &Matrix, b: &Vector) -> Result<Vector, LinalgEr
 #[derive(Debug, Clone)]
 pub struct NormalEquationsSolver {
     a: CsrMatrix,
-    chol: Cholesky,
+    factor: GramFactor,
 }
 
 impl NormalEquationsSolver {
@@ -84,19 +111,49 @@ impl NormalEquationsSolver {
     /// Factorizes the Gram matrix of an already-sparse `a` without a
     /// dense detour.
     ///
+    /// Below [`SPARSE_FACTOR_MIN_DIM`] columns this is the historical
+    /// dense route (`Cholesky::new` over the dense Gram); at or above it
+    /// the Gram stays in CSR form end to end and an up-looking
+    /// [`SparseCholesky`] factorizes only the nonzero pattern — the fix
+    /// for the 256s, 800 MB dense build at 10k links.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::NotPositiveDefinite`] if `a` lacks full
     /// column rank.
     pub fn from_sparse(a: CsrMatrix) -> Result<Self, LinalgError> {
-        let chol = Cholesky::new(&a.gram())?;
-        Ok(NormalEquationsSolver { a, chol })
+        let factor = if use_sparse_factor(a.cols()) {
+            GramFactor::Sparse(SparseCholesky::new(&a.gram_csr())?)
+        } else {
+            GramFactor::Dense(Cholesky::new(&a.gram())?)
+        };
+        Ok(NormalEquationsSolver { a, factor })
     }
 
     /// The matrix being inverted (design/routing matrix), in CSR form.
     #[must_use]
     pub fn matrix(&self) -> &CsrMatrix {
         &self.a
+    }
+
+    /// The cached dense Gram factor, when this solver holds one — the
+    /// representation the rank-1 update/downdate engine needs. `None`
+    /// on the sparse route (callers fall back to rebuilding).
+    #[must_use]
+    pub fn dense_factor(&self) -> Option<&Cholesky> {
+        match &self.factor {
+            GramFactor::Dense(chol) => Some(chol),
+            GramFactor::Sparse(_) => None,
+        }
+    }
+
+    /// Which factor kind construction chose: `"dense"` or `"sparse"`.
+    #[must_use]
+    pub fn factor_kind(&self) -> &'static str {
+        match &self.factor {
+            GramFactor::Dense(_) => "dense",
+            GramFactor::Sparse(_) => "sparse",
+        }
     }
 
     /// Solves `min ‖A x − b‖₂` for one right-hand side.
@@ -106,7 +163,10 @@ impl NormalEquationsSolver {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()`.
     pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
         let atb = self.a.mul_transpose_vec(b)?;
-        self.chol.solve(&atb)
+        match &self.factor {
+            GramFactor::Dense(chol) => chol.solve(&atb),
+            GramFactor::Sparse(chol) => chol.solve(&atb),
+        }
     }
 
     /// Materializes the Moore-Penrose pseudo-inverse `(AᵀA)⁻¹Aᵀ`
@@ -117,9 +177,32 @@ impl NormalEquationsSolver {
     /// Propagates internal solve errors (cannot occur after successful
     /// construction).
     pub fn pseudo_inverse(&self) -> Result<Matrix, LinalgError> {
-        // Solve (AᵀA) Z = Aᵀ columnwise.
-        let at = self.a.to_dense().transpose();
-        self.chol.solve_mat(&at)
+        match &self.factor {
+            GramFactor::Dense(chol) => {
+                // Solve (AᵀA) Z = Aᵀ columnwise.
+                let at = self.a.to_dense().transpose();
+                chol.solve_mat(&at)
+            }
+            GramFactor::Sparse(chol) => {
+                // Column j of Aᵀ is row j of A, scattered sparse.
+                let (m, n) = self.a.shape();
+                let mut out = Matrix::zeros(n, m);
+                let mut col = Vector::zeros(n);
+                for j in 0..m {
+                    for (k, v) in self.a.row_iter(j) {
+                        col[k] = v;
+                    }
+                    let z = chol.solve(&col)?;
+                    for i in 0..n {
+                        out[(i, j)] = z[i];
+                    }
+                    for (k, _) in self.a.row_iter(j) {
+                        col[k] = 0.0;
+                    }
+                }
+                Ok(out)
+            }
+        }
     }
 }
 

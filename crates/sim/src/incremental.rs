@@ -1,0 +1,294 @@
+//! `incremental` — cold-rebuild vs rank-1-delta benchmark
+//! (`BENCH_incremental.json`).
+//!
+//! The estimator cache and the scale sweep both absorb path add/drop
+//! deltas through [`IncrementalNormalSolver`] rank-1 rotations instead
+//! of refactorizing the normal equations from scratch. This experiment
+//! puts a number on that trade: per sweep point it builds an ISP
+//! topology with one-hop coverage plus multi-hop extras, then replays a
+//! sequence of delta events (alternating path adds and drops). Each
+//! event is applied twice —
+//!
+//! * **incremental**: one `add_path_row` / `drop_path_row` rank-1
+//!   rotation on the live factor, timed;
+//! * **cold**: a from-scratch rebuild of the same updatable solver from
+//!   the post-event routing snapshot (Gram assembly + factorization +
+//!   the dense-factor expansion the update path needs), timed;
+//!
+//! and the point records the total wall seconds of both columns plus
+//! their ratio. After the last event the incremental and cold solvers
+//! must agree on a full solve (update-vs-rebuild parity), so the
+//! speedup is never bought with drift. All kernels here are
+//! single-threaded; `cores` records that honestly.
+
+use std::time::Instant;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use tomo_graph::isp;
+use tomo_linalg::incremental::IncrementalNormalSolver;
+use tomo_linalg::Vector;
+use tomo_par::derive_seed;
+
+use crate::scale::{isp_config_for, one_hop_paths, sample_extra_paths};
+use crate::{report, SimError};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalConfig {
+    /// Target link counts to benchmark.
+    pub targets: Vec<usize>,
+    /// Multi-hop extra paths in the starting system (the drop pool).
+    pub extra_paths: usize,
+    /// Delta events per point (alternating add / drop).
+    pub events: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            targets: vec![1_000, 5_000],
+            extra_paths: 500,
+            events: 16,
+        }
+    }
+}
+
+impl IncrementalConfig {
+    /// Small single-point configuration for CI smoke runs (`--quick`).
+    #[must_use]
+    pub fn quick() -> Self {
+        IncrementalConfig {
+            targets: vec![400],
+            extra_paths: 100,
+            events: 6,
+        }
+    }
+}
+
+/// One benchmarked topology size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalPoint {
+    /// Link count the generator aimed for.
+    pub target_links: usize,
+    /// Actual links in the generated topology.
+    pub links: usize,
+    /// Paths in the starting system (one-hops + extras).
+    pub paths: usize,
+    /// Delta events replayed.
+    pub events: usize,
+    /// Total seconds spent rebuilding the solver cold, once per event.
+    pub cold_rebuild_seconds: f64,
+    /// Total seconds spent absorbing the same events as rank-1 deltas.
+    pub incremental_seconds: f64,
+    /// `cold_rebuild_seconds / incremental_seconds`.
+    pub speedup: f64,
+    /// CPU cores the timed kernels used (they are single-threaded).
+    pub cores: usize,
+}
+
+/// Structured result (`BENCH_incremental.json` payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalResult {
+    /// Seed all per-point streams derive from.
+    pub seed: u64,
+    /// One entry per target, in configuration order.
+    pub points: Vec<IncrementalPoint>,
+}
+
+fn lin_err(e: tomo_linalg::LinalgError) -> SimError {
+    SimError(format!("incremental bench: {e}"))
+}
+
+fn run_point(
+    config: &IncrementalConfig,
+    target: usize,
+    point_seed: u64,
+) -> Result<IncrementalPoint, SimError> {
+    let _span = tomo_obs::span("sim.incremental.point");
+    let mut rng = ChaCha8Rng::seed_from_u64(point_seed);
+    let graph = isp::generate(&isp_config_for(target), &mut rng)?;
+    let m = graph.num_links();
+    let mut paths = one_hop_paths(&graph)?;
+    paths.extend(sample_extra_paths(&graph, config.extra_paths, &mut rng)?);
+    let start_paths = paths.len();
+
+    let routing = tomo_core::build_routing_csr(&paths, m)?;
+    let mut solver = IncrementalNormalSolver::from_sparse(routing).map_err(lin_err)?;
+    // Rows m.. are the droppable extras; one-hop rows 0..m stay put so
+    // every drop keeps the system identifiable.
+    let mut extra_rows: Vec<usize> = (m..start_paths).collect();
+
+    // Pre-sample the add pool outside the timed region.
+    let pool = sample_extra_paths(&graph, config.events.div_ceil(2), &mut rng)?;
+    let mut pool_iter = pool.into_iter();
+
+    let mut incremental_seconds = 0.0;
+    let mut cold_rebuild_seconds = 0.0;
+    let mut cold = None;
+    for event in 0..config.events {
+        let add = event % 2 == 0 || extra_rows.is_empty();
+        if add {
+            let Some(p) = pool_iter.next() else { break };
+            let links: Vec<usize> = p.links().iter().map(|l| l.0).collect();
+            let t = Instant::now();
+            let row = solver.add_path_row(&links).map_err(lin_err)?;
+            incremental_seconds += t.elapsed().as_secs_f64();
+            extra_rows.push(row);
+        } else {
+            let pick = rng.gen_range(0..extra_rows.len());
+            let row = extra_rows.remove(pick);
+            let t = Instant::now();
+            solver.drop_path_row(row).map_err(lin_err)?;
+            incremental_seconds += t.elapsed().as_secs_f64();
+            for r in &mut extra_rows {
+                if *r > row {
+                    *r -= 1;
+                }
+            }
+        }
+        // The cold column: rebuild the same updatable solver from the
+        // post-event snapshot.
+        let snapshot = solver.snapshot();
+        let t = Instant::now();
+        cold = Some(IncrementalNormalSolver::from_sparse(snapshot).map_err(lin_err)?);
+        cold_rebuild_seconds += t.elapsed().as_secs_f64();
+    }
+
+    // Update-vs-rebuild parity on the final state.
+    let x: Vector = (0..m).map(|i| 100.0 + (i % 7) as f64).collect();
+    let y = solver.snapshot().mul_vec(&x).map_err(lin_err)?;
+    let x_inc = solver.solve(&y).map_err(lin_err)?;
+    if !x_inc.approx_eq(&x, 1e-4) {
+        return Err(SimError(format!(
+            "incremental bench: updated solver does not reproduce link metrics at {m} links"
+        )));
+    }
+    if let Some(cold) = &cold {
+        let x_cold = cold.solve(&y).map_err(lin_err)?;
+        if !x_inc.approx_eq(&x_cold, 1e-6) {
+            return Err(SimError(format!(
+                "incremental bench: update-vs-rebuild solve mismatch at {m} links"
+            )));
+        }
+    }
+
+    let speedup = if incremental_seconds > 0.0 {
+        cold_rebuild_seconds / incremental_seconds
+    } else {
+        f64::INFINITY
+    };
+    Ok(IncrementalPoint {
+        target_links: target,
+        links: m,
+        paths: start_paths,
+        events: config.events,
+        cold_rebuild_seconds,
+        incremental_seconds,
+        speedup,
+        cores: 1,
+    })
+}
+
+/// Runs the benchmark over every configured target, each on its own
+/// derived RNG stream.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on generation failure or an update-vs-rebuild
+/// parity failure (a kernel bug, not an unlucky seed).
+pub fn run(seed: u64, config: &IncrementalConfig) -> Result<IncrementalResult, SimError> {
+    let _span = tomo_obs::span("sim.incremental");
+    if config.targets.is_empty() || config.events == 0 {
+        return Err(SimError(
+            "incremental bench: need at least one target and one event".to_string(),
+        ));
+    }
+    let mut points = Vec::new();
+    for (i, &target) in config.targets.iter().enumerate() {
+        let point_seed = derive_seed(seed, i as u64);
+        tomo_obs::info!(
+            "sim.incremental",
+            "benchmark point {target} links (seed {point_seed})"
+        );
+        points.push(run_point(config, target, point_seed)?);
+    }
+    Ok(IncrementalResult { seed, points })
+}
+
+/// Renders the benchmark as a fixed-width table.
+#[must_use]
+pub fn render(result: &IncrementalResult) -> String {
+    let mut out = String::from(
+        "incremental — cold rebuild vs rank-1 delta (seconds, this machine)\n\
+         links   paths   events  cold     incr     speedup  cores\n",
+    );
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:<7} {:<7} {:<7} {:<8.3} {:<8.4} {:<8.1} {}\n",
+            p.links,
+            p.paths,
+            p.events,
+            p.cold_rebuild_seconds,
+            p.incremental_seconds,
+            p.speedup,
+            p.cores,
+        ));
+    }
+    out
+}
+
+/// Writes the result as the `incremental.json` artifact.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on serialization or I/O failure.
+pub fn write_artifact(result: &IncrementalResult, path: &std::path::Path) -> Result<(), SimError> {
+    report::write_json(result, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> IncrementalConfig {
+        IncrementalConfig {
+            targets: vec![150],
+            extra_paths: 40,
+            events: 6,
+        }
+    }
+
+    #[test]
+    fn tiny_benchmark_runs_with_parity() {
+        let r = run(21, &tiny_config()).unwrap();
+        assert_eq!(r.points.len(), 1);
+        let p = &r.points[0];
+        assert!(p.links > 0);
+        assert!(p.paths > p.links, "extras present");
+        assert!(p.incremental_seconds > 0.0);
+        assert!(p.cold_rebuild_seconds > 0.0);
+        assert_eq!(p.cores, 1);
+    }
+
+    #[test]
+    fn benchmark_is_deterministic_in_structure() {
+        let a = run(9, &tiny_config()).unwrap();
+        let b = run(9, &tiny_config()).unwrap();
+        assert_eq!(a.points[0].links, b.points[0].links);
+        assert_eq!(a.points[0].paths, b.points[0].paths);
+    }
+
+    #[test]
+    fn empty_config_is_an_error() {
+        let mut cfg = tiny_config();
+        cfg.targets.clear();
+        assert!(run(1, &cfg).is_err());
+        let mut cfg = tiny_config();
+        cfg.events = 0;
+        assert!(run(1, &cfg).is_err());
+    }
+}

@@ -11,8 +11,13 @@
 //!
 //! Per sweep point the harness measures:
 //!
+//! * **path enumeration** — one-hop assembly plus seeded shortest-path
+//!   sampling;
 //! * **Gram assembly** — sparse [`CsrMatrix::gram_csr`] vs the dense
 //!   `mul_transpose_self` accumulation (dense only at small sizes);
+//! * **factorization** — the standalone sparse Cholesky of the
+//!   assembled Gram, isolating the kernel that used to dominate the
+//!   build when it ran dense (`O(L³)`, 256 s at 10k links);
 //! * **system construction** — [`TomographySystem::new`], whose
 //!   size gauge picks the dense (eager `R`, explicit rank) or sparse
 //!   (lazy `R`, Cholesky-certified identifiability) kernel;
@@ -22,6 +27,18 @@
 //!   per-link budgets `Σ_{p∋l} mₚ ≤ 1`: a pure phase-2 LP whose row
 //!   count is the link count, solved by the sparse revised simplex and
 //!   (at small sizes) the dense tableau for the speedup ratio.
+//!
+//! The sweep is **nested**: one ISP topology is generated at the
+//! largest executed target and every smaller point is the prefix of its
+//! first `m` links (the generator emits ring → chords → access uplinks,
+//! so every prefix is connected and link indices agree across points).
+//! That nesting is what lets an [`IncrementalNormalSolver`] *chain*
+//! carry the factorized normal equations from point to point: stepping
+//! 5k → 10k links absorbs the new one-hop rows as rank-1 seeds and
+//! churns a bounded number of extra paths through `add_path_row` /
+//! `drop_path_row` deltas instead of rebuilding the system cold. The
+//! per-point delta wall time lands next to the cold build time in the
+//! artifact.
 //!
 //! Every path set contains one one-hop path per link (all nodes are
 //! monitors), so `R` contains a permuted identity and identifiability
@@ -41,24 +58,36 @@ use tomo_core::{KernelKind, TomographySystem};
 use tomo_graph::isp::{self, IspConfig};
 use tomo_graph::shortest::shortest_path;
 use tomo_graph::{Graph, Path};
+use tomo_linalg::incremental::IncrementalNormalSolver;
+use tomo_linalg::sparse_chol::SparseCholesky;
 use tomo_linalg::{CsrMatrix, Vector};
 use tomo_lp::{LpProblem, Objective, Relation, SolverMode, VarId};
 use tomo_par::derive_seed;
 
 use crate::{report, SimError};
 
+/// Seed stream tag for the shared nested topology (distinct from the
+/// per-point streams `derive_seed(seed, point_index)`).
+const GRAPH_STREAM: u64 = u64::MAX;
+
 /// Sweep configuration (see [`ScaleConfig::default`] for the paper-run
 /// values and [`ScaleConfig::quick`] for the CI smoke point).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleConfig {
-    /// Target link counts to sweep (actual counts vary slightly with
-    /// the seeded generator and are recorded per point).
+    /// Target link counts to sweep (the largest executed target gets
+    /// the generated topology verbatim, smaller points its link
+    /// prefixes, so actual counts are exact except at the top).
     pub sweep: Vec<usize>,
     /// Skip sweep points whose target exceeds this (CLI `--max-links`).
     pub max_links: usize,
     /// Extra multi-hop shortest paths added on top of the per-link
     /// one-hop paths (capped, so path count stays `links + O(1)`).
     pub extra_paths: usize,
+    /// Extra paths the incremental chain replaces (drop + re-sample)
+    /// when stepping between sweep points — bounds the number of dense
+    /// rank-1 downdates per step while still exercising the drop path
+    /// at scale.
+    pub chain_churn: usize,
     /// Run the dense Gram/LP baselines only for sweep points whose
     /// *target* is at or below this many links — above it the dense
     /// kernels take minutes to hours and the point reports sparse
@@ -66,10 +95,10 @@ pub struct ScaleConfig {
     /// generator overshoot of a few percent cannot flip a point's
     /// shape between runs.)
     pub dense_baseline_max_links: usize,
-    /// Build the full [`TomographySystem`] (Gram + Cholesky) only for
-    /// sweep points whose target is at or below this many links; larger
-    /// points time the sparse kernels standalone (the `O(L³)`
-    /// factorization is out of reach there for any backend).
+    /// Build the full [`TomographySystem`] (Gram + Cholesky + a
+    /// measure/estimate round trip) only for sweep points whose target
+    /// is at or below this many links; larger points time the sparse
+    /// kernels standalone.
     pub full_system_max_links: usize,
 }
 
@@ -79,6 +108,7 @@ impl Default for ScaleConfig {
             sweep: vec![1_000, 2_000, 5_000, 10_000, 20_000, 50_000],
             max_links: 10_000,
             extra_paths: 2_000,
+            chain_churn: 16,
             dense_baseline_max_links: 2_000,
             full_system_max_links: 10_000,
         }
@@ -95,6 +125,7 @@ impl ScaleConfig {
             sweep: vec![1_000],
             max_links: 1_000,
             extra_paths: 200,
+            chain_churn: 16,
             dense_baseline_max_links: 0,
             full_system_max_links: 10_000,
         }
@@ -108,9 +139,9 @@ impl ScaleConfig {
 pub struct ScalePoint {
     /// Link count the generator aimed for.
     pub target_links: usize,
-    /// Actual links in the generated topology.
+    /// Actual links in the topology prefix at this point.
     pub links: usize,
-    /// Nodes in the generated topology.
+    /// Nodes in the topology prefix.
     pub nodes: usize,
     /// Measurement paths (one-hop per link + extras).
     pub paths: usize,
@@ -123,14 +154,28 @@ pub struct ScalePoint {
     /// Which construction kernel the system gauge picked
     /// (`"dense"` / `"sparse"`, `"skipped"` above the system gate).
     pub kernel: String,
+    /// One-hop enumeration + shortest-path sampling seconds.
+    pub path_enum_seconds: f64,
     /// Sparse Gram assembly ([`CsrMatrix::gram_csr`]) seconds.
     pub gram_sparse_seconds: f64,
+    /// Standalone sparse Cholesky factorization of the Gram, seconds —
+    /// the kernel whose dense form used to dominate the build.
+    pub factor_seconds: f64,
     /// Dense Gram baseline seconds (small points only).
     pub gram_dense_seconds: Option<f64>,
     /// Full system construction seconds (Gram + Cholesky + validation).
     pub system_build_seconds: Option<f64>,
     /// One measure + estimate round trip seconds.
     pub estimate_seconds: Option<f64>,
+    /// Seconds the incremental chain spent stepping from the previous
+    /// sweep point to this one (`None` at the chain-initializing first
+    /// point).
+    pub incremental_build_seconds: Option<f64>,
+    /// Rows the chain added in that step (new one-hops + churned
+    /// extras).
+    pub incremental_rows_added: usize,
+    /// Rows the chain dropped in that step (churned extras).
+    pub incremental_rows_dropped: usize,
     /// Budget-LP revised-simplex solve seconds.
     pub lp_revised_seconds: f64,
     /// Simplex pivots the revised solve spent.
@@ -154,7 +199,7 @@ pub struct ScaleResult {
 
 /// ISP generator configuration aimed at roughly `target_links` links:
 /// ring + chords in the core, the rest as (multi-homed) access routers.
-fn isp_config_for(target_links: usize) -> IspConfig {
+pub(crate) fn isp_config_for(target_links: usize) -> IspConfig {
     let backbone = (target_links / 100).clamp(12, 400);
     let chords = backbone / 2;
     let base = IspConfig::default();
@@ -168,19 +213,51 @@ fn isp_config_for(target_links: usize) -> IspConfig {
     }
 }
 
-/// One one-hop path per link (all nodes are monitors, so `R` embeds a
-/// permuted identity) plus up to `extra` multi-hop shortest paths
-/// between seeded random node pairs.
-fn build_paths(graph: &Graph, extra: usize, rng: &mut ChaCha8Rng) -> Result<Vec<Path>, SimError> {
-    let mut paths = Vec::with_capacity(graph.num_links() + extra);
-    for l in graph.links() {
-        let (a, b) = graph.endpoints(l)?;
-        paths.push(Path::from_nodes(graph, &[a, b])?);
+/// The subgraph spanned by the first `m` links of `full`, with nodes
+/// renumbered in first-touch order. The ISP generator emits the
+/// backbone ring, then chords, then access uplinks into the
+/// already-connected core, so every link prefix is connected; link `i`
+/// of the prefix is link `i` of `full`, which is what lets the
+/// incremental chain reuse column indices across sweep points.
+fn prefix_graph(full: &Graph, m: usize) -> Result<Graph, SimError> {
+    let mut g = Graph::new();
+    let mut map: Vec<Option<tomo_graph::NodeId>> = vec![None; full.num_nodes()];
+    for l in full.links().take(m) {
+        let (a, b) = full.endpoints(l)?;
+        for n in [a, b] {
+            if map[n.0].is_none() {
+                map[n.0] = Some(g.add_node(full.label(n)?));
+            }
+        }
+        g.add_link(map[a.0].expect("mapped"), map[b.0].expect("mapped"))?;
     }
+    Ok(g)
+}
+
+/// One one-hop path per link (all nodes are monitors, so `R` embeds a
+/// permuted identity).
+pub(crate) fn one_hop_paths(graph: &Graph) -> Result<Vec<Path>, SimError> {
+    graph
+        .links()
+        .map(|l| {
+            let (a, b) = graph.endpoints(l)?;
+            Ok(Path::from_nodes(graph, &[a, b])?)
+        })
+        .collect()
+}
+
+/// Up to `extra` multi-hop shortest paths between seeded random node
+/// pairs (a guard bounds the sampling attempts, so the count can fall
+/// short on tiny graphs).
+pub(crate) fn sample_extra_paths(
+    graph: &Graph,
+    extra: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<Path>, SimError> {
     let n = graph.num_nodes();
-    let mut added = 0;
+    let mut out = Vec::with_capacity(extra);
     let mut guard = 0;
-    while added < extra && guard < extra * 20 {
+    while out.len() < extra && guard < extra * 20 {
         guard += 1;
         let u = tomo_graph::NodeId(rng.gen_range(0..n));
         let v = tomo_graph::NodeId(rng.gen_range(0..n));
@@ -189,12 +266,115 @@ fn build_paths(graph: &Graph, extra: usize, rng: &mut ChaCha8Rng) -> Result<Vec<
         }
         if let Some(p) = shortest_path(graph, u, v)? {
             if p.num_links() > 1 {
-                paths.push(p);
-                added += 1;
+                out.push(p);
             }
         }
     }
-    Ok(paths)
+    Ok(out)
+}
+
+/// The factorized normal equations carried between sweep points, plus
+/// the bookkeeping needed to churn extra paths through row deltas.
+struct ChainState {
+    solver: IncrementalNormalSolver,
+    /// Links covered at the previous point.
+    links: usize,
+    /// Extra (multi-hop) paths currently in the system, parallel to
+    /// `extra_rows`.
+    extras: Vec<Path>,
+    /// Current solver row index of each extra path (ascending).
+    extra_rows: Vec<usize>,
+}
+
+/// What the chain did stepping into the current point.
+struct ChainStep {
+    seconds: Option<f64>,
+    rows_added: usize,
+    rows_dropped: usize,
+}
+
+fn chain_err(e: tomo_linalg::LinalgError) -> SimError {
+    SimError(format!("scale chain: {e}"))
+}
+
+/// Initializes the chain (first point) or advances it by deltas: grow
+/// the column space, seed the new links' one-hop rows, replace the
+/// churned extras. Returns the step record; `chain` afterwards holds
+/// the factor for exactly `one-hops(m) + extras`.
+fn advance_chain(
+    chain: &mut Option<ChainState>,
+    one_hops: &[Path],
+    fresh_extras: Vec<Path>,
+    m: usize,
+) -> Result<ChainStep, SimError> {
+    match chain.take() {
+        None => {
+            let mut paths: Vec<Path> = one_hops.to_vec();
+            paths.extend(fresh_extras.iter().cloned());
+            let routing = tomo_core::build_routing_csr(&paths, m)?;
+            let solver = IncrementalNormalSolver::from_sparse(routing).map_err(chain_err)?;
+            let extra_rows = (m..paths.len()).collect();
+            *chain = Some(ChainState {
+                solver,
+                links: m,
+                extras: fresh_extras,
+                extra_rows,
+            });
+            Ok(ChainStep {
+                seconds: None,
+                rows_added: 0,
+                rows_dropped: 0,
+            })
+        }
+        Some(mut c) => {
+            let churn = fresh_extras.len().min(c.extras.len());
+            let new_links = m - c.links;
+            let t = Instant::now();
+            c.solver.grow_cols(m).map_err(chain_err)?;
+            // New links enter as one-hop rows: each seeds its fresh
+            // (zero-diagonal) column, so these rank-1 updates are O(n)
+            // instead of O(n²).
+            for l in c.links..m {
+                c.solver.add_path_row(&[l]).map_err(chain_err)?;
+            }
+            // Churn: drop the most recent extras (descending row order,
+            // so surviving indices stay valid) and add the fresh ones.
+            for _ in 0..churn {
+                let row = c.extra_rows.pop().expect("churn <= extras");
+                c.extras.pop();
+                c.solver.drop_path_row(row).map_err(chain_err)?;
+            }
+            for p in fresh_extras {
+                let links: Vec<usize> = p.links().iter().map(|l| l.0).collect();
+                let row = c.solver.add_path_row(&links).map_err(chain_err)?;
+                c.extras.push(p);
+                c.extra_rows.push(row);
+            }
+            let seconds = t.elapsed().as_secs_f64();
+            c.links = m;
+            let step = ChainStep {
+                seconds: Some(seconds),
+                rows_added: new_links + churn,
+                rows_dropped: churn,
+            };
+            *chain = Some(c);
+            Ok(step)
+        }
+    }
+}
+
+/// Update-vs-rebuild parity: the chained factor must reproduce the
+/// link metrics from its own snapshot's measurements.
+fn check_chain_parity(chain: &ChainState, m: usize) -> Result<(), SimError> {
+    let x: Vector = (0..m).map(|i| 100.0 + (i % 7) as f64).collect();
+    let y = chain.solver.snapshot().mul_vec(&x).map_err(chain_err)?;
+    let x_hat = chain.solver.solve(&y).map_err(chain_err)?;
+    if !x_hat.approx_eq(&x, 1e-4) {
+        return Err(SimError(format!(
+            "scale chain: incremental solve does not reproduce link metrics at {m} links"
+        )));
+    }
+    Ok(())
 }
 
 /// The budget LP over a routing matrix: maximize total manipulation
@@ -224,19 +404,53 @@ fn budget_lp(routing: &CsrMatrix) -> Result<LpProblem, SimError> {
     Ok(lp)
 }
 
-fn run_point(config: &ScaleConfig, target: usize, point_seed: u64) -> Result<ScalePoint, SimError> {
-    let _span = tomo_obs::span("sim.scale.point");
-    let mut rng = ChaCha8Rng::seed_from_u64(point_seed);
+/// Builds the budget LP of a standalone topology at roughly `target`
+/// links — the smallest sweep point's LP workload, exposed so the bench
+/// regression gate can compare cold vs warm-started simplex wall time
+/// on the exact shape this sweep solves.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on generation or LP-construction failure.
+pub fn budget_lp_workload(
+    seed: u64,
+    target: usize,
+    extra_paths: usize,
+) -> Result<LpProblem, SimError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, GRAPH_STREAM));
     let graph = isp::generate(&isp_config_for(target), &mut rng)?;
-    let paths = build_paths(&graph, config.extra_paths, &mut rng)?;
+    let mut paths = one_hop_paths(&graph)?;
+    paths.extend(sample_extra_paths(&graph, extra_paths, &mut rng)?);
+    let routing = tomo_core::build_routing_csr(&paths, graph.num_links())?;
+    budget_lp(&routing)
+}
+
+fn run_point(
+    config: &ScaleConfig,
+    target: usize,
+    graph: &Graph,
+    paths: &[Path],
+    path_enum_seconds: f64,
+    step: &ChainStep,
+) -> Result<ScalePoint, SimError> {
+    let _span = tomo_obs::span("sim.scale.point");
     let links = graph.num_links();
     let nodes = graph.num_nodes();
 
-    let routing = tomo_core::build_routing_csr(&paths, links)?;
+    let routing = tomo_core::build_routing_csr(paths, links)?;
     let t = Instant::now();
     let gram = routing.gram_csr();
     let gram_sparse_seconds = t.elapsed().as_secs_f64();
     let gram_nnz = gram.nnz();
+
+    // Standalone factorization of the assembled Gram: the kernel whose
+    // dense O(L³) form used to account for essentially all of the
+    // system build above ~5k links.
+    let t = Instant::now();
+    let factor =
+        SparseCholesky::new(&gram).map_err(|e| SimError(format!("scale: Gram factor: {e}")))?;
+    let factor_seconds = t.elapsed().as_secs_f64();
+    debug_assert_eq!(factor.dim(), links);
 
     let gram_dense_seconds = (target <= config.dense_baseline_max_links).then(|| {
         let dense = routing.to_dense();
@@ -254,7 +468,7 @@ fn run_point(config: &ScaleConfig, target: usize, point_seed: u64) -> Result<Sca
     if target <= config.full_system_max_links {
         let monitors: Vec<_> = graph.nodes().collect();
         let t = Instant::now();
-        let system = TomographySystem::new(graph.clone(), monitors, paths.clone())?;
+        let system = TomographySystem::new(graph.clone(), monitors, paths.to_vec())?;
         system_build_seconds = Some(t.elapsed().as_secs_f64());
         kernel = match system.kernel() {
             KernelKind::Dense => "dense".to_string(),
@@ -321,10 +535,15 @@ fn run_point(config: &ScaleConfig, target: usize, point_seed: u64) -> Result<Sca
         gram_nnz,
         density: routing.density(),
         kernel,
+        path_enum_seconds,
         gram_sparse_seconds,
+        factor_seconds,
         gram_dense_seconds,
         system_build_seconds,
         estimate_seconds,
+        incremental_build_seconds: step.seconds,
+        incremental_rows_added: step.rows_added,
+        incremental_rows_dropped: step.rows_dropped,
         lp_revised_seconds,
         lp_revised_pivots,
         lp_objective: revised.objective_value(),
@@ -334,26 +553,75 @@ fn run_point(config: &ScaleConfig, target: usize, point_seed: u64) -> Result<Sca
 }
 
 /// Runs the scale sweep: every configured point with `target ≤
-/// max_links`, each on its own derived RNG stream.
+/// max_links`, as nested prefixes of one topology generated at the
+/// largest executed target, each point's extras on its own derived RNG
+/// stream. The incremental chain steps through the points in sweep
+/// order; a point smaller than its predecessor re-initializes the
+/// chain.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] on generation failure, a non-optimal budget LP,
-/// or a dense/sparse disagreement (all of which indicate a kernel bug,
-/// not an unlucky seed).
+/// a dense/sparse disagreement, or an update-vs-rebuild parity failure
+/// in the incremental chain (all of which indicate a kernel bug, not an
+/// unlucky seed).
 pub fn run(seed: u64, config: &ScaleConfig) -> Result<ScaleResult, SimError> {
     let _span = tomo_obs::span("sim.scale");
+    let executed: Vec<(usize, usize)> = config
+        .sweep
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, t)| t <= config.max_links)
+        .collect();
+    if executed.is_empty() {
+        return Err(SimError(format!(
+            "scale: no sweep point within --max-links {}",
+            config.max_links
+        )));
+    }
+    // The topology stream is a property of the *configured* sweep, not
+    // of the `--max-links` cap: a capped run (CI smoke, the tomo-bench
+    // regression gate) sees byte-identical prefix points to the full
+    // sweep because both slice the same full graph.
+    let max_target = config.sweep.iter().copied().max().expect("non-empty");
+    let mut graph_rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, GRAPH_STREAM));
+    let full_graph = isp::generate(&isp_config_for(max_target), &mut graph_rng)?;
+
+    let mut chain: Option<ChainState> = None;
     let mut points = Vec::new();
-    for (i, &target) in config.sweep.iter().enumerate() {
-        if target > config.max_links {
-            continue;
-        }
+    for (i, target) in executed {
         let point_seed = derive_seed(seed, i as u64);
         tomo_obs::info!(
             "sim.scale",
             "sweep point {target} links (seed {point_seed})"
         );
-        let point = run_point(config, target, point_seed)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(point_seed);
+        let m = if target >= full_graph.num_links() {
+            full_graph.num_links()
+        } else {
+            target
+        };
+        if chain.as_ref().is_some_and(|c| m < c.links) {
+            chain = None; // non-ascending sweep: restart the chain
+        }
+        let graph = prefix_graph(&full_graph, m)?;
+        let t = Instant::now();
+        let one_hops = one_hop_paths(&graph)?;
+        let fresh_count = match &chain {
+            None => config.extra_paths,
+            Some(c) => config.chain_churn.min(c.extras.len()),
+        };
+        let fresh_extras = sample_extra_paths(&graph, fresh_count, &mut rng)?;
+        let path_enum_seconds = t.elapsed().as_secs_f64();
+
+        let step = advance_chain(&mut chain, &one_hops, fresh_extras, m)?;
+        let c = chain.as_ref().expect("chain initialized");
+        check_chain_parity(c, m)?;
+
+        let mut paths = one_hops;
+        paths.extend(c.extras.iter().cloned());
+        let point = run_point(config, target, &graph, &paths, path_enum_seconds, &step)?;
         if tomo_obs::tracing_enabled() {
             tomo_obs::record_trial(tomo_obs::TrialProvenance {
                 experiment: format!("scale.L{target}"),
@@ -365,12 +633,6 @@ pub fn run(seed: u64, config: &ScaleConfig) -> Result<ScaleResult, SimError> {
         }
         points.push(point);
     }
-    if points.is_empty() {
-        return Err(SimError(format!(
-            "scale: no sweep point within --max-links {}",
-            config.max_links
-        )));
-    }
     Ok(ScaleResult { seed, points })
 }
 
@@ -379,7 +641,7 @@ fn fmt_opt_secs(v: Option<f64>) -> String {
 }
 
 /// Renders the sweep as a fixed-width table plus dense-vs-sparse
-/// speedup lines for the points where both ran.
+/// speedup and build-breakdown lines.
 #[must_use]
 pub fn render(result: &ScaleResult) -> String {
     let mut out = String::from(
@@ -401,6 +663,19 @@ pub fn render(result: &ScaleResult) -> String {
             fmt_opt_secs(p.lp_dense_seconds),
             p.lp_revised_pivots,
         ));
+    }
+    for p in &result.points {
+        out.push_str(&format!(
+            "{} links: build breakdown — paths {:.3}s, gram {:.3}s, factor {:.3}s",
+            p.links, p.path_enum_seconds, p.gram_sparse_seconds, p.factor_seconds
+        ));
+        if let Some(s) = p.incremental_build_seconds {
+            out.push_str(&format!(
+                "; chain delta {:.3}s (+{}/−{} rows)",
+                s, p.incremental_rows_added, p.incremental_rows_dropped
+            ));
+        }
+        out.push('\n');
     }
     for p in &result.points {
         let (Some(gd), Some(ld)) = (p.gram_dense_seconds, p.lp_dense_seconds) else {
@@ -434,13 +709,14 @@ pub fn write_artifact(result: &ScaleResult, path: &std::path::Path) -> Result<()
 mod tests {
     use super::*;
 
-    /// A miniature sweep that exercises both kernels and both LP
-    /// backends in test time.
+    /// A miniature sweep that exercises both kernels, both LP backends,
+    /// and a chain step in test time.
     fn tiny_config() -> ScaleConfig {
         ScaleConfig {
             sweep: vec![150, 400],
             max_links: 400,
             extra_paths: 60,
+            chain_churn: 8,
             dense_baseline_max_links: 200,
             full_system_max_links: 10_000,
         }
@@ -455,6 +731,7 @@ mod tests {
             assert!(p.gram_nnz >= p.links, "Gram has at least its diagonal");
             assert!(p.lp_objective > 0.0, "budget LP optimum is positive");
             assert!(p.system_build_seconds.is_some());
+            assert!(p.factor_seconds >= 0.0);
         }
         // First point is small enough for the dense baselines and the
         // dense construction kernel; run_point itself asserts the dense
@@ -462,11 +739,26 @@ mod tests {
         let small = &r.points[0];
         assert_eq!(small.kernel, "dense");
         assert!(small.gram_dense_seconds.is_some());
+        assert!(small.incremental_build_seconds.is_none(), "chain init");
         let dense_obj = small.lp_dense_objective.expect("dense baseline ran");
         assert!((dense_obj - small.lp_objective).abs() <= 1e-6 * (1.0 + dense_obj.abs()));
-        // Second point exceeds the dense baseline gate.
-        assert!(r.points[1].gram_dense_seconds.is_none());
-        assert!(r.points[1].lp_dense_seconds.is_none());
+        // Second point exceeds the dense baseline gate and is reached
+        // by a chain step: new one-hop rows plus the churned extras.
+        let big = &r.points[1];
+        assert!(big.gram_dense_seconds.is_none());
+        assert!(big.lp_dense_seconds.is_none());
+        assert!(big.incremental_build_seconds.is_some());
+        assert!(big.incremental_rows_added >= big.links - small.links);
+        assert_eq!(big.incremental_rows_dropped, 8);
+    }
+
+    #[test]
+    fn sweep_points_are_nested_prefixes() {
+        let r = run(13, &tiny_config()).unwrap();
+        // Point links are exact at prefix points (the top point keeps
+        // whatever the generator produced).
+        assert_eq!(r.points[0].links, 150);
+        assert!(r.points[1].links >= r.points[0].links);
     }
 
     #[test]
@@ -501,6 +793,8 @@ mod tests {
         assert!(s.contains("scale"));
         assert!(s.contains("kernel"));
         assert!(s.contains("dense"), "speedup line for the small point");
+        assert!(s.contains("chain delta"), "chain step line for point 2");
+        assert!(s.contains("build breakdown"));
     }
 
     #[test]

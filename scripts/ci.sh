@@ -33,6 +33,9 @@ cargo test -q --test kernel_parity
 echo "==> cargo test -q --test revised_equivalence (revised vs dense simplex)"
 cargo test -q --test revised_equivalence
 
+echo "==> cargo test -q --test incremental_parity (rank-1 update vs rebuild)"
+cargo test -q --test incremental_parity
+
 echo "==> tomo-sim 2-thread smoke (fig7 --quick --threads 2 --metrics)"
 SMOKE_METRICS="$(mktemp /tmp/tomo-metrics.XXXXXX.json)"
 trap 'rm -f "$SMOKE_METRICS"' EXIT
@@ -132,6 +135,33 @@ if totals["quarantined_trials"] != 0:
 print(f"ci: chaos smoke injected {injected} faults, "
       f"all handled ({totals['degraded_trials']} degraded trials, "
       f"0 quarantined)")
+PY
+
+echo "==> incremental engine smoke (rank-1 deltas on the chaos path)"
+# The chaos smoke above ran with the incremental engine at its default
+# (enabled): degraded solves must have flowed through the rank-1
+# update/downdate path — not the from-scratch rebuild — while keeping
+# the fault ledger balanced. The update-vs-rebuild parity suite gating
+# byte-identity ran under `cargo test` above; this checks the live
+# counters of a real run.
+python3 - "$CHAOS_METRICS" "$CHAOS_OUT/chaos.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1])).get("counters", {})
+artifact = json.load(open(sys.argv[2]))
+updates = counters.get("linalg.chol.updates", 0)
+if updates < 1:
+    sys.exit(f"ci: expected linalg.chol.updates > 0 on the chaos path, "
+             f"got {updates}")
+delta_solves = counters.get("core.estimator_cache.delta_solves", 0)
+if delta_solves < 1:
+    sys.exit(f"ci: expected core.estimator_cache.delta_solves > 0, "
+             f"got {delta_solves}")
+totals = artifact["totals"]
+if totals["injected"] != totals["handled"] + totals["quarantined"]:
+    sys.exit(f"ci: chaos fault ledger unbalanced with incremental "
+             f"engine on: {totals}")
+print(f"ci: incremental smoke absorbed {updates} rank-1 factor deltas "
+      f"across {delta_solves} delta solves, ledger balanced")
 PY
 
 echo "==> tomo-sim trace smoke (fig7 --quick --trace-out)"

@@ -1,0 +1,273 @@
+//! Update-vs-rebuild parity for the incremental estimator engine.
+//!
+//! The rank-1 delta machinery (`tomo_linalg::incremental`, the
+//! estimator-cache delta path in `tomo_core`) buys its speed from
+//! in-place factor rotations. These tests pin the properties that keep
+//! that safe:
+//!
+//! * `rank1_update` followed by `rank1_downdate` of the same row is the
+//!   identity up to floating-point working precision;
+//! * downdating a row the Gram never contained fails cleanly with
+//!   [`LinalgError::NotPositiveDefinite`] instead of producing garbage;
+//! * a long churn of adds and drops — including past
+//!   [`REFACTOR_INTERVAL`], where the cadence refactor fires — stays
+//!   within the drift bound of a cold rebuild;
+//! * `solve_degraded` agrees between the incremental and rebuild
+//!   engines on every surviving-row subset, and is *bitwise* identical
+//!   on the ridge fallback;
+//! * a chaos sweep with link-fail faults serializes to byte-identical
+//!   artifacts with the incremental engine on vs `TOMO_INCREMENTAL=0`.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use scapegoat_tomography::core::{fig1::fig1_system, DegradedMode};
+use scapegoat_tomography::linalg::cholesky::Cholesky;
+use scapegoat_tomography::linalg::incremental::{IncrementalNormalSolver, REFACTOR_INTERVAL};
+use scapegoat_tomography::linalg::lstsq::NormalEquationsSolver;
+use scapegoat_tomography::linalg::{CsrMatrix, LinalgError, Vector};
+
+/// One-hop coverage of `n` links plus `extras` random multi-hop rows.
+fn random_system(seed: u64, n: usize, extras: usize) -> CsrMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut paths: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for _ in 0..extras {
+        paths.push(random_multi_hop(&mut rng, n));
+    }
+    CsrMatrix::from_paths(&paths, n).unwrap()
+}
+
+/// A sorted random path over `2..=min(4, n)` distinct links.
+fn random_multi_hop(rng: &mut ChaCha8Rng, n: usize) -> Vec<usize> {
+    let len = rng.gen_range(2..=n.min(4));
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..len {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    let mut p = pool[..len].to_vec();
+    p.sort_unstable();
+    p
+}
+
+fn unit_row(links: &[usize], n: usize) -> Vector {
+    let mut w = Vector::zeros(n);
+    for &j in links {
+        w[j] = 1.0;
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `rank1_update(w)` then `rank1_downdate(w)` recovers the original
+    /// factor within floating-point working precision, for arbitrary
+    /// unit path rows on arbitrary (identifiable) systems.
+    #[test]
+    fn update_then_downdate_round_trips(seed in 0u64..500, n in 4usize..12) {
+        let a = random_system(seed, n, 3);
+        let original = Cholesky::new(&a.gram()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0e17_a5ed);
+        let w = unit_row(&random_multi_hop(&mut rng, n), n);
+
+        let mut working = original.clone();
+        working.rank1_update(&w).unwrap();
+        working.rank1_downdate(&w).unwrap();
+        prop_assert!(
+            working.l().approx_eq(original.l(), 1e-8),
+            "round trip drifted past 1e-8 at n={}",
+            n
+        );
+    }
+
+    /// Downdating a multi-hop row from a Gram that never contained it
+    /// (one-hop rows only, so the Gram is the identity) must drive a
+    /// pivot non-positive and fail cleanly — never silently produce an
+    /// indefinite "factor".
+    #[test]
+    fn downdate_of_absent_row_errors_cleanly(seed in 0u64..500, n in 3usize..10) {
+        let a = random_system(seed, n, 0);
+        let mut chol = Cholesky::new(&a.gram()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead_d00d);
+        let w = unit_row(&random_multi_hop(&mut rng, n), n);
+
+        let err = chol.rank1_downdate(&w).unwrap_err();
+        prop_assert!(
+            matches!(err, LinalgError::NotPositiveDefinite { .. }),
+            "expected NotPositiveDefinite, got {:?}",
+            err
+        );
+    }
+}
+
+/// A row can be downdated exactly as many times as it was added: the
+/// second removal is a row "never in the system" and must error.
+#[test]
+fn double_downdate_errors_after_round_trip() {
+    let n = 6;
+    let a = random_system(11, n, 0);
+    let mut chol = Cholesky::new(&a.gram()).unwrap();
+    let w = unit_row(&[1, 3, 4], n);
+    chol.rank1_update(&w).unwrap();
+    chol.rank1_downdate(&w).unwrap();
+    let err = chol.rank1_downdate(&w).unwrap_err();
+    assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+}
+
+/// Long mixed add/drop churn — including crossing [`REFACTOR_INTERVAL`]
+/// so the cadence refactor fires — stays within the drift bound of a
+/// from-scratch rebuild of the final row set.
+#[test]
+fn churn_stays_within_drift_bound_of_rebuild() {
+    let n = 40;
+    let a = random_system(3, n, 20);
+    let mut inc = IncrementalNormalSolver::from_sparse(a).unwrap();
+    let mut extra_rows: Vec<usize> = (n..inc.num_rows()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0bad);
+
+    for event in 0..300 {
+        if event % 2 == 0 || extra_rows.is_empty() {
+            let p = random_multi_hop(&mut rng, n);
+            let row = inc.add_path_row(&p).unwrap();
+            extra_rows.push(row);
+        } else {
+            let pick = rng.gen_range(0..extra_rows.len());
+            let row = extra_rows.remove(pick);
+            inc.drop_path_row(row).unwrap();
+            for r in &mut extra_rows {
+                if *r > row {
+                    *r -= 1;
+                }
+            }
+        }
+    }
+    assert_eq!(inc.deltas_since_refactor(), 300);
+
+    // Push past the cadence: the interval refactor must fire and reset.
+    for _ in 0..REFACTOR_INTERVAL {
+        let p = random_multi_hop(&mut rng, n);
+        inc.add_path_row(&p).unwrap();
+    }
+    assert!(
+        inc.deltas_since_refactor() < REFACTOR_INTERVAL,
+        "cadence refactor never fired"
+    );
+
+    let cold = NormalEquationsSolver::from_sparse(inc.snapshot()).unwrap();
+    let b: Vector = (0..inc.num_rows())
+        .map(|i| (i as f64 * 0.37).sin() * 40.0)
+        .collect();
+    let x_inc = inc.solve(&b).unwrap();
+    let x_cold = cold.solve(&b).unwrap();
+    assert!(
+        x_inc.approx_eq(&x_cold, 1e-9),
+        "drift bound violated after churn + cadence refactor"
+    );
+}
+
+/// `solve_degraded` parity sweep: the incremental delta engine and the
+/// historical rebuild agree on every surviving-row subset. When the
+/// subset collapses the rank, both modes take the identical ridge path,
+/// so the estimates must match *bitwise*.
+#[test]
+fn solve_degraded_incremental_matches_rebuild() {
+    let system = fig1_system().unwrap();
+    let n = system.num_links();
+    let m = system.num_paths();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xfade_da7a);
+    let mut saw_ridge = false;
+    let mut saw_full_rank = false;
+
+    for trial in 0..40u64 {
+        let mut trial_rng = ChaCha8Rng::seed_from_u64(0x1000 + trial);
+        let keep = trial_rng.gen_range(n..m);
+        let mut rows: Vec<usize> = (0..m).collect();
+        for i in 0..keep {
+            let j = trial_rng.gen_range(i..m);
+            rows.swap(i, j);
+        }
+        let mut rows = rows[..keep].to_vec();
+        rows.sort_unstable();
+
+        let x: Vector = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
+        let y = system.measure(&x).unwrap();
+        let y_sub: Vector = rows.iter().map(|&i| y[i]).collect();
+
+        let inc = system
+            .solve_degraded_with(&rows, &y_sub, DegradedMode::Incremental)
+            .unwrap();
+        let reb = system
+            .solve_degraded_with(&rows, &y_sub, DegradedMode::Rebuild)
+            .unwrap();
+
+        assert_eq!(inc.used_ridge, reb.used_ridge, "trial {trial}");
+        assert_eq!(inc.rank, reb.rank, "trial {trial}");
+        assert_eq!(inc.unidentifiable, reb.unidentifiable, "trial {trial}");
+        if inc.used_ridge {
+            saw_ridge = true;
+            for (a, b) in inc.estimate.iter().zip(reb.estimate.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "ridge path diverged, trial {trial}"
+                );
+            }
+        } else {
+            saw_full_rank = true;
+            assert!(
+                inc.estimate.approx_eq(&reb.estimate, 1e-6),
+                "engines disagree on trial {trial}"
+            );
+        }
+    }
+    assert!(saw_full_rank, "sweep never exercised the delta fast path");
+    assert!(saw_ridge, "sweep never exercised the ridge fallback");
+}
+
+/// Chaos-path determinism: a link-fail chaos sweep serializes to
+/// byte-identical artifacts with the incremental engine enabled
+/// (default) and disabled (`TOMO_INCREMENTAL=0`). The engines differ in
+/// floating-point association on the estimate, but every artifact field
+/// is a count or a config echo, and verdict margins dwarf the
+/// last-bit difference — so the bytes must match exactly.
+///
+/// This is the only test in the workspace that mutates
+/// `TOMO_INCREMENTAL`; everything else pins the engine through
+/// [`DegradedMode`] explicitly.
+#[test]
+fn chaos_artifacts_byte_identical_across_engines() {
+    use scapegoat_tomography::fault::FaultSpec;
+    use scapegoat_tomography::par::Executor;
+    use scapegoat_tomography::sim::chaos;
+
+    let spec = FaultSpec::parse(chaos::DEFAULT_FAULTS).unwrap();
+    let config = chaos::ChaosConfig {
+        trials_per_point: 12,
+        scales: vec![0.0, 1.0],
+        max_attackers: 2,
+        solver_retries: 1,
+        panic_retries: 1,
+    };
+    let exec = Executor::single_threaded();
+
+    let prior = std::env::var("TOMO_INCREMENTAL").ok();
+    std::env::remove_var("TOMO_INCREMENTAL");
+    let on = chaos::run(77, &spec, &config, &exec).unwrap();
+    std::env::set_var("TOMO_INCREMENTAL", "0");
+    let off = chaos::run(77, &spec, &config, &exec).unwrap();
+    match prior {
+        Some(v) => std::env::set_var("TOMO_INCREMENTAL", v),
+        None => std::env::remove_var("TOMO_INCREMENTAL"),
+    }
+
+    assert!(on.totals.is_balanced());
+    assert!(off.totals.is_balanced());
+    let on_json = serde_json::to_string(&on).unwrap();
+    let off_json = serde_json::to_string(&off).unwrap();
+    assert_eq!(
+        on_json, off_json,
+        "chaos artifact bytes diverge between engines"
+    );
+}

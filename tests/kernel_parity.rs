@@ -148,7 +148,7 @@ proptest! {
         ] {
             let a = Matrix::from_fn(rows, cols, |i, j| {
                 // ~25% dense 0/1 pattern, deterministic per (i, j).
-                u64::from((i * 31 + j * 17 + seed as usize) % 4 == 0) as f64
+                u64::from((i * 31 + j * 17 + seed as usize).is_multiple_of(4)) as f64
             });
             let gram = a.mul_transpose_self();
             let reference = Matrix::from_fn(cols, cols, |i, j| {
