@@ -11,8 +11,12 @@
 //! against the committed `trials_per_sec`. When `BENCH_scale.json` is
 //! also present, its smallest sweep point (the sparse Gram + system
 //! build + revised-simplex pipeline at ~1k links) is re-run the same
-//! way and gated on combined sparse-path seconds. Points recorded on
-//! more cores than this machine has are skipped rather than failed, and
+//! way and gated on combined sparse-path seconds. When
+//! `BENCH_serve.json` is present, the `tomo-serve` ingest/query
+//! workload is re-run and its p99 query latency gated against both the
+//! committed SLO and the committed tail (with absolute slack, since µs
+//! tails jitter more than throughput). Points recorded on more cores
+//! than this machine has are skipped rather than failed, and
 //! `TOMO_BENCH_SKIP=1` bypasses the whole gate — both escape hatches
 //! keep the check honest on smaller CI runners.
 
@@ -26,6 +30,10 @@ use tomo_sim::{fig7, scale};
 /// Workload identity: must match `scripts/bench_trajectory.sh`.
 const BASELINE_FILE: &str = "BENCH_montecarlo.json";
 const SCALE_FILE: &str = "BENCH_scale.json";
+const SERVE_FILE: &str = "BENCH_serve.json";
+/// Absolute slack added to the serve p99 ceiling: sub-millisecond tails
+/// jitter by tens of µs run to run, which a pure fraction would flag.
+const SERVE_P99_SLACK_US: f64 = 250.0;
 const BASELINE_SEED: u64 = 42;
 const DEFAULT_THRESHOLD: f64 = 0.15;
 const DEFAULT_RUNS: usize = 3;
@@ -322,6 +330,91 @@ fn warm_gate(opts: &Options) -> Result<bool, String> {
     Ok(warm_best > ceiling)
 }
 
+/// The committed `tomo-serve` workload identity and gated tail.
+#[derive(Debug)]
+struct ServeBaseline {
+    batches: u64,
+    rows_per_batch: u64,
+    query_p99_us: f64,
+    slo_ms: f64,
+    cores: Option<u64>,
+}
+
+fn load_serve_baseline(path: &Path) -> Result<ServeBaseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let root = serde_json::parse_value(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let field = |key: &str| -> Result<f64, String> {
+        root.get(key)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{}: missing numeric {key:?}", path.display()))
+    };
+    Ok(ServeBaseline {
+        batches: field("batches")? as u64,
+        rows_per_batch: field("rows_per_batch")? as u64,
+        query_p99_us: field("query_p99_us")?,
+        slo_ms: field("slo_ms")?,
+        cores: root
+            .get("cores")
+            .and_then(serde_json::Value::as_f64)
+            .map(|c| c as u64),
+    })
+}
+
+/// Re-runs the daemon ingest + concurrent-query workload; keeps the
+/// best (lowest) p99 across runs, the same best-of-N discipline as the
+/// throughput gates.
+fn run_serve_workload(baseline: &ServeBaseline, runs: usize) -> (f64, u64) {
+    let config = tomo_serve::bench::BenchConfig {
+        batches: baseline.batches as usize,
+        slo_ms: baseline.slo_ms,
+    };
+    let mut best_p99 = f64::INFINITY;
+    let mut rows_per_batch = 0u64;
+    for _ in 0..runs {
+        let report = tomo_serve::bench::run(&config);
+        rows_per_batch = report.rows_per_batch as u64;
+        best_p99 = best_p99.min(report.query_p99_us);
+    }
+    (best_p99, rows_per_batch)
+}
+
+/// Gates the serve workload's p99 query latency: fail when the tail
+/// blows the committed SLO outright, or regresses past the committed
+/// baseline by more than the threshold fraction plus absolute slack.
+fn serve_gate(opts: &Options, available: usize) -> Result<bool, String> {
+    let path = opts.dir.join(SERVE_FILE);
+    if !path.exists() {
+        println!("  {SERVE_FILE}: SKIP (not present)");
+        return Ok(false);
+    }
+    let baseline = load_serve_baseline(&path)?;
+    if let Some(cores) = baseline.cores {
+        if cores > available as u64 {
+            println!("  serve: SKIP (baseline recorded on {cores} cores, have {available})");
+            return Ok(false);
+        }
+    }
+    let (p99, rows_per_batch) = run_serve_workload(&baseline, opts.runs);
+    if rows_per_batch != baseline.rows_per_batch {
+        return Err(format!(
+            "workload drift: baseline has {} rows/batch, re-run produced {rows_per_batch} — \
+             regenerate {SERVE_FILE} with scripts/bench_trajectory.sh",
+            baseline.rows_per_batch
+        ));
+    }
+    let slo_us = baseline.slo_ms * 1000.0;
+    let ceiling = (baseline.query_p99_us / (1.0 - opts.threshold))
+        .max(baseline.query_p99_us + SERVE_P99_SLACK_US);
+    let failed = p99 >= slo_us || p99 > ceiling;
+    let verdict = if failed { "FAIL" } else { "ok" };
+    println!(
+        "  serve p99: {p99:.1}µs vs baseline {:.1}µs (ceiling {ceiling:.1}µs, SLO {slo_us:.0}µs) — {verdict}",
+        baseline.query_p99_us
+    );
+    Ok(failed)
+}
+
 fn regression_gate(opts: &Options) -> Result<bool, String> {
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let baseline = load_baseline(&opts.dir.join(BASELINE_FILE))?;
@@ -369,6 +462,9 @@ fn regression_gate(opts: &Options) -> Result<bool, String> {
         }
     }
     if scale_gate(opts, available)? {
+        failed = true;
+    }
+    if serve_gate(opts, available)? {
         failed = true;
     }
     if warm_gate(opts)? {
@@ -521,6 +617,44 @@ mod tests {
         assert!(load_scale_baseline(&path)
             .unwrap_err()
             .contains("sparse_seconds"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_baseline_parses_committed_shape() {
+        let dir = std::env::temp_dir().join("tomo_bench_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SERVE_FILE);
+        std::fs::write(
+            &path,
+            r#"{
+              "workload": "tomo-serve bench --batches 400",
+              "cores": 2,
+              "batches": 400, "rows_per_batch": 8, "ingest_secs": 0.21,
+              "batches_per_sec": 1900.0, "rows_per_sec": 15200.0,
+              "queries": 410, "query_p50_us": 9.0, "query_p99_us": 31.0,
+              "slo_ms": 5, "slo_met": true
+            }"#,
+        )
+        .unwrap();
+        let b = load_serve_baseline(&path).unwrap();
+        assert_eq!(b.batches, 400);
+        assert_eq!(b.rows_per_batch, 8);
+        assert!((b.query_p99_us - 31.0).abs() < 1e-12);
+        assert!((b.slo_ms - 5.0).abs() < 1e-12);
+        assert_eq!(b.cores, Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_baseline_rejects_missing_fields() {
+        let dir = std::env::temp_dir().join("tomo_bench_serve_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SERVE_FILE);
+        std::fs::write(&path, r#"{"batches": 400, "rows_per_batch": 8}"#).unwrap();
+        assert!(load_serve_baseline(&path)
+            .unwrap_err()
+            .contains("query_p99_us"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -32,7 +32,10 @@ mod plan;
 mod report;
 mod spec;
 
-pub use plan::{FaultPlan, MeasurementFaults, SolverFaultKind, TrialFaults, LINK_FAILURE_DELAY_MS};
+pub use plan::{
+    FaultPlan, FrameFaultKind, MeasurementFaults, SolverFaultKind, TrialFaults,
+    LINK_FAILURE_DELAY_MS,
+};
 pub use report::{FaultKindCounts, FaultReport};
 pub use spec::{FaultSpec, FaultSpecError};
 

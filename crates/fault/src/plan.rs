@@ -14,6 +14,10 @@ static STALE: LazyCounter = LazyCounter::new("fault.stale");
 static LINK_FAIL: LazyCounter = LazyCounter::new("fault.link_fail");
 static LP_ITERATION: LazyCounter = LazyCounter::new("fault.lp.iteration");
 static LP_SINGULAR: LazyCounter = LazyCounter::new("fault.lp.singular");
+static FRAME_TRUNCATE: LazyCounter = LazyCounter::new("fault.frame.truncate");
+static FRAME_GARBLE: LazyCounter = LazyCounter::new("fault.frame.garble");
+static FRAME_DUPLICATE: LazyCounter = LazyCounter::new("fault.frame.duplicate");
+static FRAME_REORDER: LazyCounter = LazyCounter::new("fault.frame.reorder");
 
 /// Extra delay (ms) a failed link adds to every path crossing it —
 /// far outside the paper's exponential delay model, as a hard failure
@@ -31,6 +35,26 @@ pub enum SolverFaultKind {
     IterationExhaustion,
     /// Inject a singular basis into the warm-start crash path.
     SingularBasis,
+}
+
+/// A wire-stream fault to apply to one outgoing frame.
+///
+/// Drawn by [`TrialFaults::frame_fault`]; the sender applies the fault
+/// and the receiver's recovery path (quarantine, dedup, reassembly)
+/// accounts for it, keeping `injected == handled + quarantined`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFaultKind {
+    /// Cut the connection mid-frame: send all but the final byte, then
+    /// close. The receiver sees an unexpected EOF inside a frame.
+    Truncate,
+    /// Flip the frame's type byte, producing an undecodable frame the
+    /// receiver must quarantine.
+    Garble,
+    /// Send the frame twice; the receiver must deduplicate by batch id.
+    Duplicate,
+    /// Hold the frame and send it after its successor (swap with the
+    /// next frame in the stream).
+    Reorder,
 }
 
 /// A deterministic fault plan for one run (or one sweep point).
@@ -77,6 +101,7 @@ impl FaultPlan {
             self.spec.link_fail,
             self.spec.lp_iter,
             self.spec.lp_singular,
+            self.spec.frame,
         ] {
             h = (h ^ v.to_bits()).wrapping_mul(PRIME);
         }
@@ -217,6 +242,41 @@ impl TrialFaults {
         faults
     }
 
+    /// Draw 4 (streaming only): should this outgoing wire frame be
+    /// faulted, and how?
+    ///
+    /// One uniform draw decides *whether* (`u < frame` rate); a second
+    /// sub-draw picks the kind uniformly. `can_reorder` is `false` when
+    /// the frame is the last of its stream (nothing to swap with) — the
+    /// reorder arm then degrades to a duplicate, so every recorded fault
+    /// is actually exercised on the wire and the ledger stays balanced.
+    ///
+    /// Callers that never stream (batch solves) simply never call this,
+    /// so existing draw sequences are unchanged.
+    pub fn frame_fault(&mut self, can_reorder: bool) -> Option<FrameFaultKind> {
+        if self.spec.frame == 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        if u >= self.spec.frame {
+            return None;
+        }
+        let kind = match self.rng.gen_range(0..4u32) {
+            0 => FrameFaultKind::Truncate,
+            1 => FrameFaultKind::Garble,
+            2 => FrameFaultKind::Duplicate,
+            _ if can_reorder => FrameFaultKind::Reorder,
+            _ => FrameFaultKind::Duplicate,
+        };
+        self.record(match kind {
+            FrameFaultKind::Truncate => InjectedKind::FrameTruncate,
+            FrameFaultKind::Garble => InjectedKind::FrameGarble,
+            FrameFaultKind::Duplicate => InjectedKind::FrameDuplicate,
+            FrameFaultKind::Reorder => InjectedKind::FrameReorder,
+        });
+        Some(kind)
+    }
+
     /// Faults fired so far by this trial.
     #[must_use]
     pub fn injected(&self) -> u64 {
@@ -257,6 +317,22 @@ impl TrialFaults {
                 self.by_kind.lp_singular += 1;
                 LP_SINGULAR.inc();
             }
+            InjectedKind::FrameTruncate => {
+                self.by_kind.frame_truncate += 1;
+                FRAME_TRUNCATE.inc();
+            }
+            InjectedKind::FrameGarble => {
+                self.by_kind.frame_garble += 1;
+                FRAME_GARBLE.inc();
+            }
+            InjectedKind::FrameDuplicate => {
+                self.by_kind.frame_duplicate += 1;
+                FRAME_DUPLICATE.inc();
+            }
+            InjectedKind::FrameReorder => {
+                self.by_kind.frame_reorder += 1;
+                FRAME_REORDER.inc();
+            }
         }
     }
 }
@@ -269,6 +345,10 @@ enum InjectedKind {
     LinkFail,
     LpIteration,
     LpSingular,
+    FrameTruncate,
+    FrameGarble,
+    FrameDuplicate,
+    FrameReorder,
 }
 
 #[cfg(test)]
@@ -423,6 +503,57 @@ mod tests {
         let faults = t.inject_measurement(&mut y, &clean);
         assert_eq!(faults.stale, vec![0, 1, 2]);
         assert_eq!(y, clean);
+    }
+
+    #[test]
+    fn frame_faults_cover_all_kinds_and_account() {
+        let spec = FaultSpec::parse("frame=1").unwrap();
+        let plan = FaultPlan::new(spec, 21);
+        let mut by = FaultKindCounts::default();
+        let (mut tr, mut ga, mut du, mut re) = (0u64, 0u64, 0u64, 0u64);
+        for index in 0..16 {
+            let mut t = plan.trial(index);
+            for frame in 0..8 {
+                let kind = t.frame_fault(frame < 7).expect("rate 1 always fires");
+                match kind {
+                    FrameFaultKind::Truncate => tr += 1,
+                    FrameFaultKind::Garble => ga += 1,
+                    FrameFaultKind::Duplicate => du += 1,
+                    FrameFaultKind::Reorder => re += 1,
+                }
+            }
+            assert_eq!(t.injected(), 8);
+            by.merge(t.by_kind());
+        }
+        assert!(tr > 0 && ga > 0 && du > 0 && re > 0);
+        assert_eq!(by.frame_total(), 16 * 8);
+        assert_eq!(by.frame_truncate, tr);
+        assert_eq!(by.frame_garble, ga);
+        assert_eq!(by.frame_duplicate, du);
+        assert_eq!(by.frame_reorder, re);
+    }
+
+    #[test]
+    fn last_frame_never_reorders() {
+        let spec = FaultSpec::parse("frame=1").unwrap();
+        let plan = FaultPlan::new(spec, 5);
+        for index in 0..64 {
+            let mut t = plan.trial(index);
+            let kind = t.frame_fault(false).expect("rate 1 always fires");
+            assert_ne!(kind, FrameFaultKind::Reorder);
+        }
+    }
+
+    #[test]
+    fn frame_zero_rate_never_draws() {
+        let plan = FaultPlan::new(FaultSpec::default(), 42);
+        let mut t = plan.trial(0);
+        assert_eq!(t.frame_fault(true), None);
+        assert_eq!(t.injected(), 0);
+        use rand::RngCore;
+        let mut used = t.rng;
+        let mut fresh = plan.trial(0).rng;
+        assert_eq!(used.next_u64(), fresh.next_u64());
     }
 
     #[test]

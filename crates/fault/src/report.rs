@@ -20,6 +20,14 @@ pub struct FaultKindCounts {
     pub lp_iteration: u64,
     /// Singular warm-start basis injections.
     pub lp_singular: u64,
+    /// Wire frames truncated mid-write (connection cut inside a frame).
+    pub frame_truncate: u64,
+    /// Wire frames garbled (frame type byte flipped).
+    pub frame_garble: u64,
+    /// Wire frames sent twice (receiver must deduplicate).
+    pub frame_duplicate: u64,
+    /// Wire frames delivered out of order (swapped with a successor).
+    pub frame_reorder: u64,
 }
 
 impl FaultKindCounts {
@@ -32,6 +40,16 @@ impl FaultKindCounts {
             + self.link_fail
             + self.lp_iteration
             + self.lp_singular
+            + self.frame_truncate
+            + self.frame_garble
+            + self.frame_duplicate
+            + self.frame_reorder
+    }
+
+    /// Sum over the wire-frame kinds only.
+    #[must_use]
+    pub fn frame_total(&self) -> u64 {
+        self.frame_truncate + self.frame_garble + self.frame_duplicate + self.frame_reorder
     }
 
     /// Adds `other`'s counts into `self`.
@@ -42,6 +60,10 @@ impl FaultKindCounts {
         self.link_fail += other.link_fail;
         self.lp_iteration += other.lp_iteration;
         self.lp_singular += other.lp_singular;
+        self.frame_truncate += other.frame_truncate;
+        self.frame_garble += other.frame_garble;
+        self.frame_duplicate += other.frame_duplicate;
+        self.frame_reorder += other.frame_reorder;
     }
 }
 
@@ -123,10 +145,8 @@ mod tests {
             by_kind: FaultKindCounts {
                 loss: 2,
                 corrupt: 1,
-                stale: 0,
-                link_fail: 0,
                 lp_iteration: 1,
-                lp_singular: 0,
+                ..FaultKindCounts::default()
             },
         };
         let mut b = a.clone();
@@ -137,6 +157,24 @@ mod tests {
         assert_eq!(b.by_kind.loss, 4);
         assert_eq!(b.by_kind.total(), 8);
         assert!(b.is_balanced());
+    }
+
+    #[test]
+    fn frame_counts_feed_totals() {
+        let mut a = FaultKindCounts {
+            frame_truncate: 1,
+            frame_garble: 2,
+            frame_duplicate: 3,
+            frame_reorder: 4,
+            loss: 5,
+            ..FaultKindCounts::default()
+        };
+        assert_eq!(a.frame_total(), 10);
+        assert_eq!(a.total(), 15);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.frame_total(), 20);
+        assert_eq!(a.frame_reorder, 8);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct FaultSpec {
     pub lp_iter: f64,
     /// Per-trial probability of a singular warm-start basis injection.
     pub lp_singular: f64,
+    /// Per-frame probability of a wire-stream fault (truncate, garble,
+    /// duplicate, or reorder — a uniform sub-draw picks which). Applies
+    /// to `tomo-serve` ingest frames; batch-solve targets ignore it.
+    pub frame: f64,
 }
 
 impl FaultSpec {
@@ -73,6 +77,7 @@ impl FaultSpec {
                 "link_fail" => spec.link_fail = rate,
                 "lp_iter" => spec.lp_iter = rate,
                 "lp_singular" => spec.lp_singular = rate,
+                "frame" => spec.frame = rate,
                 other => {
                     return Err(FaultSpecError::UnknownKey { key: other.into() });
                 }
@@ -91,6 +96,7 @@ impl FaultSpec {
             && self.link_fail == 0.0
             && self.lp_iter == 0.0
             && self.lp_singular == 0.0
+            && self.frame == 0.0
     }
 
     /// Every rate multiplied by `factor` and clamped to `[0, 1]` — the
@@ -113,6 +119,7 @@ impl FaultSpec {
             link_fail: s(self.link_fail),
             lp_iter: s(self.lp_iter),
             lp_singular: s(self.lp_singular),
+            frame: s(self.frame),
         }
     }
 }
@@ -130,6 +137,7 @@ impl fmt::Display for FaultSpec {
             ("link_fail", self.link_fail),
             ("lp_iter", self.lp_iter),
             ("lp_singular", self.lp_singular),
+            ("frame", self.frame),
         ] {
             if rate > 0.0 {
                 if !first {
@@ -187,7 +195,7 @@ impl fmt::Display for FaultSpecError {
             }
             FaultSpecError::UnknownKey { key } => write!(
                 f,
-                "unknown fault kind {key:?} (known: loss, corrupt, stale, link_fail, lp_iter, lp_singular)"
+                "unknown fault kind {key:?} (known: loss, corrupt, stale, link_fail, lp_iter, lp_singular, frame)"
             ),
         }
     }
@@ -212,6 +220,17 @@ mod tests {
         assert_eq!(s.lp_iter, 0.005);
         assert_eq!(s.lp_singular, 0.003);
         assert!(!s.is_noop());
+    }
+
+    #[test]
+    fn parses_frame_family() {
+        let s = FaultSpec::parse("frame=0.1").unwrap();
+        assert_eq!(s.frame, 0.1);
+        assert!(!s.is_noop());
+        assert_eq!(s.to_string(), "frame=0.1");
+        assert_eq!(FaultSpec::parse(&s.to_string()).unwrap(), s);
+        assert_eq!(s.scaled(2.0).frame, 0.2);
+        assert!(FaultSpec::parse("frame=0").unwrap().is_noop());
     }
 
     #[test]

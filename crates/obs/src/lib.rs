@@ -53,7 +53,10 @@ mod prometheus;
 mod span;
 mod trace;
 
-pub use http::{MetricsServer, MetricsServerHandle};
+pub use http::{
+    Handler, HttpRequest, HttpResponse, HttpServer, HttpServerHandle, MetricsServer,
+    MetricsServerHandle,
+};
 pub use log::{log_enabled, log_record, set_log_json, set_max_level, Level};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, LazyCounter, LazyGauge,

@@ -1,0 +1,131 @@
+//! The `tomo-probe` client binary.
+//!
+//! ```text
+//! tomo-probe --addr HOST:PORT [--batches N] [--seed N] [--faults SPEC]
+//! ```
+//!
+//! Streams full-coverage measurement batches for the fig. 1 system to a
+//! running `tomo-serve`, optionally injecting wire faults drawn from
+//! `--faults` (e.g. `frame=0.2`), and prints the delivery ledger as one
+//! JSON object on stdout.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use tomo_core::fig1::fig1_system;
+use tomo_fault::{FaultPlan, FaultSpec};
+use tomo_linalg::Vector;
+use tomo_serve::{ProbeClient, ProbeRow};
+
+struct Options {
+    addr: SocketAddr,
+    batches: usize,
+    seed: u64,
+    faults: Option<FaultSpec>,
+}
+
+fn parse_options(argv: &[String]) -> Result<Options, String> {
+    let mut addr = None;
+    let mut batches = 32usize;
+    let mut seed = 0u64;
+    let mut faults = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let v = value(arg)?;
+                addr = Some(
+                    v.parse()
+                        .map_err(|_| format!("--addr: bad address {v:?}"))?,
+                );
+            }
+            "--batches" => {
+                let v = value(arg)?;
+                batches = v.parse().map_err(|_| format!("--batches: {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value(arg)?;
+                seed = v.parse().map_err(|_| format!("--seed: {v:?}"))?;
+            }
+            "--faults" => {
+                let v = value(arg)?;
+                faults = Some(FaultSpec::parse(&v).map_err(|e| format!("--faults: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Options {
+        addr: addr.ok_or("--addr is required")?,
+        batches,
+        seed,
+        faults,
+    })
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let system = fig1_system().map_err(|e| format!("fig1 system: {e}"))?;
+    let num_paths = system.num_paths();
+    let x = Vector::filled(system.num_links(), 10.0);
+    let y = system.measure(&x).map_err(|e| format!("measure: {e}"))?;
+
+    let batches: Vec<Vec<ProbeRow>> = (0..options.batches)
+        .map(|b| {
+            (0..num_paths)
+                .map(|i| {
+                    ProbeRow::new(
+                        u32::try_from(i).expect("path fits u32"),
+                        y[i] + b as f64 * 1e-9,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut client = ProbeClient::new(options.addr, options.seed);
+    let mut trial = options
+        .faults
+        .as_ref()
+        .map(|spec| FaultPlan::new(*spec, options.seed).trial(0));
+    let outcome = client
+        .stream(batches, trial.as_mut())
+        .map_err(|e| format!("stream failed: {e}"))?;
+
+    let injected = outcome.injected.frame_total();
+    println!(
+        "{{\"acked\": {}, \"reconnects\": {}, \"queue_full_rejects\": {}, \
+         \"stale_epoch_rejects\": {}, \"server_quarantined\": {}, \
+         \"injected\": {{\"truncate\": {}, \"garble\": {}, \"duplicate\": {}, \
+         \"reorder\": {}, \"total\": {}}}, \"handled\": {}, \"quarantined\": {}, \
+         \"balanced\": {}}}",
+        outcome.acked,
+        outcome.reconnects,
+        outcome.queue_full_rejects,
+        outcome.stale_epoch_rejects,
+        outcome.server_quarantined,
+        outcome.injected.frame_truncate,
+        outcome.injected.frame_garble,
+        outcome.injected.frame_duplicate,
+        outcome.injected.frame_reorder,
+        injected,
+        outcome.handled,
+        outcome.quarantined,
+        injected == outcome.handled + outcome.quarantined,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_options(&argv).and_then(|o| run(&o)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tomo-probe: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

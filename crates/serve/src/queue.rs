@@ -1,0 +1,182 @@
+//! A bounded MPSC hand-off between connection handlers and the apply
+//! worker.
+//!
+//! The daemon never buffers without bound: when the queue is at
+//! capacity, [`BoundedQueue::try_push`] fails *immediately* and the
+//! connection handler turns that into an explicit `Reject(QueueFull)`
+//! with a retry hint — backpressure the client can see, instead of
+//! latency it can only suffer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tomo_obs::LazyGauge;
+
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("serve.queue.depth");
+
+/// The error returned when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Suggested client backoff before retrying, in milliseconds.
+    pub retry_after_ms: u32,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue (mutex + condvar; the
+/// workspace is `forbid(unsafe_code)` throughout, so no lock-free ring).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    retry_after_ms: u32,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items whose rejections
+    /// hint `retry_after_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, retry_after_ms: u32) -> Arc<Self> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Arc::new(BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+            retry_after_ms,
+        })
+    }
+
+    /// Enqueues `item`, or fails immediately when at capacity (the
+    /// caller surfaces this as backpressure) or after close.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when at capacity or closed; the item comes
+    /// back in neither case — closed queues drop, which only happens
+    /// during shutdown when the client will see the connection end.
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+        let mut inner = lock(&self.inner);
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(QueueFull {
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        inner.items.push_back(item);
+        QUEUE_DEPTH.set(inner.items.len() as f64);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, waiting up to `timeout`.
+    ///
+    /// Returns `None` on timeout, or when the queue is closed *and*
+    /// drained — the consumer's signal to exit.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                QUEUE_DEPTH.set(inner.items.len() as f64);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, result) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if result.timed_out() {
+                return inner.items.pop_front().inspect(|_| {
+                    QUEUE_DEPTH.set(inner.items.len() as f64);
+                });
+            }
+        }
+    }
+
+    /// Current number of queued items.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Closes the queue: pushes start failing, and the consumer drains
+    /// what remains before `pop_timeout` returns `None`.
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_in_order() {
+        let q = BoundedQueue::new(4, 10);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn capacity_rejects_with_retry_hint() {
+        let q = BoundedQueue::new(2, 25);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(QueueFull { retry_after_ms: 25 }));
+        // Draining one slot readmits.
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4, 10);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(q.try_push(2).is_err(), "closed queue refuses pushes");
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = BoundedQueue::new(8, 10);
+        let producer = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                while producer.try_push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            producer.close();
+        });
+        let mut got = Vec::new();
+        while let Some(v) = q.pop_timeout(Duration::from_secs(5)) {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

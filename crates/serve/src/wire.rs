@@ -1,0 +1,728 @@
+//! The length-prefixed binary wire protocol shared by the ingest
+//! socket, the `tomo-probe` client, and the on-disk journal.
+//!
+//! One frame on the wire is
+//!
+//! ```text
+//! len: u32 BE | type: u8 | body (len − 1 bytes)
+//! ```
+//!
+//! with every multi-byte integer big-endian. `len` counts the type byte
+//! plus the body, so the smallest legal frame (`len = 1`) is five bytes
+//! total. Frames larger than [`MAX_FRAME_LEN`] are rejected before any
+//! allocation — a hostile length prefix cannot make the daemon reserve
+//! gigabytes.
+//!
+//! Decoding never panics: every malformed input maps to a typed
+//! [`WireError`], and the connection handler's recovery policy (drop the
+//! connection, quarantine the frame) keys off that type.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build (in `Hello`).
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on `len` (type byte + body). A fig1-scale batch is a few
+/// hundred bytes; 1 MiB leaves three orders of magnitude of headroom
+/// while bounding what a hostile length prefix can make us allocate.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Upper bound on rows in one batch, implied by [`MAX_FRAME_LEN`].
+pub const MAX_BATCH_ROWS: usize = (MAX_FRAME_LEN - 21) / 12;
+
+/// One measurement row: a path index and the observed value's raw bits.
+///
+/// Values travel as `f64::to_bits` so a round-trip through the wire (or
+/// the journal) is exact for every value including negative zero; NaN
+/// payloads survive too, and the *engine* — not the codec — is where
+/// non-finite readings get quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRow {
+    /// Row index into the routing matrix (a path).
+    pub path: u32,
+    /// `f64::to_bits` of the measured value.
+    pub value_bits: u64,
+}
+
+impl ProbeRow {
+    /// Builds a row from a float value.
+    #[must_use]
+    pub fn new(path: u32, value: f64) -> Self {
+        ProbeRow {
+            path,
+            value_bits: value.to_bits(),
+        }
+    }
+
+    /// The measured value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.value_bits)
+    }
+}
+
+/// One batch of probe measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeBatch {
+    /// Globally unique, monotonically assigned by the sender. The engine
+    /// deduplicates and orders by this id (last-writer-wins).
+    pub batch_id: u64,
+    /// The session epoch the sender believes is current; stale epochs
+    /// are rejected so a pre-restart sender cannot silently interleave.
+    pub epoch: u64,
+    /// The measurement rows. Never empty on the wire ([`WireError::EmptyBatch`]).
+    pub rows: Vec<ProbeRow>,
+}
+
+/// Why a batch was refused (the `code` of a [`Frame::Reject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The ingest queue is full — retry after the hinted delay.
+    QueueFull,
+    /// The batch's epoch predates the current session — re-handshake.
+    StaleEpoch,
+    /// The batch is unusable (non-finite value, path out of range) and
+    /// was quarantined — do not retry it.
+    BadBatch,
+}
+
+impl RejectCode {
+    /// Wire encoding of the code.
+    #[must_use]
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::QueueFull => 1,
+            RejectCode::StaleEpoch => 2,
+            RejectCode::BadBatch => 3,
+        }
+    }
+
+    /// Decodes a wire code.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(RejectCode::QueueFull),
+            2 => Some(RejectCode::StaleEpoch),
+            3 => Some(RejectCode::BadBatch),
+            _ => None,
+        }
+    }
+}
+
+/// Every frame the protocol (and the journal) can carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server greeting.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Server → client handshake answer.
+    HelloAck {
+        /// Current session epoch.
+        epoch: u64,
+        /// Number of paths in the routing matrix (row-index bound).
+        num_paths: u32,
+    },
+    /// A batch of measurements (client → server, and journaled).
+    Batch(ProbeBatch),
+    /// The batch was applied (or deduplicated) — durable.
+    Ack {
+        /// Acknowledged batch.
+        batch_id: u64,
+        /// Epoch it was applied under.
+        epoch: u64,
+    },
+    /// The batch was refused; see [`RejectCode`].
+    Reject {
+        /// Refused batch.
+        batch_id: u64,
+        /// Why.
+        code: RejectCode,
+        /// Backoff hint for retryable codes (milliseconds).
+        retry_after_ms: u32,
+    },
+    /// Journal-only: a new session epoch began here.
+    EpochMark {
+        /// The epoch that starts at this point of the journal.
+        epoch: u64,
+    },
+    /// Journal-only: a full engine-state checkpoint; replay restarts
+    /// from the last one instead of the beginning of time.
+    Snapshot(SnapshotState),
+}
+
+/// The engine state captured in a journal [`Frame::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotState {
+    /// Epoch at snapshot time.
+    pub epoch: u64,
+    /// Every batch id below this is applied.
+    pub watermark: u64,
+    /// Applied batch ids at or above the watermark (reorder holes).
+    pub applied_above: Vec<u64>,
+    /// Per-path slots: `(path, value_bits, writer_batch_id)`.
+    pub slots: Vec<(u32, u64, u64)>,
+}
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_HELLO_ACK: u8 = 2;
+const TYPE_BATCH: u8 = 3;
+const TYPE_ACK: u8 = 4;
+const TYPE_REJECT: u8 = 5;
+const TYPE_EPOCH_MARK: u8 = 6;
+const TYPE_SNAPSHOT: u8 = 7;
+
+impl Frame {
+    /// Encodes the frame as length-prefixed wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let ty = match self {
+            Frame::Hello { version } => {
+                body.extend_from_slice(&version.to_be_bytes());
+                TYPE_HELLO
+            }
+            Frame::HelloAck { epoch, num_paths } => {
+                body.extend_from_slice(&epoch.to_be_bytes());
+                body.extend_from_slice(&num_paths.to_be_bytes());
+                TYPE_HELLO_ACK
+            }
+            Frame::Batch(batch) => {
+                body.extend_from_slice(&batch.batch_id.to_be_bytes());
+                body.extend_from_slice(&batch.epoch.to_be_bytes());
+                let count = u32::try_from(batch.rows.len()).expect("row count fits u32");
+                body.extend_from_slice(&count.to_be_bytes());
+                for row in &batch.rows {
+                    body.extend_from_slice(&row.path.to_be_bytes());
+                    body.extend_from_slice(&row.value_bits.to_be_bytes());
+                }
+                TYPE_BATCH
+            }
+            Frame::Ack { batch_id, epoch } => {
+                body.extend_from_slice(&batch_id.to_be_bytes());
+                body.extend_from_slice(&epoch.to_be_bytes());
+                TYPE_ACK
+            }
+            Frame::Reject {
+                batch_id,
+                code,
+                retry_after_ms,
+            } => {
+                body.extend_from_slice(&batch_id.to_be_bytes());
+                body.push(code.to_u8());
+                body.extend_from_slice(&retry_after_ms.to_be_bytes());
+                TYPE_REJECT
+            }
+            Frame::EpochMark { epoch } => {
+                body.extend_from_slice(&epoch.to_be_bytes());
+                TYPE_EPOCH_MARK
+            }
+            Frame::Snapshot(s) => {
+                body.extend_from_slice(&s.epoch.to_be_bytes());
+                body.extend_from_slice(&s.watermark.to_be_bytes());
+                let above = u32::try_from(s.applied_above.len()).expect("count fits u32");
+                body.extend_from_slice(&above.to_be_bytes());
+                for id in &s.applied_above {
+                    body.extend_from_slice(&id.to_be_bytes());
+                }
+                let slots = u32::try_from(s.slots.len()).expect("count fits u32");
+                body.extend_from_slice(&slots.to_be_bytes());
+                for (path, bits, writer) in &s.slots {
+                    body.extend_from_slice(&path.to_be_bytes());
+                    body.extend_from_slice(&bits.to_be_bytes());
+                    body.extend_from_slice(&writer.to_be_bytes());
+                }
+                TYPE_SNAPSHOT
+            }
+        };
+        let len = u32::try_from(1 + body.len()).expect("frame fits u32");
+        let mut out = Vec::with_capacity(4 + 1 + body.len());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.push(ty);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame's payload (type byte + body, the `len` bytes
+    /// after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`WireError`] for every malformed input; never
+    /// panics.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let (&ty, body) = payload.split_first().ok_or(WireError::TruncatedFrame {
+            expected: 1,
+            got: 0,
+        })?;
+        let mut cur = Cursor { body, pos: 0 };
+        let frame = match ty {
+            TYPE_HELLO => Frame::Hello {
+                version: cur.u32()?,
+            },
+            TYPE_HELLO_ACK => Frame::HelloAck {
+                epoch: cur.u64()?,
+                num_paths: cur.u32()?,
+            },
+            TYPE_BATCH => {
+                let batch_id = cur.u64()?;
+                let epoch = cur.u64()?;
+                let count = cur.u32()? as usize;
+                if count == 0 {
+                    return Err(WireError::EmptyBatch { batch_id });
+                }
+                if count > MAX_BATCH_ROWS {
+                    return Err(WireError::OversizedFrame {
+                        len: count * 12,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rows.push(ProbeRow {
+                        path: cur.u32()?,
+                        value_bits: cur.u64()?,
+                    });
+                }
+                Frame::Batch(ProbeBatch {
+                    batch_id,
+                    epoch,
+                    rows,
+                })
+            }
+            TYPE_ACK => Frame::Ack {
+                batch_id: cur.u64()?,
+                epoch: cur.u64()?,
+            },
+            TYPE_REJECT => {
+                let batch_id = cur.u64()?;
+                let raw = cur.u8()?;
+                let code =
+                    RejectCode::from_u8(raw).ok_or(WireError::BadRejectCode { code: raw })?;
+                Frame::Reject {
+                    batch_id,
+                    code,
+                    retry_after_ms: cur.u32()?,
+                }
+            }
+            TYPE_EPOCH_MARK => Frame::EpochMark { epoch: cur.u64()? },
+            TYPE_SNAPSHOT => {
+                let epoch = cur.u64()?;
+                let watermark = cur.u64()?;
+                let above = cur.u32()? as usize;
+                if above > MAX_FRAME_LEN / 8 {
+                    return Err(WireError::OversizedFrame {
+                        len: above * 8,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                let mut applied_above = Vec::with_capacity(above);
+                for _ in 0..above {
+                    applied_above.push(cur.u64()?);
+                }
+                let slots = cur.u32()? as usize;
+                if slots > MAX_FRAME_LEN / 20 {
+                    return Err(WireError::OversizedFrame {
+                        len: slots * 20,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                let mut out = Vec::with_capacity(slots);
+                for _ in 0..slots {
+                    out.push((cur.u32()?, cur.u64()?, cur.u64()?));
+                }
+                Frame::Snapshot(SnapshotState {
+                    epoch,
+                    watermark,
+                    applied_above,
+                    slots: out,
+                })
+            }
+            other => return Err(WireError::UnknownFrameType { ty: other }),
+        };
+        if cur.pos != cur.body.len() {
+            return Err(WireError::TrailingBytes {
+                extra: cur.body.len() - cur.pos,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.pos + n > self.body.len() {
+            return Err(WireError::TruncatedFrame {
+                expected: self.pos + n,
+                got: self.body.len(),
+            });
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Reads one frame from `r` (blocking until the length prefix arrives).
+///
+/// Returns `Ok(None)` on clean EOF *between* frames — the peer closed
+/// after a complete frame, which is how connections normally end.
+///
+/// # Errors
+///
+/// * [`WireError::UnexpectedEof`] on EOF *inside* a frame (a truncated
+///   write on the peer's side),
+/// * [`WireError::OversizedFrame`] if the length prefix exceeds
+///   [`MAX_FRAME_LEN`] (checked before allocating),
+/// * any decode error of [`Frame::decode`],
+/// * [`WireError::Io`] for transport errors (including read timeouts).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf) {
+        Ok(true) => {}
+        Ok(false) => return Ok(None),
+        Err(FillError::Eof) => return Err(WireError::UnexpectedEof),
+        Err(FillError::Io(e)) => return Err(WireError::Io(e.kind())),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(WireError::TruncatedFrame {
+            expected: 1,
+            got: 0,
+        });
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::OversizedFrame {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload) {
+        Ok(true) => {}
+        Ok(false) | Err(FillError::Eof) => return Err(WireError::UnexpectedEof),
+        Err(FillError::Io(e)) => return Err(WireError::Io(e.kind())),
+    }
+    Frame::decode(&payload).map(Some)
+}
+
+enum FillError {
+    Eof,
+    Io(io::Error),
+}
+
+/// Fills `buf`; `Ok(false)` means clean EOF before the first byte,
+/// `Err(Eof)` means EOF after a partial fill.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, FillError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(FillError::Eof),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FillError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes one frame to `w` and flushes.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on transport errors (including write
+/// timeouts).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    let bytes = frame.encode();
+    w.write_all(&bytes).map_err(|e| WireError::Io(e.kind()))?;
+    w.flush().map_err(|e| WireError::Io(e.kind()))
+}
+
+/// Everything that can go wrong on the wire. Decoding is total: every
+/// malformed input maps here, never to a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The length prefix exceeded [`MAX_FRAME_LEN`] (or an embedded
+    /// count implied an impossible payload).
+    OversizedFrame {
+        /// Claimed length.
+        len: usize,
+        /// The ceiling it violated.
+        max: usize,
+    },
+    /// A frame body ended before its fields did.
+    TruncatedFrame {
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes it had.
+        got: usize,
+    },
+    /// Bytes remained after the last field of a frame.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+    /// The stream ended inside a frame (truncated write on the peer).
+    UnexpectedEof,
+    /// An unrecognized frame type byte.
+    UnknownFrameType {
+        /// The byte.
+        ty: u8,
+    },
+    /// A batch frame with zero rows.
+    EmptyBatch {
+        /// The offending batch.
+        batch_id: u64,
+    },
+    /// An unrecognized reject code.
+    BadRejectCode {
+        /// The byte.
+        code: u8,
+    },
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// Theirs.
+        got: u32,
+        /// Ours.
+        expected: u32,
+    },
+    /// A transport-level I/O failure (kind only, so the error stays
+    /// `Clone + PartialEq` for tests and ledgers).
+    Io(io::ErrorKind),
+}
+
+impl WireError {
+    /// `true` for errors that mean the peer's *stream* is corrupt and
+    /// the connection must be dropped (vs. transient I/O).
+    #[must_use]
+    pub fn is_protocol_violation(&self) -> bool {
+        !matches!(self, WireError::Io(_))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::OversizedFrame { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte ceiling")
+            }
+            WireError::TruncatedFrame { expected, got } => {
+                write!(
+                    f,
+                    "frame body truncated: needed {expected} bytes, had {got}"
+                )
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last frame field")
+            }
+            WireError::UnexpectedEof => write!(f, "stream ended inside a frame"),
+            WireError::UnknownFrameType { ty } => write!(f, "unknown frame type {ty:#04x}"),
+            WireError::EmptyBatch { batch_id } => {
+                write!(f, "batch {batch_id} carries zero rows")
+            }
+            WireError::BadRejectCode { code } => write!(f, "unknown reject code {code}"),
+            WireError::UnsupportedVersion { got, expected } => {
+                write!(f, "peer speaks wire version {got}, expected {expected}")
+            }
+            WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+            },
+            Frame::HelloAck {
+                epoch: 3,
+                num_paths: 23,
+            },
+            Frame::Batch(ProbeBatch {
+                batch_id: 42,
+                epoch: 3,
+                rows: vec![ProbeRow::new(0, 12.5), ProbeRow::new(7, -0.0)],
+            }),
+            Frame::Ack {
+                batch_id: 42,
+                epoch: 3,
+            },
+            Frame::Reject {
+                batch_id: 43,
+                code: RejectCode::QueueFull,
+                retry_after_ms: 25,
+            },
+            Frame::EpochMark { epoch: 4 },
+            Frame::Snapshot(SnapshotState {
+                epoch: 4,
+                watermark: 10,
+                applied_above: vec![11, 13],
+                slots: vec![(0, 12.5f64.to_bits(), 9), (5, (-1.0f64).to_bits(), 10)],
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_through_a_stream() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at the end");
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits_survive() {
+        let rows = vec![
+            ProbeRow::new(1, -0.0),
+            ProbeRow::new(2, f64::NAN),
+            ProbeRow::new(3, f64::INFINITY),
+        ];
+        let f = Frame::Batch(ProbeBatch {
+            batch_id: 1,
+            epoch: 0,
+            rows: rows.clone(),
+        });
+        let bytes = f.encode();
+        match Frame::decode(&bytes[4..]).unwrap() {
+            Frame::Batch(b) => {
+                for (a, b) in rows.iter().zip(b.rows.iter()) {
+                    assert_eq!(a.value_bits, b.value_bits);
+                }
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.push(TYPE_BATCH);
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::OversizedFrame {
+                len: u32::MAX as usize,
+                max: MAX_FRAME_LEN,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let bytes = 0u32.to_be_bytes();
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_a_typed_error() {
+        let full = Frame::Ack {
+            batch_id: 9,
+            epoch: 1,
+        }
+        .encode();
+        // Cut inside the length prefix, right after it, and mid-body.
+        for cut in [2, 4, full.len() - 1] {
+            let mut r = &full[..cut];
+            assert_eq!(
+                read_frame(&mut r),
+                Err(WireError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_row_batch_is_rejected() {
+        let f = Frame::Batch(ProbeBatch {
+            batch_id: 7,
+            epoch: 0,
+            rows: vec![ProbeRow::new(0, 1.0)],
+        });
+        let mut bytes = f.encode();
+        // Patch the row count to zero and drop the row bytes.
+        let count_at = 4 + 1 + 8 + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&0u32.to_be_bytes());
+        bytes.truncate(count_at + 4);
+        let new_len = u32::try_from(bytes.len() - 4).unwrap();
+        bytes[0..4].copy_from_slice(&new_len.to_be_bytes());
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::EmptyBatch { batch_id: 7 })
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.push(0xEE);
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::UnknownFrameType { ty: 0xEE })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::EpochMark { epoch: 1 }.encode();
+        bytes.push(0x00);
+        let new_len = u32::try_from(bytes.len() - 4).unwrap();
+        bytes[0..4].copy_from_slice(&new_len.to_be_bytes());
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn protocol_violation_classification() {
+        assert!(WireError::UnknownFrameType { ty: 0 }.is_protocol_violation());
+        assert!(WireError::UnexpectedEof.is_protocol_violation());
+        assert!(!WireError::Io(io::ErrorKind::TimedOut).is_protocol_violation());
+    }
+}

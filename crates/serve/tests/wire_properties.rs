@@ -1,0 +1,132 @@
+//! Property tests for the wire protocol.
+//!
+//! Two invariants: (1) every well-formed frame survives an
+//! encode → stream → decode round trip bit-exactly; (2) *no* byte
+//! sequence — random garbage, truncations, corrupted valid frames —
+//! makes the decoder panic or allocate past the frame ceiling; it
+//! always answers a typed [`WireError`].
+
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::RngCore as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tomo_serve::{read_frame, write_frame, Frame, ProbeBatch, ProbeRow, RejectCode, SnapshotState};
+
+/// A deterministic arbitrary frame for `seed` (the shimmed proptest has
+/// no derive-style `Arbitrary`, so frames are built from a seeded RNG).
+fn arbitrary_frame(seed: u64) -> Frame {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match rng.gen_range(0u32..7) {
+        0 => Frame::Hello {
+            version: rng.gen_range(0..=u16::MAX as u32),
+        },
+        1 => Frame::HelloAck {
+            epoch: rng.next_u64(),
+            num_paths: rng.gen_range(0..10_000),
+        },
+        2 => {
+            let rows = (0..rng.gen_range(1usize..=32))
+                .map(|_| ProbeRow {
+                    path: rng.gen_range(0..1024),
+                    value_bits: rng.next_u64(),
+                })
+                .collect();
+            Frame::Batch(ProbeBatch {
+                batch_id: rng.next_u64(),
+                epoch: rng.next_u64(),
+                rows,
+            })
+        }
+        3 => Frame::Ack {
+            batch_id: rng.next_u64(),
+            epoch: rng.next_u64(),
+        },
+        4 => Frame::Reject {
+            batch_id: rng.next_u64(),
+            code: match rng.gen_range(0u32..3) {
+                0 => RejectCode::QueueFull,
+                1 => RejectCode::StaleEpoch,
+                _ => RejectCode::BadBatch,
+            },
+            retry_after_ms: rng.next_u32(),
+        },
+        5 => Frame::EpochMark {
+            epoch: rng.next_u64(),
+        },
+        _ => {
+            let slots = (0..rng.gen_range(0usize..16))
+                .map(|_| (rng.gen_range(0..1024u32), rng.next_u64(), rng.next_u64()))
+                .collect();
+            let applied_above = (0..rng.gen_range(0usize..8))
+                .map(|_| rng.next_u64())
+                .collect();
+            Frame::Snapshot(SnapshotState {
+                epoch: rng.next_u64(),
+                watermark: rng.next_u64(),
+                applied_above,
+                slots,
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn every_frame_round_trips(seed in 0u64..100_000) {
+        let frame = arbitrary_frame(seed);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).expect("encode to a Vec");
+        let mut cursor = &stream[..];
+        let back = read_frame(&mut cursor).expect("decode").expect("one frame");
+        prop_assert_eq!(&back, &frame, "round trip diverged on seed {}", seed);
+        // The stream must be fully consumed: no gap, no overlap.
+        prop_assert!(cursor.is_empty(), "decoder left {} bytes", cursor.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic(seed in 0u64..100_000, len in 0usize..256) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+        let mut cursor = &bytes[..];
+        // Any outcome is fine except a panic; errors must be typed.
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_are_typed_errors(seed in 0u64..50_000) {
+        let frame = arbitrary_frame(seed);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).expect("encode");
+        // Every strict prefix must be UnexpectedEof (mid-frame) or a
+        // clean end-of-stream (nothing read yet).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5_A5A5);
+        let cut = rng.gen_range(0..stream.len());
+        let mut cursor = &stream[..cut];
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean close only before byte 0"),
+            Err(e) => prop_assert!(
+                e.is_protocol_violation() || matches!(e, tomo_serve::WireError::Io(_)),
+                "untyped error {e:?}"
+            ),
+            Ok(Some(f)) => prop_assert!(false, "decoded {f:?} from a truncation"),
+        }
+    }
+
+    #[test]
+    fn corrupted_valid_frames_never_panic(seed in 0u64..50_000) {
+        let frame = arbitrary_frame(seed);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).expect("encode");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A_5A5A);
+        // Flip a random byte (possibly in the length prefix).
+        let idx = rng.gen_range(0..stream.len());
+        stream[idx] ^= 1 << rng.gen_range(0..8u32);
+        let mut cursor = &stream[..];
+        // A corrupted frame can still decode; drain until error or end.
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    }
+}

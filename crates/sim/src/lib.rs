@@ -16,6 +16,7 @@
 //! | [`fig8`] | Fig. 8 | single-attacker max-damage & obfuscation prob. |
 //! | [`fig9`] | Fig. 9 | detection ratios per strategy × cut |
 //! | [`chaos`] | — | detection degradation under injected faults |
+//! | [`serve_chaos`] | — | live `tomo-serve` daemon chaos: wire faults + kill/restart |
 //! | [`scale`] | — | Rocketfuel-scale kernel sweep (1k–50k links) |
 //!
 //! Wireline experiments run on the synthetic AS1221-scale ISP topology,
@@ -49,6 +50,7 @@ pub mod incremental;
 pub mod noise;
 pub mod report;
 pub mod scale;
+pub mod serve_chaos;
 pub mod topologies;
 
 use std::error::Error;

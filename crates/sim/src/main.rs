@@ -1,7 +1,7 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
 //! tomo-sim list
 //! ```
 //!
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use tomo_par::Executor;
 use tomo_sim::{
     ablation, chaos, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, incremental, noise,
-    report, scale, SimError,
+    report, scale, serve_chaos, SimError,
 };
 
 #[derive(Debug, PartialEq)]
@@ -171,9 +171,9 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    if faults.is_some() && target != "chaos" {
+    if faults.is_some() && target != "chaos" && target != "serve-chaos" {
         return Err(format!(
-            "--faults only applies to the chaos target\n{}",
+            "--faults only applies to the chaos and serve-chaos targets\n{}",
             usage()
         ));
     }
@@ -203,7 +203,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
 const DEFAULT_METRICS_PORT: u16 = 9184;
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT] [--max-links N]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos only) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular; \"off\" disables all.\n--max-links (scale only) caps the sweep's largest topology (default 10000).\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT] [--max-links N]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos and serve-chaos) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular, frame; \"off\" disables all\n(serve-chaos draws only the frame family).\n--max-links (scale only) caps the sweep's largest topology (default 10000).\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
         .to_string()
 }
 
@@ -360,6 +360,29 @@ fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
                 report::write_json(&r, &p)?;
             }
         }
+        "serve-chaos" => {
+            let spec = tomo_fault::FaultSpec::parse(
+                args.faults
+                    .as_deref()
+                    .unwrap_or(serve_chaos::DEFAULT_FAULTS),
+            )?;
+            let config = if args.quick {
+                serve_chaos::ServeChaosConfig::quick()
+            } else {
+                serve_chaos::ServeChaosConfig::default()
+            };
+            let r = serve_chaos::run(seed, &spec, &config)?;
+            println!("{}", serve_chaos::render(&r));
+            if !r.totals.is_balanced() {
+                return Err(SimError(format!(
+                    "serve-chaos: fault ledger unbalanced: {:?}",
+                    r.totals
+                )));
+            }
+            if let Some(p) = artifact("serve_chaos.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
         "scale" => {
             let r = scale::run(seed, &scale_config(args.quick, args.max_links))?;
             println!("{}", scale::render(&r));
@@ -431,6 +454,7 @@ fn main() -> ExitCode {
              noise  detector robustness vs measurement noise\n\
              gap  Theorem 3 gap: consistency-only evasion rates\n\
              chaos  detection degradation under injected faults (--faults)\n\
+             serve-chaos  live tomo-serve daemon: wire faults, kill/restart, SLO (--faults)\n\
              scale  Rocketfuel-scale kernel sweep, 1k-50k links (--max-links)\n\
              incremental  cold-rebuild vs rank-1-delta solver benchmark\n\
              all   everything above (figures only)"
@@ -595,6 +619,8 @@ mod tests {
         assert_eq!(a.faults, Some("loss=0.1".to_string()));
         let err = parse_args_from(&argv(&["run", "fig4", "--faults", "loss=0.1"])).unwrap_err();
         assert!(err.contains("chaos"), "{err}");
+        let s = parse_args_from(&argv(&["run", "serve-chaos", "--faults", "frame=0.3"])).unwrap();
+        assert_eq!(s.faults, Some("frame=0.3".to_string()));
         assert!(parse_args_from(&argv(&["run", "chaos", "--faults"])).is_err());
         // chaos without --faults uses the default mix.
         let d = parse_args_from(&argv(&["run", "chaos"])).unwrap();

