@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! tomo-serve [--ingest-port N] [--http-port N] [--journal PATH]
-//!            [--queue-capacity N] [--snapshot-every N] [--slo-ms F]
-//!            [--max-secs F]
+//!            [--journal-sync] [--queue-capacity N] [--snapshot-every N]
+//!            [--slo-ms F] [--max-secs F]
 //! tomo-serve bench [--batches N] [--slo-ms F]
 //! ```
 //!
@@ -54,6 +54,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                 let path: String = parse_flag(&mut args, arg)?;
                 options.config.journal_path = Some(path.into());
             }
+            "--journal-sync" => options.config.journal_sync = true,
             "--queue-capacity" => options.config.queue_capacity = parse_flag(&mut args, arg)?,
             "--snapshot-every" => options.config.snapshot_every = parse_flag(&mut args, arg)?,
             "--slo-ms" => options.config.slo_ms = parse_flag(&mut args, arg)?,

@@ -204,6 +204,21 @@ impl Engine {
         batch_id < self.watermark || self.applied_above.contains(&batch_id)
     }
 
+    /// Non-mutating admission check: `true` iff [`Engine::apply`] would
+    /// return `Applied` for `batch` right now (not stale, not a
+    /// duplicate, every row in range and finite). The apply worker uses
+    /// this to journal admitted batches *before* applying them, so a
+    /// batch is never applied in memory without being durable first.
+    #[must_use]
+    pub fn admits(&self, batch: &ProbeBatch) -> bool {
+        batch.epoch >= self.epoch
+            && !self.is_applied(batch.batch_id)
+            && batch
+                .rows
+                .iter()
+                .all(|row| (row.path as usize) < self.slots.len() && row.value().is_finite())
+    }
+
     /// Validates and applies one batch. Never panics; every unusable
     /// input maps to a non-`Applied` outcome.
     pub fn apply(&mut self, batch: &ProbeBatch) -> ApplyOutcome {
@@ -475,6 +490,40 @@ mod tests {
             ApplyOutcome::Quarantined(BatchFault::PathOutOfRange { path: 9999 })
         ));
         assert_eq!(e.stats().quarantined, 2);
+    }
+
+    #[test]
+    fn admits_agrees_with_apply_and_never_mutates() {
+        let mut e = engine();
+        e.bump_epoch(2);
+        let good = full_batch(0, 2, 1.0, 3);
+        assert!(e.admits(&good));
+        assert!(matches!(e.apply(&good), ApplyOutcome::Applied { .. }));
+        assert!(!e.admits(&good), "duplicates are not admitted");
+        assert!(!e.admits(&full_batch(1, 1, 1.0, 3)), "stale epoch");
+        let nan = ProbeBatch {
+            batch_id: 2,
+            epoch: 2,
+            rows: vec![ProbeRow::new(0, f64::NAN)],
+        };
+        assert!(!e.admits(&nan), "non-finite row");
+        let oob = ProbeBatch {
+            batch_id: 3,
+            epoch: 2,
+            rows: vec![ProbeRow::new(9999, 1.0)],
+        };
+        assert!(!e.admits(&oob), "out-of-range path");
+        let stats = e.stats();
+        assert_eq!(
+            (
+                stats.applied,
+                stats.deduped,
+                stats.stale_epoch,
+                stats.quarantined
+            ),
+            (1, 0, 0, 0),
+            "admits leaves stats untouched"
+        );
     }
 
     #[test]

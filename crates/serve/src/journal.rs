@@ -50,6 +50,7 @@ pub struct Journal {
     writer: BufWriter<File>,
     appended_since_snapshot: u64,
     snapshot_every: u64,
+    sync_data: bool,
 }
 
 impl Journal {
@@ -72,7 +73,17 @@ impl Journal {
             writer: BufWriter::new(file),
             appended_since_snapshot: 0,
             snapshot_every,
+            sync_data: false,
         })
+    }
+
+    /// Enables `sync_data` after every append, extending durability from
+    /// process crashes to OS crashes and power loss, at the cost of one
+    /// fsync per acked batch.
+    #[must_use]
+    pub fn with_sync(mut self, sync_data: bool) -> Journal {
+        self.sync_data = sync_data;
+        self
     }
 
     /// The journal's location.
@@ -81,9 +92,11 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one frame and flushes it to the OS — a batch is only
-    /// acked after its journal append returned, so an acked batch
-    /// survives a crash.
+    /// Appends one frame and flushes it to the OS page cache — a batch
+    /// is only acked after its journal append returned, so an acked
+    /// batch survives a *process* crash. Surviving an OS crash or power
+    /// loss additionally requires [`Journal::with_sync`], which fsyncs
+    /// every append.
     ///
     /// # Errors
     ///
@@ -92,6 +105,9 @@ impl Journal {
     pub fn append(&mut self, frame: &Frame) -> std::io::Result<()> {
         write_frame(&mut self.writer, frame).map_err(wire_to_io)?;
         self.writer.flush()?;
+        if self.sync_data {
+            self.writer.get_ref().sync_data()?;
+        }
         APPENDS.inc();
         if matches!(frame, Frame::Batch(_)) {
             self.appended_since_snapshot += 1;
@@ -223,6 +239,20 @@ mod tests {
         let r = Journal::replay(&path).unwrap();
         assert_eq!(r.last_epoch, 2);
         assert_eq!(r.batches.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn synced_appends_round_trip() {
+        let path = temp_path("synced");
+        {
+            let mut j = Journal::open(&path, 0).unwrap().with_sync(true);
+            j.append(&Frame::EpochMark { epoch: 1 }).unwrap();
+            j.append(&Frame::Batch(batch(0))).unwrap();
+        }
+        let r = Journal::replay(&path).unwrap();
+        assert_eq!(r.last_epoch, 1);
+        assert_eq!(r.batches.len(), 1);
         let _ = std::fs::remove_file(&path);
     }
 

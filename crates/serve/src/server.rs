@@ -6,9 +6,9 @@
 //!   frames under per-connection deadlines and hand batches to the apply
 //!   worker through the bounded queue — or answer `Reject(QueueFull)`
 //!   on the spot when the queue is at capacity;
-//! * the **apply worker** (single consumer) applies each batch to the
-//!   engine, journals it, snapshots on cadence, and only then releases
-//!   the `Ack` — so an acked batch survives a crash;
+//! * the **apply worker** (single consumer) journals each admitted
+//!   batch, applies it to the engine, snapshots on cadence, and only
+//!   then releases the `Ack` — so an acked batch survives a crash;
 //! * the **HTTP front** (the generalized `tomo-obs` loop) answers
 //!   health/readiness/state/verdict/stats queries against the engine's
 //!   cached answer, bounded by one solve per applied batch.
@@ -60,6 +60,11 @@ pub struct ServeConfig {
     pub poll_interval: Duration,
     /// Where to journal applied batches; `None` disables persistence.
     pub journal_path: Option<PathBuf>,
+    /// Fsync the journal on every append. Off, an acked batch survives
+    /// a process crash (appends are flushed to the OS page cache); on,
+    /// it also survives an OS crash or power loss, at the cost of one
+    /// `sync_data` per batch.
+    pub journal_sync: bool,
     /// Snapshot the engine every this many applied batches (0 = never).
     pub snapshot_every: u64,
     /// The p99 query-latency SLO, milliseconds (reported in `/stats`;
@@ -79,6 +84,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(100),
             journal_path: None,
+            journal_sync: false,
             snapshot_every: 64,
             slo_ms: 5.0,
         }
@@ -166,13 +172,23 @@ impl Server {
                 if let Some(snap) = &replay.snapshot {
                     engine.restore(snap);
                 }
-                engine.bump_epoch(replay.last_epoch);
+                // Re-apply before bumping past the recorded epochs: the
+                // engine is still at the snapshot's epoch (or zero), so
+                // batches journaled under *any* later session pass the
+                // stale check — bumping to `last_epoch` first would
+                // silently drop every batch from an earlier session.
                 for batch in &replay.batches {
-                    // Replayed batches were validated before they were
-                    // journaled; re-applying cannot quarantine.
-                    let _ = engine.apply(batch);
+                    match engine.apply(batch) {
+                        ApplyOutcome::Applied { .. } | ApplyOutcome::Duplicate => {}
+                        outcome => tomo_obs::error!(
+                            "serve.journal",
+                            "replayed batch {} refused: {outcome:?}",
+                            batch.batch_id
+                        ),
+                    }
                 }
-                let mut journal = Journal::open(path, config.snapshot_every)?;
+                let mut journal =
+                    Journal::open(path, config.snapshot_every)?.with_sync(config.journal_sync);
                 let epoch = replay.last_epoch + 1;
                 engine.bump_epoch(epoch);
                 journal.append(&Frame::EpochMark { epoch })?;
@@ -192,7 +208,7 @@ impl Server {
         let engine = Arc::new(Mutex::new(engine));
         let counters = Arc::new(IngestCounters::default());
         let queue = BoundedQueue::<IngestItem>::new(config.queue_capacity, config.retry_after_ms);
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads = Arc::new(Mutex::new(Vec::<std::thread::JoinHandle<()>>::new()));
 
         // Apply worker: the only thread that mutates the engine.
         let apply_thread = {
@@ -254,7 +270,14 @@ impl Server {
                                 );
                             });
                         if let Ok(handle) = handle {
-                            lock(&conn_threads).push(handle);
+                            // Reap finished handlers opportunistically so a
+                            // long-running daemon with many short-lived
+                            // connections doesn't accumulate handles
+                            // without bound (dropping a finished handle
+                            // just detaches an already-exited thread).
+                            let mut threads = lock(&conn_threads);
+                            threads.retain(|h| !h.is_finished());
+                            threads.push(handle);
                         }
                     }
                 })?
@@ -302,6 +325,15 @@ impl Server {
     #[must_use]
     pub fn counters(&self) -> &IngestCounters {
         &self.counters
+    }
+
+    /// Connection handler threads not yet reaped. Finished handlers are
+    /// reaped on each accept, so this tracks concurrently live
+    /// connections (plus recently closed ones awaiting the next accept)
+    /// rather than growing with connection churn.
+    #[must_use]
+    pub fn conn_thread_count(&self) -> usize {
+        lock(&self.conn_threads).len()
     }
 
     /// Current engine counters.
@@ -381,23 +413,29 @@ impl Drop for Server {
     }
 }
 
-/// Applies one batch under the engine lock, journaling before the ack.
-fn apply_one(engine: &mut Engine, journal: Option<&mut Journal>, batch: &ProbeBatch) -> Frame {
+/// Applies one batch under the engine lock, with write-ahead journaling:
+/// an admitted batch is journaled *before* it is applied, so a journal
+/// failure leaves the engine untouched — the client's retry re-runs the
+/// whole admit→journal→apply path instead of short-circuiting through
+/// dedup to an ack that was never made durable.
+fn apply_one(engine: &mut Engine, mut journal: Option<&mut Journal>, batch: &ProbeBatch) -> Frame {
     let epoch = engine.epoch();
+    if let Some(journal) = journal.as_deref_mut() {
+        if engine.admits(batch) {
+            if let Err(e) = journal.append(&Frame::Batch(batch.clone())) {
+                // Nothing was applied; reject so the client retries.
+                tomo_obs::error!("serve.journal", "append failed: {e}");
+                return Frame::Reject {
+                    batch_id: batch.batch_id,
+                    code: RejectCode::QueueFull,
+                    retry_after_ms: 100,
+                };
+            }
+        }
+    }
     match engine.apply(batch) {
         ApplyOutcome::Applied { .. } => {
             if let Some(journal) = journal {
-                if let Err(e) = journal.append(&Frame::Batch(batch.clone())) {
-                    // The batch is applied in memory but not durable;
-                    // withholding the ack makes the client retry, and
-                    // dedup will re-ack if the disk recovers.
-                    tomo_obs::error!("serve.journal", "append failed: {e}");
-                    return Frame::Reject {
-                        batch_id: batch.batch_id,
-                        code: RejectCode::QueueFull,
-                        retry_after_ms: 100,
-                    };
-                }
                 if journal.snapshot_due() {
                     let snap = engine.snapshot();
                     if let Err(e) = journal.append_snapshot(snap) {
@@ -410,7 +448,8 @@ fn apply_one(engine: &mut Engine, journal: Option<&mut Journal>, batch: &ProbeBa
                 epoch,
             }
         }
-        // Duplicate: already applied AND journaled — safe to re-ack.
+        // Duplicate: already applied AND journaled (the journal append
+        // preceded the apply that marked it) — safe to re-ack.
         ApplyOutcome::Duplicate => Frame::Ack {
             batch_id: batch.batch_id,
             epoch,

@@ -186,6 +186,92 @@ fn kill_and_restart_reconverges_byte_identically() {
 }
 
 #[test]
+fn double_restart_replays_batches_from_every_epoch() {
+    let journal = temp_journal("double-restart");
+    let sys = system();
+    let first = make_batches(&sys, 6, 0);
+    let second = make_batches(&sys, 6, 6);
+    let third = make_batches(&sys, 6, 12);
+
+    // Uninterrupted reference run.
+    let reference = start(ServeConfig::default());
+    let mut ref_client = ProbeClient::new(reference.ingest_addr(), 3);
+    for part in [first.clone(), second.clone(), third.clone()] {
+        ref_client.stream(part, None).expect("ref stream");
+    }
+    let want = reference.query().expect("reference answer");
+
+    // No snapshots: the third boot must replay the epoch-1 batches that
+    // sit *before* the epoch-2 mark in the journal — the regression was
+    // bumping the engine to the last recorded epoch before re-applying,
+    // which dropped them all as stale.
+    let config = ServeConfig {
+        journal_path: Some(journal.clone()),
+        snapshot_every: 0,
+        ..ServeConfig::default()
+    };
+    let server_a = start(config.clone());
+    assert_eq!(server_a.epoch(), 1);
+    let mut client = ProbeClient::new(server_a.ingest_addr(), 3);
+    client.stream(first, None).expect("epoch-1 batches");
+    drop(server_a);
+
+    let server_b = start(config.clone());
+    assert_eq!(server_b.epoch(), 2);
+    assert_eq!(server_b.engine_stats().applied, 6, "epoch-1 replayed");
+    let mut client_b =
+        ProbeClient::new(server_b.ingest_addr(), 3).with_start_batch_id(client.next_batch_id());
+    client_b.stream(second, None).expect("epoch-2 batches");
+    drop(server_b);
+
+    let server_c = start(config);
+    assert_eq!(server_c.epoch(), 3);
+    assert_eq!(
+        server_c.engine_stats().applied,
+        12,
+        "batches from both earlier epochs replayed, none dropped as stale"
+    );
+    let mut client_c =
+        ProbeClient::new(server_c.ingest_addr(), 3).with_start_batch_id(client_b.next_batch_id());
+    client_c.stream(third, None).expect("epoch-3 batches");
+    let got = server_c.query().expect("answer after two restarts");
+    assert_eq!(
+        got.estimate_bits, want.estimate_bits,
+        "double restart reconverges byte-identically"
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn connection_churn_does_not_accumulate_thread_handles() {
+    let server = start(ServeConfig::default());
+    let addr = server.ingest_addr();
+    for _ in 0..20 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        write_frame(
+            &mut s,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            },
+        )
+        .expect("hello");
+        assert!(matches!(
+            read_frame(&mut s),
+            Ok(Some(Frame::HelloAck { .. }))
+        ));
+        // Dropping the stream closes it; the handler exits promptly.
+    }
+    // Let the handlers observe the closes, then accept once more to
+    // trigger the opportunistic reap.
+    std::thread::sleep(Duration::from_millis(300));
+    let _last = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    let live = server.conn_thread_count();
+    assert!(live <= 2, "finished handlers reaped, {live} still held");
+}
+
+#[test]
 fn adversarial_bytes_quarantine_without_killing_the_daemon() {
     let server = start(ServeConfig::default());
     let addr = server.ingest_addr();
