@@ -15,7 +15,10 @@
 //! `BENCH_serve.json` is present, the `tomo-serve` ingest/query
 //! workload is re-run and its p99 query latency gated against both the
 //! committed SLO and the committed tail (with absolute slack, since µs
-//! tails jitter more than throughput). Points recorded on more cores
+//! tails jitter more than throughput). When `BENCH_serve_load.json` is
+//! present, the multi-client serve-load sweep is re-run and gated on
+//! aggregate throughput (>15% regression fails) and on the p99 staying
+//! under the SLO at every client count. Points recorded on more cores
 //! than this machine has are skipped rather than failed, and
 //! `TOMO_BENCH_SKIP=1` bypasses the whole gate — both escape hatches
 //! keep the check honest on smaller CI runners.
@@ -31,6 +34,7 @@ use tomo_sim::{fig7, scale};
 const BASELINE_FILE: &str = "BENCH_montecarlo.json";
 const SCALE_FILE: &str = "BENCH_scale.json";
 const SERVE_FILE: &str = "BENCH_serve.json";
+const SERVE_LOAD_FILE: &str = "BENCH_serve_load.json";
 /// Absolute slack added to the serve p99 ceiling: sub-millisecond tails
 /// jitter by tens of µs run to run, which a pure fraction would flag.
 const SERVE_P99_SLACK_US: f64 = 250.0;
@@ -415,6 +419,132 @@ fn serve_gate(opts: &Options, available: usize) -> Result<bool, String> {
     Ok(failed)
 }
 
+/// One committed serve-load sweep point: the identity and the two
+/// numbers the gate re-measures.
+#[derive(Debug)]
+struct ServeLoadPointBaseline {
+    clients: u64,
+    batches_per_sec: f64,
+    query_p99_us: f64,
+}
+
+/// The committed multi-client serve-load workload.
+#[derive(Debug)]
+struct ServeLoadBaseline {
+    batches_total: u64,
+    groups: u64,
+    shards: u64,
+    slo_ms: f64,
+    cores: Option<u64>,
+    points: Vec<ServeLoadPointBaseline>,
+}
+
+fn load_serve_load_baseline(path: &Path) -> Result<ServeLoadBaseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let root = serde_json::parse_value(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let config = root
+        .get("config")
+        .ok_or_else(|| format!("{}: missing \"config\" object", path.display()))?;
+    let field = |v: &serde_json::Value, key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{}: missing numeric {key:?}", path.display()))
+    };
+    let points = root
+        .get("points")
+        .and_then(|p| match p {
+            serde_json::Value::Array(items) => Some(items.as_slice()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("{}: missing \"points\" array", path.display()))?
+        .iter()
+        .map(|p| {
+            Ok(ServeLoadPointBaseline {
+                clients: field(p, "clients")? as u64,
+                batches_per_sec: field(p, "batches_per_sec")?,
+                query_p99_us: field(p, "query_p99_us")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if points.is_empty() {
+        return Err(format!("{}: no points to check", path.display()));
+    }
+    Ok(ServeLoadBaseline {
+        batches_total: field(config, "batches_total")? as u64,
+        groups: field(config, "groups")? as u64,
+        shards: field(config, "shards")? as u64,
+        slo_ms: field(config, "slo_ms")?,
+        cores: root
+            .get("cores")
+            .and_then(serde_json::Value::as_f64)
+            .map(|c| c as u64),
+        points,
+    })
+}
+
+/// Gates the multi-client serve-load sweep: re-runs the committed
+/// workload (same client counts, batches, groups, shards), keeps the
+/// best throughput and tail per point across runs, and fails on a
+/// past-threshold throughput regression or a p99 at (or past) the SLO at
+/// any client count. The sweep's correctness invariants (bit-identical
+/// state, snapshot self-checks) are enforced by the run itself — any
+/// violation surfaces as an error here, not a silent pass.
+fn serve_load_gate(opts: &Options, available: usize) -> Result<bool, String> {
+    let path = opts.dir.join(SERVE_LOAD_FILE);
+    if !path.exists() {
+        println!("  {SERVE_LOAD_FILE}: SKIP (not present)");
+        return Ok(false);
+    }
+    let baseline = load_serve_load_baseline(&path)?;
+    if let Some(cores) = baseline.cores {
+        if cores > available as u64 {
+            println!("  serve-load: SKIP (baseline recorded on {cores} cores, have {available})");
+            return Ok(false);
+        }
+    }
+    let config = tomo_sim::serve_load::ServeLoadConfig {
+        client_counts: baseline.points.iter().map(|p| p.clients as usize).collect(),
+        batches_total: baseline.batches_total as usize,
+        groups: baseline.groups as usize,
+        shards: baseline.shards as usize,
+        slo_ms: baseline.slo_ms,
+    };
+    let mut best_tput = vec![0.0f64; baseline.points.len()];
+    let mut best_p99 = vec![f64::INFINITY; baseline.points.len()];
+    for _ in 0..opts.runs {
+        let result =
+            tomo_sim::serve_load::run(BASELINE_SEED, &config).map_err(|e| e.to_string())?;
+        for (i, p) in result.points.iter().enumerate() {
+            if p.clients as u64 != baseline.points[i].clients {
+                return Err(format!(
+                    "workload drift: baseline point {i} has {} clients, re-run produced {} — \
+                     regenerate {SERVE_LOAD_FILE} with scripts/bench_trajectory.sh",
+                    baseline.points[i].clients, p.clients
+                ));
+            }
+            best_tput[i] = best_tput[i].max(p.batches_per_sec);
+            best_p99[i] = best_p99[i].min(p.query_p99_us);
+        }
+    }
+    let slo_us = baseline.slo_ms * 1000.0;
+    let mut failed = false;
+    for (i, b) in baseline.points.iter().enumerate() {
+        let floor = b.batches_per_sec * (1.0 - opts.threshold);
+        let point_failed = best_tput[i] < floor || best_p99[i] >= slo_us;
+        let verdict = if point_failed { "FAIL" } else { "ok" };
+        println!(
+            "  serve-load {} clients: {:.0} batches/s vs baseline {:.0} (floor {:.0}), \
+             p99 {:.1}µs vs baseline {:.1}µs (SLO {slo_us:.0}µs) — {verdict}",
+            b.clients, best_tput[i], b.batches_per_sec, floor, best_p99[i], b.query_p99_us
+        );
+        if point_failed {
+            failed = true;
+        }
+    }
+    Ok(failed)
+}
+
 fn regression_gate(opts: &Options) -> Result<bool, String> {
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let baseline = load_baseline(&opts.dir.join(BASELINE_FILE))?;
@@ -465,6 +595,9 @@ fn regression_gate(opts: &Options) -> Result<bool, String> {
         failed = true;
     }
     if serve_gate(opts, available)? {
+        failed = true;
+    }
+    if serve_load_gate(opts, available)? {
         failed = true;
     }
     if warm_gate(opts)? {
@@ -653,6 +786,70 @@ mod tests {
         let path = dir.join(SERVE_FILE);
         std::fs::write(&path, r#"{"batches": 400, "rows_per_batch": 8}"#).unwrap();
         assert!(load_serve_baseline(&path)
+            .unwrap_err()
+            .contains("query_p99_us"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_load_baseline_parses_committed_shape() {
+        let dir = std::env::temp_dir().join("tomo_bench_serve_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SERVE_LOAD_FILE);
+        std::fs::write(
+            &path,
+            r#"{
+              "seed": 42,
+              "cores": 1,
+              "config": {
+                "client_counts": [1, 4], "batches_total": 4096,
+                "groups": 8, "shards": 4, "slo_ms": 5.0
+              },
+              "points": [
+                {"clients": 1, "batches_per_sec": 90000.0, "query_p99_us": 40.0},
+                {"clients": 4, "batches_per_sec": 85000.0, "query_p99_us": 55.0}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let b = load_serve_load_baseline(&path).unwrap();
+        assert_eq!(b.batches_total, 4096);
+        assert_eq!(b.groups, 8);
+        assert_eq!(b.shards, 4);
+        assert!((b.slo_ms - 5.0).abs() < 1e-12);
+        assert_eq!(b.cores, Some(1));
+        assert_eq!(b.points.len(), 2);
+        assert_eq!(b.points[1].clients, 4);
+        assert!((b.points[1].batches_per_sec - 85000.0).abs() < 1e-9);
+        assert!((b.points[0].query_p99_us - 40.0).abs() < 1e-12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_load_baseline_rejects_missing_fields() {
+        let dir = std::env::temp_dir().join("tomo_bench_serve_load_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SERVE_LOAD_FILE);
+        std::fs::write(&path, r#"{"points": []}"#).unwrap();
+        assert!(load_serve_load_baseline(&path)
+            .unwrap_err()
+            .contains("config"));
+        std::fs::write(
+            &path,
+            r#"{"config": {"batches_total": 64, "groups": 4, "shards": 2, "slo_ms": 5.0},
+                "points": []}"#,
+        )
+        .unwrap();
+        assert!(load_serve_load_baseline(&path)
+            .unwrap_err()
+            .contains("no points"));
+        std::fs::write(
+            &path,
+            r#"{"config": {"batches_total": 64, "groups": 4, "shards": 2, "slo_ms": 5.0},
+                "points": [{"clients": 1, "batches_per_sec": 100.0}]}"#,
+        )
+        .unwrap();
+        assert!(load_serve_load_baseline(&path)
             .unwrap_err()
             .contains("query_p99_us"));
         std::fs::remove_file(&path).ok();

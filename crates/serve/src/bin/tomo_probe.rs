@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! tomo-probe --addr HOST:PORT [--batches N] [--seed N] [--faults SPEC]
+//!            [--topology FILE.cch] [--extra-paths N] [--paths-seed N]
 //! ```
 //!
-//! Streams full-coverage measurement batches for the fig. 1 system to a
-//! running `tomo-serve`, optionally injecting wire faults drawn from
-//! `--faults` (e.g. `frame=0.2`), and prints the delivery ledger as one
-//! JSON object on stdout.
+//! Streams full-coverage measurement batches to a running `tomo-serve`
+//! — for the fig. 1 system by default, or for the same topology the
+//! daemon was started with when `--topology`/`--extra-paths`/
+//! `--paths-seed` match its flags — optionally injecting wire faults
+//! drawn from `--faults` (e.g. `frame=0.2`), and prints the delivery
+//! ledger as one JSON object on stdout.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -15,13 +18,16 @@ use std::process::ExitCode;
 use tomo_core::fig1::fig1_system;
 use tomo_fault::{FaultPlan, FaultSpec};
 use tomo_linalg::Vector;
-use tomo_serve::{ProbeClient, ProbeRow};
+use tomo_serve::{topology, ProbeClient, ProbeRow};
 
 struct Options {
     addr: SocketAddr,
     batches: usize,
     seed: u64,
     faults: Option<FaultSpec>,
+    topology: Option<std::path::PathBuf>,
+    extra_paths: usize,
+    paths_seed: u64,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -29,6 +35,9 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
     let mut batches = 32usize;
     let mut seed = 0u64;
     let mut faults = None;
+    let mut topology = None;
+    let mut extra_paths = 0usize;
+    let mut paths_seed = 42u64;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -56,6 +65,18 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                 let v = value(arg)?;
                 faults = Some(FaultSpec::parse(&v).map_err(|e| format!("--faults: {e}"))?);
             }
+            "--topology" => {
+                let v = value(arg)?;
+                topology = Some(std::path::PathBuf::from(v));
+            }
+            "--extra-paths" => {
+                let v = value(arg)?;
+                extra_paths = v.parse().map_err(|_| format!("--extra-paths: {v:?}"))?;
+            }
+            "--paths-seed" => {
+                let v = value(arg)?;
+                paths_seed = v.parse().map_err(|_| format!("--paths-seed: {v:?}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -64,11 +85,18 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         batches,
         seed,
         faults,
+        topology,
+        extra_paths,
+        paths_seed,
     })
 }
 
 fn run(options: &Options) -> Result<(), String> {
-    let system = fig1_system().map_err(|e| format!("fig1 system: {e}"))?;
+    let system = match &options.topology {
+        Some(path) => topology::load_system(path, options.extra_paths, options.paths_seed)
+            .map_err(|e| format!("--topology: {e}"))?,
+        None => fig1_system().map_err(|e| format!("fig1 system: {e}"))?,
+    };
     let num_paths = system.num_paths();
     let x = Vector::filled(system.num_links(), 10.0);
     let y = system.measure(&x).map_err(|e| format!("measure: {e}"))?;

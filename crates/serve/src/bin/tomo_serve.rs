@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! tomo-serve [--ingest-port N] [--http-port N] [--journal PATH]
-//!            [--journal-sync] [--queue-capacity N] [--snapshot-every N]
-//!            [--slo-ms F] [--max-secs F]
+//!            [--journal-sync] [--queue-capacity N] [--shards N]
+//!            [--snapshot-every N] [--slo-ms F] [--max-secs F]
+//!            [--topology FILE.cch] [--extra-paths N] [--paths-seed N]
 //! tomo-serve bench [--batches N] [--slo-ms F]
 //! ```
 //!
 //! The daemon prints its bound addresses (`ingest_addr=` / `http_addr=`)
 //! on stdout so scripts using ephemeral ports can find it, then blocks
-//! until `POST /shutdown` (or `--max-secs` elapses). The `bench`
-//! subcommand runs the ingest/query workload in-process and prints the
+//! until `POST /shutdown` (or `--max-secs` elapses). Without
+//! `--topology` it serves the fig. 1 toy system; with it, any
+//! Rocketfuel `.cch` / edge-list topology (one one-hop path per link
+//! plus `--extra-paths` seeded multi-hop paths). The `bench` subcommand
+//! runs the ingest/query workload in-process and prints the
 //! `BENCH_serve.json` payload on stdout.
 
 use std::io::Write;
@@ -21,11 +25,14 @@ use std::time::Duration;
 use tomo_core::fig1::fig1_system;
 use tomo_detect::ConsistencyDetector;
 use tomo_serve::bench::{self, BenchConfig};
-use tomo_serve::{ServeConfig, Server};
+use tomo_serve::{topology, ServeConfig, Server};
 
 struct Options {
     config: ServeConfig,
     max_secs: Option<f64>,
+    topology: Option<std::path::PathBuf>,
+    extra_paths: usize,
+    paths_seed: u64,
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -44,6 +51,9 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
     let mut options = Options {
         config: ServeConfig::default(),
         max_secs: None,
+        topology: None,
+        extra_paths: 0,
+        paths_seed: 42,
     };
     let mut args = argv.iter().peekable();
     while let Some(arg) = args.next() {
@@ -56,7 +66,14 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             }
             "--journal-sync" => options.config.journal_sync = true,
             "--queue-capacity" => options.config.queue_capacity = parse_flag(&mut args, arg)?,
+            "--shards" => options.config.ingest_shards = parse_flag(&mut args, arg)?,
             "--snapshot-every" => options.config.snapshot_every = parse_flag(&mut args, arg)?,
+            "--topology" => {
+                let path: String = parse_flag(&mut args, arg)?;
+                options.topology = Some(path.into());
+            }
+            "--extra-paths" => options.extra_paths = parse_flag(&mut args, arg)?,
+            "--paths-seed" => options.paths_seed = parse_flag(&mut args, arg)?,
             "--slo-ms" => options.config.slo_ms = parse_flag(&mut args, arg)?,
             "--max-secs" => options.max_secs = Some(parse_flag(&mut args, arg)?),
             other => return Err(format!("unknown flag {other:?}")),
@@ -81,7 +98,18 @@ fn run_bench(argv: &[String]) -> Result<(), String> {
 }
 
 fn run_daemon(options: Options) -> Result<(), String> {
-    let system = Arc::new(fig1_system().map_err(|e| format!("fig1 system: {e}"))?);
+    let system = match &options.topology {
+        Some(path) => Arc::new(
+            topology::load_system(path, options.extra_paths, options.paths_seed)
+                .map_err(|e| format!("--topology: {e}"))?,
+        ),
+        None => Arc::new(fig1_system().map_err(|e| format!("fig1 system: {e}"))?),
+    };
+    println!(
+        "system links={} paths={}",
+        system.num_links(),
+        system.num_paths()
+    );
     let mut server = Server::start(system, ConsistencyDetector::recommended(), options.config)
         .map_err(|e| format!("daemon start failed: {e}"))?;
     println!("ingest_addr={}", server.ingest_addr());

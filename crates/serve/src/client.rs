@@ -56,6 +56,10 @@ pub struct ClientConfig {
     /// Delivery attempts per batch before giving up (each attempt may
     /// include a reconnect).
     pub max_attempts: u32,
+    /// Most unacked batches the client will hold for resend at once.
+    /// Exceeding it is a typed [`ClientError::ResendOverflow`] instead
+    /// of unbounded buffer growth.
+    pub max_unacked: usize,
 }
 
 impl Default for ClientConfig {
@@ -66,6 +70,7 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_millis(250),
             max_attempts: 60,
+            max_unacked: 256,
         }
     }
 }
@@ -81,6 +86,14 @@ pub enum ClientError {
     },
     /// The server answered the handshake with something else.
     BadHandshake,
+    /// The resend buffer would exceed [`ClientConfig::max_unacked`]
+    /// unacked batches.
+    ResendOverflow {
+        /// Unacked batches the delivery needed to hold.
+        unacked: usize,
+        /// The configured cap.
+        capacity: usize,
+    },
     /// An unrecoverable wire error.
     Wire(WireError),
 }
@@ -92,6 +105,10 @@ impl std::fmt::Display for ClientError {
                 write!(f, "batch {batch_id}: delivery attempts exhausted")
             }
             ClientError::BadHandshake => write!(f, "server handshake was not a HelloAck"),
+            ClientError::ResendOverflow { unacked, capacity } => write!(
+                f,
+                "resend buffer overflow: {unacked} unacked batches exceed the cap of {capacity}"
+            ),
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
@@ -140,6 +157,7 @@ pub struct ProbeClient {
     rng: ChaCha8Rng,
     conn: Option<Conn>,
     next_batch_id: u64,
+    batch_id_stride: u64,
     outcome: StreamOutcome,
 }
 
@@ -154,6 +172,7 @@ impl ProbeClient {
             rng: ChaCha8Rng::seed_from_u64(seed),
             conn: None,
             next_batch_id: 0,
+            batch_id_stride: 1,
             outcome: StreamOutcome::default(),
         }
     }
@@ -172,6 +191,22 @@ impl ProbeClient {
     #[must_use]
     pub fn with_start_batch_id(mut self, id: u64) -> Self {
         self.next_batch_id = id;
+        self
+    }
+
+    /// Advances batch-id allocation by `stride` instead of 1 — client
+    /// `c` of `N` concurrent clients uses start id `c` and stride `N`,
+    /// so the fleet partitions the global id sequence without
+    /// coordination and dedup/last-writer-wins see exactly the ids a
+    /// single client would have assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn with_batch_id_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "batch id stride must be positive");
+        self.batch_id_stride = stride;
         self
     }
 
@@ -288,6 +323,47 @@ impl ProbeClient {
         Ok(self.outcome_delta(&before))
     }
 
+    /// Streams clean batches in pipelined windows: `window` batches are
+    /// written back-to-back and then acked as a block, so the ack round
+    /// trip is amortized across the window instead of paid per batch.
+    /// Ids are fixed in batch order before any delivery, and the server
+    /// applies last-writer-wins by batch id, so the final engine state
+    /// is identical to a lockstep [`Self::stream`] of the same batches.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ResendOverflow`] when `window` exceeds the
+    /// configured `max_unacked` resend buffer, and
+    /// [`ClientError::RetriesExhausted`] when a window cannot be
+    /// delivered within the attempt budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn stream_windowed(
+        &mut self,
+        batches: Vec<Vec<ProbeRow>>,
+        window: usize,
+    ) -> Result<StreamOutcome, ClientError> {
+        assert!(window > 0, "window must be at least 1 batch");
+        let before = self.outcome.clone();
+        let mut pending: Vec<Pending> = batches
+            .into_iter()
+            .map(|rows| Pending {
+                batch_id: self.alloc_id(),
+                rows,
+                acked: false,
+            })
+            .collect();
+        let mut lo = 0;
+        while lo < pending.len() {
+            let hi = (lo + window).min(pending.len());
+            self.transact(&mut pending[lo..hi])?;
+            lo = hi;
+        }
+        Ok(self.outcome_delta(&before))
+    }
+
     fn outcome_delta(&self, before: &StreamOutcome) -> StreamOutcome {
         let after = &self.outcome;
         let mut injected = FaultKindCounts::default();
@@ -311,13 +387,20 @@ impl ProbeClient {
 
     fn alloc_id(&mut self) -> u64 {
         let id = self.next_batch_id;
-        self.next_batch_id += 1;
+        self.next_batch_id += self.batch_id_stride;
         id
     }
 
     /// Delivers every batch in `window` (written in slice order) until
     /// all are acked, reconnecting and resending as needed.
     fn transact(&mut self, window: &mut [Pending]) -> Result<(), ClientError> {
+        let unacked = window.iter().filter(|p| !p.acked).count();
+        if unacked > self.config.max_unacked {
+            return Err(ClientError::ResendOverflow {
+                unacked,
+                capacity: self.config.max_unacked,
+            });
+        }
         let mut attempts = 0;
         while window.iter().any(|p| !p.acked) {
             attempts += 1;
@@ -460,6 +543,9 @@ impl ProbeClient {
         }
         let stream =
             TcpStream::connect_timeout(&self.addr, self.config.connect_timeout).map_err(|_| ())?;
+        // Frames are small; without TCP_NODELAY a pipelined window
+        // stalls on Nagle waiting for the peer's delayed ACK.
+        stream.set_nodelay(true).map_err(|_| ())?;
         stream
             .set_read_timeout(Some(self.config.ack_timeout))
             .map_err(|_| ())?;

@@ -107,8 +107,9 @@ pub struct QueryAnswer {
     pub unidentifiable: usize,
 }
 
-/// Why a query could not be answered.
-#[derive(Debug)]
+/// Why a query could not be answered. `Clone` so a snapshot can cache
+/// the outcome once and hand copies to every reader.
+#[derive(Debug, Clone)]
 pub enum QueryError {
     /// No path has reported a measurement yet.
     NoCoverage,
@@ -130,6 +131,54 @@ impl std::error::Error for QueryError {}
 impl From<CoreError> for QueryError {
     fn from(e: CoreError) -> Self {
         QueryError::Core(e)
+    }
+}
+
+/// Solves one estimate/verdict answer from a covered-slot view. Shared
+/// by the locked [`Engine::query`] path and the lock-free snapshot path
+/// so both produce bit-identical answers for the same slot state.
+///
+/// `covered` lists the paths holding a measurement (ascending) and
+/// `values` their readings, parallel to `covered`.
+pub(crate) fn solve_answer(
+    system: &TomographySystem,
+    detector: ConsistencyDetector,
+    covered: &[usize],
+    values: &[f64],
+    epoch: u64,
+    num_paths: usize,
+) -> Result<QueryAnswer, QueryError> {
+    SOLVES.inc();
+    if covered.len() == num_paths {
+        let y = Vector::from(values.to_vec());
+        let estimate = system.estimate(&y)?;
+        let verdict = detector.inspect(system, &y)?;
+        Ok(QueryAnswer {
+            epoch,
+            coverage: num_paths,
+            num_paths,
+            estimate_bits: estimate.iter().map(|v| v.to_bits()).collect(),
+            verdict,
+            degraded: false,
+            rank: system.num_links(),
+            used_ridge: false,
+            unidentifiable: 0,
+        })
+    } else {
+        let y_sub = Vector::from(values.to_vec());
+        let solve = system.solve_degraded(covered, &y_sub)?;
+        let degraded = detector.inspect_degraded(system, covered, &y_sub)?;
+        Ok(QueryAnswer {
+            epoch,
+            coverage: covered.len(),
+            num_paths,
+            estimate_bits: solve.estimate.iter().map(|v| v.to_bits()).collect(),
+            verdict: degraded.verdict,
+            degraded: true,
+            rank: degraded.rank,
+            used_ridge: degraded.used_ridge,
+            unidentifiable: degraded.unidentifiable.len(),
+        })
     }
 }
 
@@ -295,46 +344,46 @@ impl Engine {
         if covered.is_empty() {
             return Err(QueryError::NoCoverage);
         }
-        SOLVES.inc();
         let values: Vec<f64> = covered
             .iter()
             .map(|&i| f64::from_bits(self.slots[i].expect("covered row has a slot").0))
             .collect();
-        let answer = if covered.len() == num_paths {
-            let y = Vector::from(values);
-            let estimate = self.system.estimate(&y)?;
-            let verdict = self.detector.inspect(&self.system, &y)?;
-            QueryAnswer {
-                epoch: self.epoch,
-                coverage: num_paths,
-                num_paths,
-                estimate_bits: estimate.iter().map(|v| v.to_bits()).collect(),
-                verdict,
-                degraded: false,
-                rank: self.system.num_links(),
-                used_ridge: false,
-                unidentifiable: 0,
-            }
-        } else {
-            let y_sub = Vector::from(values);
-            let solve = self.system.solve_degraded(&covered, &y_sub)?;
-            let degraded = self
-                .detector
-                .inspect_degraded(&self.system, &covered, &y_sub)?;
-            QueryAnswer {
-                epoch: self.epoch,
-                coverage: covered.len(),
-                num_paths,
-                estimate_bits: solve.estimate.iter().map(|v| v.to_bits()).collect(),
-                verdict: degraded.verdict,
-                degraded: true,
-                rank: degraded.rank,
-                used_ridge: degraded.used_ridge,
-                unidentifiable: degraded.unidentifiable.len(),
-            }
-        };
+        let answer = solve_answer(
+            &self.system,
+            self.detector,
+            &covered,
+            &values,
+            self.epoch,
+            num_paths,
+        )?;
         self.cached = Some(answer.clone());
         Ok(answer)
+    }
+
+    /// Freezes the engine's observable state into an immutable snapshot
+    /// for the lock-free query path. Called by the apply worker after a
+    /// drain burst; `version` is the publish counter.
+    #[must_use]
+    pub fn published_view(&self, version: u64) -> crate::snapshot::EngineSnapshot {
+        let mut covered = Vec::new();
+        let mut values_bits = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some((bits, _)) = slot {
+                covered.push(i);
+                values_bits.push(*bits);
+            }
+        }
+        crate::snapshot::EngineSnapshot::new(
+            version,
+            self.epoch,
+            self.watermark,
+            self.slots.len(),
+            covered,
+            values_bits,
+            self.stats,
+            std::sync::Arc::clone(&self.system),
+            self.detector,
+        )
     }
 
     /// Captures the full engine state for a journal snapshot frame.
@@ -566,6 +615,30 @@ mod tests {
         fresh.apply(&full_batch(1, 3, 9.0, 4));
         e.apply(&full_batch(1, 3, 9.0, 4));
         assert_eq!(fresh.snapshot(), e.snapshot());
+    }
+
+    #[test]
+    fn published_view_answers_bit_identical_to_query() {
+        let mut e = engine();
+        let n = e.system().num_paths();
+        // Partial coverage, so the degraded path is exercised too.
+        let x = Vector::filled(e.system().num_links(), 7.0);
+        let y = e.system().measure(&x).unwrap();
+        let batch = ProbeBatch {
+            batch_id: 0,
+            epoch: 0,
+            rows: (0..n - 1)
+                .map(|i| ProbeRow::new(u32::try_from(i).unwrap(), y[i]))
+                .collect(),
+        };
+        assert!(matches!(e.apply(&batch), ApplyOutcome::Applied { .. }));
+        let view = e.published_view(1);
+        let from_snapshot = view.answer().unwrap();
+        let from_engine = e.query().unwrap();
+        assert_eq!(from_snapshot, from_engine);
+        assert_eq!(view.watermark(), 1);
+        assert_eq!(view.coverage(), n - 1);
+        assert!(view.self_check());
     }
 
     #[test]

@@ -8,12 +8,19 @@
 //! * [`wire`] — the zero-dependency length-prefixed TCP protocol
 //!   (`len:u32 | type:u8 | body`), with typed errors for every
 //!   malformed-input shape an adversarial peer can produce.
-//! * [`queue`] — the bounded ingest queue; at capacity the daemon says
-//!   `Reject(QueueFull)` with a retry hint instead of buffering
-//!   without bound.
+//! * [`queue`] — the bounded ingest queues: the single-lane
+//!   [`queue::BoundedQueue`] and the per-path-group
+//!   [`queue::ShardedQueue`] drained in deterministic round-robin; at
+//!   capacity the daemon says `Reject(QueueFull)` with an adaptive
+//!   retry hint instead of buffering without bound.
 //! * [`engine`] — the online estimator state: last-writer-wins slot
 //!   table over PR 7's incremental solver, dedup watermark, quarantine
 //!   of non-finite or out-of-range rows.
+//! * [`snapshot`] — the lock-free query path: immutable
+//!   [`snapshot::EngineSnapshot`]s published through a double-buffered
+//!   [`snapshot::SnapshotStore`], so queries never contend with ingest.
+//! * [`topology`] — builds the daemon's tomography system from a
+//!   Rocketfuel `.cch` / edge-list file (`tomo-serve --topology`).
 //! * [`journal`] — append-only crash-safe log of applied batches with
 //!   periodic snapshots; journal-before-ack makes acked data durable.
 //! * [`server`] — the daemon proper: ingest acceptor with per-frame
@@ -34,13 +41,17 @@ pub mod engine;
 pub mod journal;
 pub mod queue;
 pub mod server;
+pub mod snapshot;
+pub mod topology;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, ProbeClient, StreamOutcome};
 pub use engine::{ApplyOutcome, BatchFault, Engine, EngineStats, QueryAnswer, QueryError};
 pub use journal::{Journal, Replay};
-pub use queue::{BoundedQueue, QueueFull};
+pub use queue::{BoundedQueue, QueueFull, ShardStats, ShardedQueue};
 pub use server::{IngestCounters, ServeConfig, Server};
+pub use snapshot::{EngineSnapshot, SnapshotStore};
+pub use topology::{load_system, TopologyError};
 pub use wire::{
     read_frame, write_frame, Frame, ProbeBatch, ProbeRow, RejectCode, SnapshotState, WireError,
     MAX_FRAME_LEN, WIRE_VERSION,

@@ -1,17 +1,25 @@
 //! The `tomo-serve` daemon: ingest loop, apply worker, HTTP query front.
 //!
-//! Three thread families cooperate around one [`Engine`]:
+//! Three thread families cooperate, but only one of them ever touches
+//! the [`Engine`]:
 //!
 //! * **connection handlers** (one per ingest TCP connection) parse wire
 //!   frames under per-connection deadlines and hand batches to the apply
-//!   worker through the bounded queue — or answer `Reject(QueueFull)`
-//!   on the spot when the queue is at capacity;
-//! * the **apply worker** (single consumer) journals each admitted
-//!   batch, applies it to the engine, snapshots on cadence, and only
-//!   then releases the `Ack` — so an acked batch survives a crash;
-//! * the **HTTP front** (the generalized `tomo-obs` loop) answers
-//!   health/readiness/state/verdict/stats queries against the engine's
-//!   cached answer, bounded by one solve per applied batch.
+//!   worker through the sharded bounded queue (shard = hash of the
+//!   batch's path group, so clients probing different path groups never
+//!   contend on a queue lock) — or answer `Reject(QueueFull)` with an
+//!   occupancy-scaled retry hint when their shard is at capacity;
+//! * the **apply worker** (single consumer, sole owner of the engine)
+//!   drains the shards in deterministic round-robin order, journals each
+//!   admitted batch, applies it, snapshots on cadence, publishes an
+//!   immutable [`EngineSnapshot`] when the queue drains (or every
+//!   `publish_coalesce` batches), and only then releases the `Ack` — so
+//!   an acked batch both survives a crash *and* is visible to the next
+//!   query;
+//! * the **HTTP front** and every in-process query answer from the
+//!   latest published snapshot — no engine lock exists to take, so
+//!   `/state`, `/verdict`, and `/stats` never contend with ingest and a
+//!   torn read is impossible by construction (see `snapshot.rs`).
 //!
 //! Deadline policy: a connection may idle between frames up to
 //! `idle_timeout`, but once a frame's first byte arrives the rest must
@@ -33,7 +41,8 @@ use tomo_obs::{Handler, HttpRequest, HttpResponse, HttpServer, LazyHistogram};
 
 use crate::engine::{ApplyOutcome, Engine, EngineStats, QueryError};
 use crate::journal::Journal;
-use crate::queue::BoundedQueue;
+use crate::queue::{ShardStats, ShardedQueue};
+use crate::snapshot::{EngineSnapshot, SnapshotStore};
 use crate::wire::{Frame, ProbeBatch, RejectCode, WireError, MAX_FRAME_LEN, WIRE_VERSION};
 
 static QUERY_LATENCY_US: LazyHistogram = LazyHistogram::new("serve.query.latency_us");
@@ -46,9 +55,13 @@ pub struct ServeConfig {
     pub ingest_port: u16,
     /// HTTP query port (0 = OS-assigned).
     pub http_port: u16,
-    /// Bounded ingest queue capacity (batches).
+    /// Bounded ingest queue capacity (batches), split evenly across the
+    /// shards.
     pub queue_capacity: usize,
-    /// Backoff hint carried by `Reject(QueueFull)`.
+    /// Number of ingest queue shards (per-path-group lanes).
+    pub ingest_shards: usize,
+    /// Base backoff hint carried by `Reject(QueueFull)`; the actual
+    /// hint scales with queue occupancy at reject time.
     pub retry_after_ms: u32,
     /// How long a connection may idle *between* frames.
     pub idle_timeout: Duration,
@@ -67,6 +80,9 @@ pub struct ServeConfig {
     pub journal_sync: bool,
     /// Snapshot the engine every this many applied batches (0 = never).
     pub snapshot_every: u64,
+    /// Under sustained load, publish a query snapshot at least every
+    /// this many applied batches (a drained queue always publishes).
+    pub publish_coalesce: u64,
     /// The p99 query-latency SLO, milliseconds (reported in `/stats`;
     /// the chaos sweep asserts against it).
     pub slo_ms: f64,
@@ -78,6 +94,7 @@ impl Default for ServeConfig {
             ingest_port: 0,
             http_port: 0,
             queue_capacity: 64,
+            ingest_shards: 4,
             retry_after_ms: 20,
             idle_timeout: Duration::from_secs(30),
             frame_deadline: Duration::from_secs(2),
@@ -86,6 +103,7 @@ impl Default for ServeConfig {
             journal_path: None,
             journal_sync: false,
             snapshot_every: 64,
+            publish_coalesce: 32,
             slo_ms: 5.0,
         }
     }
@@ -141,7 +159,8 @@ pub struct Server {
     http_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     shutdown_requested: Arc<(Mutex<bool>, Condvar)>,
-    engine: Arc<Mutex<Engine>>,
+    store: Arc<SnapshotStore>,
+    queue: Arc<ShardedQueue<IngestItem>>,
     counters: Arc<IngestCounters>,
     listener_thread: Option<std::thread::JoinHandle<()>>,
     apply_thread: Option<std::thread::JoinHandle<()>>,
@@ -205,33 +224,60 @@ impl Server {
 
         let stop = Arc::new(AtomicBool::new(false));
         let shutdown_requested = Arc::new((Mutex::new(false), Condvar::new()));
-        let engine = Arc::new(Mutex::new(engine));
         let counters = Arc::new(IngestCounters::default());
-        let queue = BoundedQueue::<IngestItem>::new(config.queue_capacity, config.retry_after_ms);
+        let queue = ShardedQueue::<IngestItem>::new(
+            config.queue_capacity,
+            config.ingest_shards,
+            config.retry_after_ms,
+        );
         let conn_threads = Arc::new(Mutex::new(Vec::<std::thread::JoinHandle<()>>::new()));
+        // Version 0: the post-replay state is queryable before the
+        // first batch arrives.
+        let store = Arc::new(SnapshotStore::new(engine.published_view(0)));
 
-        // Apply worker: the only thread that mutates the engine.
+        // Apply worker: sole owner of the engine — it moves in here, so
+        // no other thread *can* take an engine lock. Queries read the
+        // published snapshots instead.
         let apply_thread = {
             let queue = Arc::clone(&queue);
-            let engine = Arc::clone(&engine);
+            let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
             let poll = config.poll_interval;
+            let coalesce = config.publish_coalesce.max(1);
             std::thread::Builder::new()
                 .name("tomo-serve-apply".into())
-                .spawn(move || loop {
-                    match queue.pop_timeout(poll) {
-                        Some(item) => {
-                            let reply = {
-                                let mut engine = lock(&engine);
-                                apply_one(&mut engine, journal.as_mut(), &item.batch)
-                            };
-                            // A gone receiver just means the connection
-                            // died; the client will retry.
-                            let _ = item.reply.send(reply);
-                        }
-                        None => {
-                            if stop.load(Ordering::Acquire) && queue.depth() == 0 {
-                                break;
+                .spawn(move || {
+                    let mut engine = engine;
+                    let mut version = 1u64;
+                    let mut unpublished = 0u64;
+                    loop {
+                        match queue.pop_next(poll) {
+                            Some((_, item)) => {
+                                let reply = apply_one(&mut engine, journal.as_mut(), &item.batch);
+                                unpublished += 1;
+                                // Publish *before* the ack goes out when
+                                // the queue is drained (always true for a
+                                // lockstep client's latest batch), so an
+                                // acked write is visible to the next
+                                // query; under sustained load, coalesce.
+                                if queue.depth() == 0 || unpublished >= coalesce {
+                                    store.publish(engine.published_view(version));
+                                    version += 1;
+                                    unpublished = 0;
+                                }
+                                // A gone receiver just means the connection
+                                // died; the client will retry.
+                                let _ = item.reply.send(reply);
+                            }
+                            None => {
+                                if unpublished > 0 {
+                                    store.publish(engine.published_view(version));
+                                    version += 1;
+                                    unpublished = 0;
+                                }
+                                if stop.load(Ordering::Acquire) && queue.depth() == 0 {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -241,7 +287,7 @@ impl Server {
         // Ingest acceptor.
         let listener_thread = {
             let stop = Arc::clone(&stop);
-            let engine = Arc::clone(&engine);
+            let store = Arc::clone(&store);
             let counters = Arc::clone(&counters);
             let queue = Arc::clone(&queue);
             let conn_threads = Arc::clone(&conn_threads);
@@ -256,8 +302,11 @@ impl Server {
                         if stop.load(Ordering::Acquire) {
                             break; // the shutdown self-connect
                         }
+                        // Acks are tiny; Nagle would hold them hostage
+                        // to the client's delayed ACK under pipelining.
+                        let _ = stream.set_nodelay(true);
                         counters.connections.fetch_add(1, Ordering::Relaxed);
-                        let engine = Arc::clone(&engine);
+                        let store = Arc::clone(&store);
                         let counters = Arc::clone(&counters);
                         let queue = Arc::clone(&queue);
                         let stop = Arc::clone(&stop);
@@ -266,7 +315,7 @@ impl Server {
                             .name("tomo-serve-conn".into())
                             .spawn(move || {
                                 handle_ingest_conn(
-                                    stream, &engine, &counters, &queue, &stop, &config,
+                                    stream, &store, &counters, &queue, &stop, &config,
                                 );
                             });
                         if let Ok(handle) = handle {
@@ -287,7 +336,7 @@ impl Server {
         let http = HttpServer::bind(config.http_port)?;
         let http_addr = http.local_addr()?;
         let handler = http_handler(
-            Arc::clone(&engine),
+            Arc::clone(&store),
             Arc::clone(&counters),
             Arc::clone(&queue),
             Arc::clone(&shutdown_requested),
@@ -300,7 +349,8 @@ impl Server {
             http_addr,
             stop,
             shutdown_requested,
-            engine,
+            store,
+            queue,
             counters,
             listener_thread: Some(listener_thread),
             apply_thread: Some(apply_thread),
@@ -336,27 +386,43 @@ impl Server {
         lock(&self.conn_threads).len()
     }
 
-    /// Current engine counters.
+    /// Engine counters from the latest published snapshot.
     #[must_use]
     pub fn engine_stats(&self) -> EngineStats {
-        lock(&self.engine).stats()
+        self.store.load().stats()
     }
 
-    /// Current session epoch.
+    /// Current session epoch (from the latest published snapshot).
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        lock(&self.engine).epoch()
+        self.store.load().epoch()
     }
 
-    /// Runs a query against the engine directly (the in-process path the
-    /// chaos sweep uses alongside HTTP).
+    /// The latest published engine snapshot — the same view HTTP
+    /// queries answer from. The load sweep uses this to assert
+    /// consistency and version monotonicity from reader threads.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.store.load()
+    }
+
+    /// Per-shard ingest queue statistics.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.queue.shard_stats()
+    }
+
+    /// Runs a query against the latest published snapshot (the
+    /// in-process path the chaos and load sweeps use alongside HTTP).
+    /// Takes no engine lock: ingest can saturate the apply worker while
+    /// this returns in microseconds.
     ///
     /// # Errors
     ///
-    /// See [`Engine::query`].
+    /// See [`EngineSnapshot::answer`].
     pub fn query(&self) -> Result<crate::engine::QueryAnswer, QueryError> {
         let start = Instant::now();
-        let result = lock(&self.engine).query();
+        let result = self.store.load().answer();
         QUERY_LATENCY_US.record(start.elapsed().as_secs_f64() * 1e6);
         result
     }
@@ -413,7 +479,7 @@ impl Drop for Server {
     }
 }
 
-/// Applies one batch under the engine lock, with write-ahead journaling:
+/// Applies one batch on the apply worker, with write-ahead journaling:
 /// an admitted batch is journaled *before* it is applied, so a journal
 /// failure leaves the engine untouched — the client's retry re-runs the
 /// whole admit→journal→apply path instead of short-circuiting through
@@ -586,9 +652,9 @@ fn fill_polling(
 
 fn handle_ingest_conn(
     mut stream: TcpStream,
-    engine: &Mutex<Engine>,
+    store: &SnapshotStore,
     counters: &IngestCounters,
-    queue: &BoundedQueue<IngestItem>,
+    queue: &ShardedQueue<IngestItem>,
     stop: &AtomicBool,
     config: &ServeConfig,
 ) {
@@ -608,8 +674,8 @@ fn handle_ingest_conn(
         }
     }
     let (epoch, num_paths) = {
-        let engine = lock(engine);
-        (engine.epoch(), engine.system().num_paths())
+        let snap = store.load();
+        (snap.epoch(), snap.num_paths())
     };
     let ack = Frame::HelloAck {
         epoch,
@@ -619,48 +685,75 @@ fn handle_ingest_conn(
         return;
     }
 
+    // Reply pump: one writer per connection drains apply replies and
+    // rejects, so the read loop never blocks on the apply worker — a
+    // pipelined client's frames already sitting in the socket buffer
+    // are fanned out to the shard queues back-to-back instead of one
+    // per apply round trip. The client matches replies by batch id, so
+    // reply order never matters.
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = std::thread::Builder::new()
+        .name("tomo-serve-reply".into())
+        .spawn(move || {
+            let mut stream = writer_stream;
+            while let Ok(frame) = reply_rx.recv() {
+                if write_reply(&mut stream, &frame).is_err() {
+                    // Half-close so the read loop sees the dead peer
+                    // now instead of waiting out the idle timeout.
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    break;
+                }
+            }
+        });
+    let Ok(writer) = writer else { return };
+
     loop {
         match read_frame_polling(&mut stream, stop, config) {
             ReadEnd::Frame(Frame::Batch(batch)) => {
                 let batch_id = batch.batch_id;
-                let (tx, rx) = mpsc::channel();
-                let pushed = queue.try_push(IngestItem { batch, reply: tx });
-                let reply = match pushed {
-                    Ok(()) => {
-                        // The apply worker journals and answers; if it
-                        // is gone (shutdown), just drop the connection.
-                        match rx.recv_timeout(Duration::from_secs(10)) {
-                            Ok(frame) => frame,
-                            Err(_) => return,
-                        }
-                    }
-                    Err(full) => {
-                        counters.queue_rejects.fetch_add(1, Ordering::Relaxed);
-                        Frame::Reject {
-                            batch_id,
-                            code: RejectCode::QueueFull,
-                            retry_after_ms: full.retry_after_ms,
-                        }
-                    }
+                // Shard by the batch's path group (its smallest path
+                // id): a client probing a stable set of paths always
+                // lands on the same shard, so it only contends with
+                // clients sharing that group.
+                let group = batch.rows.iter().map(|r| u64::from(r.path)).min();
+                let shard = queue.shard_for(group.unwrap_or(batch_id));
+                let item = IngestItem {
+                    batch,
+                    reply: reply_tx.clone(),
                 };
-                if write_reply(&mut stream, &reply).is_err() {
-                    return;
+                // The apply worker journals and answers through the
+                // reply pump; if it is gone (shutdown), the stop flag
+                // ends the read loop within one poll interval.
+                if let Err(full) = queue.try_push(shard, item) {
+                    counters.queue_rejects.fetch_add(1, Ordering::Relaxed);
+                    let reject = Frame::Reject {
+                        batch_id,
+                        code: RejectCode::QueueFull,
+                        retry_after_ms: full.retry_after_ms,
+                    };
+                    if reply_tx.send(reject).is_err() {
+                        break;
+                    }
                 }
             }
             ReadEnd::Frame(_) => {
                 // A well-formed frame the server never expects here
                 // (e.g. a second Hello): drop the connection.
                 counters.unexpected_frames.fetch_add(1, Ordering::Relaxed);
-                return;
+                break;
             }
-            ReadEnd::CleanClose | ReadEnd::Stopped | ReadEnd::Io => return,
+            ReadEnd::CleanClose | ReadEnd::Stopped | ReadEnd::Io => break,
             ReadEnd::IdleTimeout => {
                 counters.idle_closed.fetch_add(1, Ordering::Relaxed);
-                return;
+                break;
             }
             ReadEnd::DeadlineExceeded => {
                 counters.deadline_closed.fetch_add(1, Ordering::Relaxed);
-                return;
+                break;
             }
             ReadEnd::Violation(e) => {
                 match e {
@@ -678,10 +771,15 @@ fn handle_ingest_conn(
                     }
                 }
                 tomo_obs::debug!("serve.ingest", "quarantined frame: {e}");
-                return;
+                break;
             }
         }
     }
+    // The writer exits once every reply sender is gone: ours here, and
+    // the clones riding queued batches once the apply worker answers
+    // (or drops) them.
+    drop(reply_tx);
+    let _ = writer.join();
 }
 
 fn write_reply(stream: &mut TcpStream, frame: &Frame) -> Result<(), WireError> {
@@ -701,9 +799,9 @@ fn json_f64(v: f64) -> String {
 }
 
 fn http_handler(
-    engine: Arc<Mutex<Engine>>,
+    store: Arc<SnapshotStore>,
     counters: Arc<IngestCounters>,
-    queue: Arc<BoundedQueue<IngestItem>>,
+    queue: Arc<ShardedQueue<IngestItem>>,
     shutdown_requested: Arc<(Mutex<bool>, Condvar)>,
     slo_ms: f64,
 ) -> Handler {
@@ -720,10 +818,10 @@ fn http_handler(
         match req.target.as_str() {
             "/healthz" => HttpResponse::ok("text/plain; charset=utf-8", "ok\n".to_string()),
             "/readyz" => {
-                let engine = lock(&engine);
-                let coverage = engine.coverage();
-                let total = engine.system().num_paths();
-                drop(engine);
+                let snap = store.load();
+                let coverage = snap.coverage();
+                let total = snap.num_paths();
+                drop(snap);
                 if coverage == total {
                     HttpResponse::ok("text/plain; charset=utf-8", "ready\n".to_string())
                 } else {
@@ -732,7 +830,7 @@ fn http_handler(
             }
             "/state" | "/verdict" => {
                 let start = Instant::now();
-                let answer = lock(&engine).query();
+                let answer = store.load().answer();
                 QUERY_LATENCY_US.record(start.elapsed().as_secs_f64() * 1e6);
                 match answer {
                     Ok(a) => {
@@ -790,13 +888,24 @@ fn http_handler(
                 }
             }
             "/stats" => {
-                let (stats, epoch, coverage) = {
-                    let engine = lock(&engine);
-                    (engine.stats(), engine.epoch(), engine.coverage())
-                };
+                let snap = store.load();
+                let (stats, epoch, coverage, version) =
+                    (snap.stats(), snap.epoch(), snap.coverage(), snap.version());
+                drop(snap);
+                let shards: Vec<String> = queue
+                    .shard_stats()
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"depth\": {}, \"pushed\": {}, \"rejects\": {}}}",
+                            s.depth, s.pushed, s.rejects
+                        )
+                    })
+                    .collect();
                 let latency = tomo_obs::histogram("serve.query.latency_us").summary();
                 let body = format!(
-                    "{{\"epoch\": {}, \"coverage\": {}, \"queue_depth\": {}, \
+                    "{{\"epoch\": {}, \"coverage\": {}, \"snapshot_version\": {}, \
+                     \"queue_depth\": {}, \"shards\": [{}], \
                      \"applied\": {}, \"deduped\": {}, \"reordered\": {}, \
                      \"quarantined_batches\": {}, \"stale_epoch\": {}, \
                      \"connections\": {}, \"quarantined_frames\": {}, \
@@ -805,7 +914,9 @@ fn http_handler(
                      \"query_latency_us\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}}}\n",
                     epoch,
                     coverage,
+                    version,
                     queue.depth(),
+                    shards.join(", "),
                     stats.applied,
                     stats.deduped,
                     stats.reordered,

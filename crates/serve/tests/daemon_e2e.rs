@@ -14,8 +14,8 @@ use tomo_detect::ConsistencyDetector;
 use tomo_fault::{FaultPlan, FaultSpec};
 use tomo_linalg::Vector;
 use tomo_serve::{
-    read_frame, write_frame, Frame, ProbeBatch, ProbeClient, ProbeRow, RejectCode, ServeConfig,
-    Server, WIRE_VERSION,
+    read_frame, write_frame, ClientConfig, ClientError, Frame, ProbeBatch, ProbeClient, ProbeRow,
+    RejectCode, ServeConfig, Server, WIRE_VERSION,
 };
 
 fn system() -> Arc<TomographySystem> {
@@ -575,4 +575,220 @@ fn http_front_serves_health_state_verdict_stats_and_shutdown() {
     assert!(status.contains("200"), "{status}");
     let (_server, requested) = waiter.join().expect("waiter joins");
     assert!(requested, "shutdown request observed");
+}
+
+/// Queries read a published snapshot, never the engine: a client
+/// hammering the apply worker with hundreds of batches must not push
+/// the typical in-process query above a millisecond (debug build,
+/// single core — a mutex-contended query path fails this by orders of
+/// magnitude).
+#[test]
+fn queries_stay_fast_while_ingest_is_saturated() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let server = Arc::new(start(ServeConfig {
+        queue_capacity: 512,
+        ..ServeConfig::default()
+    }));
+    let addr = server.ingest_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let ingest = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || {
+            let sys = system();
+            let mut client = ProbeClient::new(addr, 9);
+            let mut delivered = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                client
+                    .stream(make_batches(&sys, 50, delivered), None)
+                    .expect("saturating stream delivers");
+                delivered += 50;
+            }
+            delivered
+        }
+    });
+
+    // Give the hammering a head start, then sample query latencies.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut latencies: Vec<Duration> = (0..300)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            let _ = server.query();
+            t.elapsed()
+        })
+        .collect();
+    stop.store(true, Ordering::Release);
+    let delivered = ingest.join().expect("ingest thread");
+    assert!(delivered >= 50, "apply path was actually busy");
+
+    latencies.sort();
+    let p50 = latencies[latencies.len() / 2];
+    assert!(
+        p50 < Duration::from_millis(1),
+        "lock-free query p50 {p50:?} under saturated ingest"
+    );
+    // And the answers were real, not errors-returned-quickly.
+    let answer = server.query().expect("covered answer");
+    assert_eq!(answer.coverage, system().num_paths());
+}
+
+/// `Server::start` with a Rocketfuel-parsed system: the daemon answers
+/// queries over the real topology, not just the fig. 1 toy.
+#[test]
+fn topology_daemon_serves_a_rocketfuel_system() {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/as65530.cch");
+    let system = Arc::new(tomo_serve::load_system(&path, 4, 42).expect("topology loads"));
+    let server = Server::start(
+        Arc::clone(&system),
+        ConsistencyDetector::recommended(),
+        ServeConfig::default(),
+    )
+    .expect("daemon starts");
+
+    let x = Vector::filled(system.num_links(), 2.0);
+    let y = system.measure(&x).expect("measure");
+    let rows: Vec<ProbeRow> = (0..system.num_paths())
+        .map(|i| ProbeRow::new(u32::try_from(i).expect("fits"), y[i]))
+        .collect();
+    let mut client = ProbeClient::new(server.ingest_addr(), 3);
+    client.send_batch(rows).expect("delivers");
+
+    let answer = server.query().expect("answers");
+    assert_eq!(answer.num_paths, system.num_paths());
+    assert_eq!(answer.coverage, system.num_paths());
+    assert!(!answer.degraded, "full coverage solves exactly");
+    assert_eq!(answer.estimate_bits.len(), system.num_links());
+    for &bits in &answer.estimate_bits {
+        assert!(
+            (f64::from_bits(bits) - 2.0).abs() < 1e-6,
+            "uniform link state recovered"
+        );
+    }
+    assert!(!answer.verdict.detected);
+}
+
+/// `/stats` exposes the per-shard queue gauges and the snapshot
+/// version, and the in-process accessor agrees with the HTTP view.
+#[test]
+fn stats_reports_shards_and_snapshot_version() {
+    let server = start(ServeConfig {
+        ingest_shards: 3,
+        ..ServeConfig::default()
+    });
+    let sys = system();
+    let mut client = ProbeClient::new(server.ingest_addr(), 2);
+    client
+        .stream(make_batches(&sys, 3, 0), None)
+        .expect("ingest");
+
+    let (status, body) = http_get(server.http_addr(), "/stats");
+    assert!(status.contains("200"), "{status}");
+    let stats = serde_json::parse_value(&body).expect("stats is JSON");
+    let shards = match stats.get("shards") {
+        Some(serde::Value::Array(a)) => a,
+        other => panic!("shards array missing: {other:?}"),
+    };
+    assert_eq!(shards.len(), 3, "one entry per ingest shard");
+    let pushed: u64 = shards
+        .iter()
+        .map(|s| {
+            s.get("pushed")
+                .and_then(serde::Value::as_u64)
+                .expect("pushed")
+        })
+        .sum();
+    assert_eq!(pushed, 3, "every batch traversed exactly one shard");
+    let version = stats
+        .get("snapshot_version")
+        .and_then(serde::Value::as_u64)
+        .expect("snapshot_version");
+    assert!(version >= 1, "ingest published at least one snapshot");
+
+    let in_process: u64 = server.shard_stats().iter().map(|s| s.pushed).sum();
+    assert_eq!(in_process, pushed);
+}
+
+/// An injected reorder widens the resend window to two unacked batches;
+/// with `max_unacked: 1` that is a typed overflow error *before* any
+/// wire activity, and the default cap delivers the same stream fine.
+#[test]
+fn resend_overflow_is_a_typed_error() {
+    let spec = FaultSpec::parse("frame=1.0").expect("spec parses");
+    let seed = (0..10_000u64)
+        .find(|&s| {
+            matches!(
+                FaultPlan::new(spec, s).trial(0).frame_fault(true),
+                Some(tomo_fault::FrameFaultKind::Reorder)
+            )
+        })
+        .expect("some seed draws Reorder first");
+    let server = start(ServeConfig::default());
+    let sys = system();
+
+    let mut client = ProbeClient::new(server.ingest_addr(), 1).with_config(ClientConfig {
+        max_unacked: 1,
+        ..ClientConfig::default()
+    });
+    let mut trial = FaultPlan::new(spec, seed).trial(0);
+    let err = client
+        .stream(make_batches(&sys, 2, 0), Some(&mut trial))
+        .expect_err("two unacked batches exceed a cap of one");
+    assert_eq!(
+        err,
+        ClientError::ResendOverflow {
+            unacked: 2,
+            capacity: 1
+        }
+    );
+
+    // The default cap absorbs the same reorder without complaint.
+    let mut client = ProbeClient::new(server.ingest_addr(), 1);
+    let mut trial = FaultPlan::new(spec, seed).trial(0);
+    let outcome = client
+        .stream(make_batches(&sys, 2, 0), Some(&mut trial))
+        .expect("default cap delivers");
+    assert_eq!(outcome.acked, 2);
+    assert_eq!(outcome.injected.frame_reorder, 1);
+}
+
+#[test]
+fn windowed_stream_matches_lockstep_and_respects_the_resend_cap() {
+    let sys = system();
+    let batches = make_batches(&sys, 20, 0);
+
+    let lockstep_server = start(ServeConfig::default());
+    let mut lockstep = ProbeClient::new(lockstep_server.ingest_addr(), 7);
+    lockstep
+        .stream(batches.clone(), None)
+        .expect("lockstep stream");
+    let lockstep_bits = lockstep_server.query().expect("query").estimate_bits;
+
+    // Pipelined windows (including a ragged final window) deliver the
+    // same batch set and therefore the same final state, bit for bit.
+    let windowed_server = start(ServeConfig::default());
+    let mut windowed = ProbeClient::new(windowed_server.ingest_addr(), 7);
+    let outcome = windowed
+        .stream_windowed(batches.clone(), 8)
+        .expect("windowed stream");
+    assert_eq!(outcome.acked, 20);
+    assert_eq!(
+        windowed_server.query().expect("query").estimate_bits,
+        lockstep_bits
+    );
+
+    // A window wider than the resend buffer is refused before any wire
+    // traffic, as a typed overflow.
+    let mut capped = ProbeClient::new(windowed_server.ingest_addr(), 7).with_config(ClientConfig {
+        max_unacked: 4,
+        ..ClientConfig::default()
+    });
+    match capped.stream_windowed(batches, 8) {
+        Err(ClientError::ResendOverflow { unacked, capacity }) => {
+            assert_eq!(unacked, 8);
+            assert_eq!(capacity, 4);
+        }
+        other => panic!("expected ResendOverflow, got {other:?}"),
+    }
 }

@@ -51,6 +51,7 @@ pub mod noise;
 pub mod report;
 pub mod scale;
 pub mod serve_chaos;
+pub mod serve_load;
 pub mod topologies;
 
 use std::error::Error;

@@ -1,7 +1,7 @@
 //! `tomo-sim` — command-line runner for the paper's evaluation figures.
 //!
 //! ```text
-//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
+//! tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|serve-load|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC]
 //! tomo-sim list
 //! ```
 //!
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use tomo_par::Executor;
 use tomo_sim::{
     ablation, chaos, defense, fig2, fig4, fig5, fig6, fig7, fig8, fig9, gap, incremental, noise,
-    report, scale, serve_chaos, SimError,
+    report, scale, serve_chaos, serve_load, SimError,
 };
 
 #[derive(Debug, PartialEq)]
@@ -203,7 +203,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
 const DEFAULT_METRICS_PORT: u16 = 9184;
 
 fn usage() -> String {
-    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT] [--max-links N]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos and serve-chaos) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular, frame; \"off\" disables all\n(serve-chaos draws only the frame family).\n--max-links (scale only) caps the sweep's largest topology (default 10000).\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
+    "usage:\n  tomo-sim run <fig2|fig4|fig5|fig6|fig7|fig8|fig9|stealth-tax|defense|noise|gap|chaos|serve-chaos|serve-load|scale|incremental|all> [--seed N] [--out DIR] [--quick] [--threads N] [--metrics FILE] [--verbose] [--faults SPEC] [--trace-out FILE] [--serve-metrics PORT] [--max-links N]\n  tomo-sim serve-metrics [--port N]\n  tomo-sim list\n\n--faults (chaos and serve-chaos) is a comma list of rates, e.g. \"loss=0.05,corrupt=0.01\";\nkeys: loss, corrupt, stale, link_fail, lp_iter, lp_singular, frame; \"off\" disables all\n(serve-chaos draws only the frame family).\n--max-links (scale only) caps the sweep's largest topology (default 10000).\n--trace-out enables span/provenance tracing and writes Chrome trace-event\nJSON (open at https://ui.perfetto.dev). --serve-metrics exposes Prometheus\ntext at http://127.0.0.1:PORT/metrics for the duration of the run;\nthe serve-metrics command runs the same endpoint standalone (default port 9184)."
         .to_string()
 }
 
@@ -383,6 +383,18 @@ fn run_one(name: &str, args: &Args, exec: &Executor) -> Result<(), SimError> {
                 report::write_json(&r, &p)?;
             }
         }
+        "serve-load" => {
+            let config = if args.quick {
+                serve_load::ServeLoadConfig::quick()
+            } else {
+                serve_load::ServeLoadConfig::default()
+            };
+            let r = serve_load::run(seed, &config)?;
+            println!("{}", serve_load::render(&r));
+            if let Some(p) = artifact("serve_load.json") {
+                report::write_json(&r, &p)?;
+            }
+        }
         "scale" => {
             let r = scale::run(seed, &scale_config(args.quick, args.max_links))?;
             println!("{}", scale::render(&r));
@@ -455,6 +467,7 @@ fn main() -> ExitCode {
              gap  Theorem 3 gap: consistency-only evasion rates\n\
              chaos  detection degradation under injected faults (--faults)\n\
              serve-chaos  live tomo-serve daemon: wire faults, kill/restart, SLO (--faults)\n\
+             serve-load  many concurrent probe clients vs one daemon: throughput, tail, identity\n\
              scale  Rocketfuel-scale kernel sweep, 1k-50k links (--max-links)\n\
              incremental  cold-rebuild vs rank-1-delta solver benchmark\n\
              all   everything above (figures only)"
@@ -625,6 +638,18 @@ mod tests {
         // chaos without --faults uses the default mix.
         let d = parse_args_from(&argv(&["run", "chaos"])).unwrap();
         assert_eq!(d.faults, None);
+    }
+
+    #[test]
+    fn serve_load_parses_and_rejects_faults() {
+        let a = parse_args_from(&argv(&["run", "serve-load", "--quick", "--seed", "5"])).unwrap();
+        assert_eq!(a.target, "serve-load");
+        assert_eq!(a.seed, 5);
+        assert!(a.quick);
+        // The load sweep draws no wire faults; the flag stays chaos-only.
+        let err =
+            parse_args_from(&argv(&["run", "serve-load", "--faults", "frame=0.1"])).unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! this experiment stands up the real streaming daemon and attacks the
 //! seams between processes: each sweep point boots a fresh `tomo-serve`
 //! (journal on disk), streams full-coverage measurement batches through
-//! a [`ProbeClient`] whose wire is sabotaged at the point's `frame=`
-//! rate (truncated frames, garbled type bytes, duplicates, reorders),
+//! a fleet of `config.clients` concurrent [`ProbeClient`]s — client `c`
+//! of `C` sends the batch ids `{b : b % C == c}` via start id + stride,
+//! each client's wire independently sabotaged at the point's `frame=`
+//! rate (truncated frames, garbled type bytes, duplicates, reorders) —
 //! queries link state *while* ingest is running to measure bounded
 //! latency against the SLO, then kills the daemon at the midpoint and
-//! restarts it on the same journal.
+//! restarts it on the same journal with the whole fleet mid-stream.
 //!
 //! Three invariants are enforced, not just reported:
 //!
@@ -54,8 +56,12 @@ const JITTER_SALT: u64 = 0x6a69_7474; // "jitt"
 /// Serve-chaos configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeChaosConfig {
-    /// Measurement batches streamed per sweep point.
+    /// Measurement batches streamed per sweep point, in total across
+    /// the client fleet.
     pub batches_per_point: usize,
+    /// Concurrent faulted clients per daemon (client `c` of `C` sends
+    /// the batch ids `{b : b % C == c}`).
+    pub clients: usize,
     /// Rate multipliers applied to the base spec, one sweep point each.
     pub scales: Vec<f64>,
     /// The p99 query-latency SLO, milliseconds. Generous by default:
@@ -67,6 +73,7 @@ impl Default for ServeChaosConfig {
     fn default() -> Self {
         ServeChaosConfig {
             batches_per_point: 80,
+            clients: 2,
             scales: vec![0.0, 0.5, 1.0],
             slo_ms: 50.0,
         }
@@ -91,7 +98,10 @@ pub struct ServeChaosPoint {
     pub scale: f64,
     /// The scaled spec actually injected on the wire.
     pub spec: FaultSpec,
-    /// Batches delivered (all of them, or the run failed).
+    /// Concurrent clients that delivered this point.
+    pub clients: usize,
+    /// Batches delivered across the fleet (all of them, or the run
+    /// failed).
     pub batches: u64,
     /// Client reconnects (handshake count, including the restart).
     pub reconnects: u64,
@@ -187,8 +197,8 @@ struct PointRun {
 }
 
 /// Streams `batches` through a daemon that is killed and restarted at
-/// the midpoint, querying concurrently throughout. Returns what the
-/// point observed.
+/// the midpoint, with `clients` concurrent faulted clients and queries
+/// in flight throughout. Returns what the point observed.
 fn run_point_daemon(
     system: &Arc<TomographySystem>,
     batches: Vec<Vec<ProbeRow>>,
@@ -196,30 +206,27 @@ fn run_point_daemon(
     point_seed: u64,
     slo_ms: f64,
     journal: &Path,
+    clients: usize,
 ) -> Result<PointRun, SimError> {
     let mid = batches.len() / 2;
-    let (first, second) = batches.split_at(mid);
-    let mut trial = FaultPlan::new(spec, point_seed ^ PLAN_SALT).trial(0);
-    let jitter_seed = derive_seed(point_seed ^ JITTER_SALT, 0);
 
     let mut outcome = tomo_serve::StreamOutcome::default();
     let mut latencies = Vec::new();
 
-    // Phase 1: first half into daemon A, queries in flight.
+    // Phase 1: ids [0, mid) into daemon A, split across the fleet.
     let server_a = Server::start(
         Arc::clone(system),
         ConsistencyDetector::recommended(),
         serve_config(Some(journal.to_path_buf()), slo_ms),
     )
     .map_err(|e| SimError(format!("serve-chaos: daemon A start: {e}")))?;
-    let mut client = ProbeClient::new(server_a.ingest_addr(), jitter_seed);
-    let (delta, mut lat) = stream_with_queries(&server_a, &mut client, first.to_vec(), &mut trial)?;
+    let (delta, mut lat) = fleet_stream(&server_a, &batches, 0, mid, spec, point_seed, clients, 0)?;
     merge_outcome(&mut outcome, &delta);
     latencies.append(&mut lat);
-    let next_id = client.next_batch_id();
-    drop(server_a); // kill mid-sweep
+    drop(server_a); // kill mid-sweep, every client's stream severed
 
-    // Phase 2: restart on the same journal; the stream continues.
+    // Phase 2: restart on the same journal; the fleet continues with
+    // ids [mid, len) — each client resuming its own id residue class.
     let server_b = Server::start(
         Arc::clone(system),
         ConsistencyDetector::recommended(),
@@ -228,10 +235,16 @@ fn run_point_daemon(
     .map_err(|e| SimError(format!("serve-chaos: daemon B start: {e}")))?;
     let epoch_after_restart = server_b.epoch();
     let replay_applied = server_b.engine_stats().applied;
-    let mut client =
-        ProbeClient::new(server_b.ingest_addr(), jitter_seed ^ 1).with_start_batch_id(next_id);
-    let (delta, mut lat) =
-        stream_with_queries(&server_b, &mut client, second.to_vec(), &mut trial)?;
+    let (delta, mut lat) = fleet_stream(
+        &server_b,
+        &batches,
+        mid,
+        batches.len(),
+        spec,
+        point_seed,
+        clients,
+        1,
+    )?;
     merge_outcome(&mut outcome, &delta);
     latencies.append(&mut lat);
 
@@ -248,15 +261,25 @@ fn run_point_daemon(
     })
 }
 
-/// Streams one chunk while a sidecar thread queries the daemon; returns
-/// the stream outcome delta and the observed query latencies (µs).
-fn stream_with_queries(
+/// Streams the batch ids `[from, to)` through `clients` concurrent
+/// probe clients (client `c` takes the ids `≡ c (mod clients)`, via
+/// start id + stride) while a sidecar thread queries the daemon.
+/// Returns the fleet's merged outcome and the observed query latencies
+/// (µs). `phase` salts each client's fault stream so the two halves of
+/// the sweep draw independent faults.
+#[allow(clippy::too_many_arguments)]
+fn fleet_stream(
     server: &Server,
-    client: &mut ProbeClient,
-    batches: Vec<Vec<ProbeRow>>,
-    trial: &mut tomo_fault::TrialFaults,
+    batches: &[Vec<ProbeRow>],
+    from: usize,
+    to: usize,
+    spec: FaultSpec,
+    point_seed: u64,
+    clients: usize,
+    phase: u64,
 ) -> Result<(tomo_serve::StreamOutcome, Vec<f64>), SimError> {
     let stop = AtomicBool::new(false);
+    let addr = server.ingest_addr();
     std::thread::scope(|scope| {
         let query_thread = scope.spawn(|| {
             let mut lat = Vec::new();
@@ -268,11 +291,44 @@ fn stream_with_queries(
             }
             lat
         });
-        let result = client.stream(batches, Some(trial));
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<tomo_serve::StreamOutcome, String> {
+                    let Some(first) = (from..to).find(|b| b % clients == c) else {
+                        return Ok(tomo_serve::StreamOutcome::default());
+                    };
+                    let mine: Vec<Vec<ProbeRow>> = (first..to)
+                        .step_by(clients)
+                        .map(|b| batches[b].clone())
+                        .collect();
+                    let salt = phase * clients as u64 + c as u64;
+                    let mut trial =
+                        FaultPlan::new(spec, derive_seed(point_seed ^ PLAN_SALT, salt)).trial(0);
+                    let jitter = derive_seed(point_seed ^ JITTER_SALT, salt);
+                    let mut client = ProbeClient::new(addr, jitter)
+                        .with_start_batch_id(first as u64)
+                        .with_batch_id_stride(clients as u64);
+                    client
+                        .stream(mine, Some(&mut trial))
+                        .map_err(|e| format!("client {c}: {e}"))
+                })
+            })
+            .collect();
+        let mut total = tomo_serve::StreamOutcome::default();
+        let mut failure = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(delta)) => merge_outcome(&mut total, &delta),
+                Ok(Err(e)) => failure = Some(SimError(format!("serve-chaos: stream failed: {e}"))),
+                Err(_) => failure = Some(SimError("serve-chaos: client thread panicked".into())),
+            }
+        }
         stop.store(true, Ordering::Release);
         let latencies = query_thread.join().unwrap_or_default();
-        let outcome = result.map_err(|e| SimError(format!("serve-chaos: stream failed: {e}")))?;
-        Ok((outcome, latencies))
+        match failure {
+            Some(e) => Err(e),
+            None => Ok((total, latencies)),
+        }
     })
 }
 
@@ -300,7 +356,15 @@ fn run_point(
     let point_seed = derive_seed(seed, point_index as u64);
     let batches = make_batches(system, config.batches_per_point)?;
     let journal = temp_journal(seed, point_index);
-    let run = run_point_daemon(system, batches, spec, point_seed, config.slo_ms, &journal);
+    let run = run_point_daemon(
+        system,
+        batches,
+        spec,
+        point_seed,
+        config.slo_ms,
+        &journal,
+        config.clients,
+    );
     let _ = std::fs::remove_file(&journal);
     let run = run?;
 
@@ -321,6 +385,7 @@ fn run_point(
     Ok(ServeChaosPoint {
         scale,
         spec,
+        clients: config.clients,
         batches: run.outcome.acked,
         reconnects: run.outcome.reconnects,
         queue_full_rejects: run.outcome.queue_full_rejects,
@@ -354,6 +419,15 @@ pub fn run(
         return Err(SimError(
             "serve-chaos: need at least one scale and four batches per point".into(),
         ));
+    }
+    if config.clients == 0 || config.batches_per_point < 2 * config.clients {
+        return Err(SimError(format!(
+            "serve-chaos: {} batches cannot exercise {} concurrent clients across a restart \
+             (need at least {})",
+            config.batches_per_point,
+            config.clients,
+            2 * config.clients.max(1)
+        )));
     }
     let system = Arc::new(fig1::fig1_system()?);
     system.warm_estimator_cache()?;
@@ -450,8 +524,8 @@ pub fn render(result: &ServeChaosResult) -> String {
     );
     let mut out = crate::report::two_column_table(
         &format!(
-            "Serve-chaos — live daemon under wire faults + kill/restart (seed {})",
-            result.seed
+            "Serve-chaos — live daemon under wire faults + kill/restart, {} concurrent clients (seed {})",
+            result.config.clients, result.seed
         ),
         ("fault scale", "delivery, latency, reconvergence"),
         &rows,
@@ -470,6 +544,7 @@ mod tests {
             batches_per_point: 12,
             scales: vec![0.0, 1.0],
             slo_ms: 1000.0, // debug builds on shared CI cores
+            ..ServeChaosConfig::default()
         }
     }
 
@@ -480,17 +555,37 @@ mod tests {
         assert!(r.totals.is_balanced());
         for p in &r.points {
             assert_eq!(p.batches, 12, "every batch delivered at ×{}", p.scale);
+            assert_eq!(p.clients, 2, "the default fleet is two clients");
             assert!(p.byte_identical);
             assert!(!p.detected);
             assert_eq!(p.epoch_after_restart, 2, "one restart per point");
             assert!(p.queries > 0, "queries ran during ingest");
         }
         // Scale 0 injects nothing; scale 1 at rate 0.25 over 12 draws
-        // fires with overwhelming probability under the fixed seed.
+        // (split over two independent fault streams) fires with
+        // overwhelming probability under the fixed seed.
         assert_eq!(r.points[0].report.injected, 0);
         assert!(r.points[1].report.injected > 0);
-        // At least two clean reconnects per point (boot + restart).
-        assert!(r.points[0].reconnects >= 2);
+        // Each of the two clients handshakes in both phases.
+        assert!(r.points[0].reconnects >= 4);
+    }
+
+    #[test]
+    fn a_three_client_fleet_reconverges_under_faults() {
+        let spec = FaultSpec::parse(DEFAULT_FAULTS).unwrap();
+        let config = ServeChaosConfig {
+            clients: 3,
+            scales: vec![1.0],
+            ..tiny()
+        };
+        let r = run(17, &spec, &config).unwrap();
+        assert!(r.totals.is_balanced());
+        let p = &r.points[0];
+        assert_eq!(p.clients, 3);
+        assert_eq!(p.batches, 12);
+        assert!(p.byte_identical, "fleet delivery is order-independent");
+        assert_eq!(p.epoch_after_restart, 2);
+        assert!(p.reconnects >= 6, "three clients × two phases");
     }
 
     #[test]
@@ -521,6 +616,26 @@ mod tests {
             &spec,
             &ServeChaosConfig {
                 batches_per_point: 2,
+                ..tiny()
+            },
+        )
+        .is_err());
+        assert!(run(
+            1,
+            &spec,
+            &ServeChaosConfig {
+                clients: 0,
+                ..tiny()
+            },
+        )
+        .is_err());
+        // 12 batches cannot keep 7 clients busy on both sides of the
+        // restart.
+        assert!(run(
+            1,
+            &spec,
+            &ServeChaosConfig {
+                clients: 7,
                 ..tiny()
             },
         )

