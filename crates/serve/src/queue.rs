@@ -272,10 +272,20 @@ impl<T> ShardedQueue<T> {
     /// Panics if `shard` is out of range.
     pub fn try_push(&self, shard: usize, item: T) -> Result<(), QueueFull> {
         let s = &self.shards[shard];
-        let closed = lock(&self.doorbell).closed;
         {
+            // The closed check, the push, and the pending increment are
+            // one atomic step under shard-then-doorbell nesting (the
+            // consumer never holds the doorbell while taking a shard
+            // lock, so this order cannot deadlock). Checking `closed`
+            // before taking the shard lock would leave a window where
+            // close() lands in between and the consumer exits after
+            // draining pending to zero — the item would be enqueued and
+            // acknowledged by Ok(()) but never consumed, stranding the
+            // client until its ack timeout.
             let mut items = lock(&s.items);
-            if closed || items.len() >= self.per_shard_capacity {
+            let mut bell = lock(&self.doorbell);
+            if bell.closed || items.len() >= self.per_shard_capacity {
+                drop(bell);
                 drop(items);
                 s.rejects.fetch_add(1, Ordering::Relaxed);
                 s.reject_counter.inc();
@@ -290,8 +300,8 @@ impl<T> ShardedQueue<T> {
             items.push_back(item);
             s.pushed.fetch_add(1, Ordering::Relaxed);
             s.depth_gauge.set(items.len() as f64);
+            bell.pending += 1;
         }
-        lock(&self.doorbell).pending += 1;
         self.bell.notify_one();
         Ok(())
     }

@@ -13,9 +13,10 @@
 //!   drains the shards in deterministic round-robin order, journals each
 //!   admitted batch, applies it, snapshots on cadence, publishes an
 //!   immutable [`EngineSnapshot`] when the queue drains (or every
-//!   `publish_coalesce` batches), and only then releases the `Ack` — so
-//!   an acked batch both survives a crash *and* is visible to the next
-//!   query;
+//!   `publish_coalesce` batches), and holds every `Ack` back until the
+//!   publish that covers it — so an acked batch both survives a crash
+//!   *and* is visible to the next query, for pipelined clients and
+//!   multi-client fleets just as for a lockstep client;
 //! * the **HTTP front** and every in-process query answer from the
 //!   latest published snapshot — no engine lock exists to take, so
 //!   `/state`, `/verdict`, and `/stats` never contend with ingest and a
@@ -250,30 +251,52 @@ impl Server {
                     let mut engine = engine;
                     let mut version = 1u64;
                     let mut unpublished = 0u64;
+                    // Acks are withheld until the publish that covers
+                    // them, so "acked" always implies "visible to the
+                    // next query" — even under sustained load where
+                    // publishes coalesce, a client that saw an ack and
+                    // then queries sees its own write. Rejects promise
+                    // no visibility and go out immediately. A publish
+                    // is never more than `coalesce` batches (or one
+                    // poll interval) behind the ack it gates, so the
+                    // added ack latency stays far under the client's
+                    // ack timeout.
+                    let mut pending_acks: Vec<(mpsc::Sender<Frame>, Frame)> = Vec::new();
                     loop {
                         match queue.pop_next(poll) {
                             Some((_, item)) => {
                                 let reply = apply_one(&mut engine, journal.as_mut(), &item.batch);
                                 unpublished += 1;
-                                // Publish *before* the ack goes out when
-                                // the queue is drained (always true for a
-                                // lockstep client's latest batch), so an
-                                // acked write is visible to the next
-                                // query; under sustained load, coalesce.
+                                if matches!(reply, Frame::Ack { .. }) {
+                                    pending_acks.push((item.reply, reply));
+                                } else {
+                                    // A gone receiver just means the
+                                    // connection died; the client retries.
+                                    let _ = item.reply.send(reply);
+                                }
+                                // Publish when the queue drains (always
+                                // true for a lockstep client's latest
+                                // batch); under sustained load, coalesce.
                                 if queue.depth() == 0 || unpublished >= coalesce {
                                     store.publish(engine.published_view(version));
                                     version += 1;
                                     unpublished = 0;
+                                    for (reply_tx, ack) in pending_acks.drain(..) {
+                                        let _ = reply_tx.send(ack);
+                                    }
                                 }
-                                // A gone receiver just means the connection
-                                // died; the client will retry.
-                                let _ = item.reply.send(reply);
                             }
                             None => {
                                 if unpublished > 0 {
                                     store.publish(engine.published_view(version));
                                     version += 1;
                                     unpublished = 0;
+                                }
+                                // Any ack still pending is covered now:
+                                // a non-empty pending list implies
+                                // unpublished > 0 above published it.
+                                for (reply_tx, ack) in pending_acks.drain(..) {
+                                    let _ = reply_tx.send(ack);
                                 }
                                 if stop.load(Ordering::Acquire) && queue.depth() == 0 {
                                     break;

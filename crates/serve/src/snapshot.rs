@@ -24,8 +24,17 @@
 //!
 //! **Monotonic versions.** Each slot's stored version only increases,
 //! and a reader reaches a slot at or after the index flip that exposed
-//! it, so the versions any single reader observes never go backwards —
-//! the property the snapshot proptest hammers.
+//! it. One race needs explicit handling: a reader that loads the index
+//! and is then preempted long enough for the publisher to flip *and*
+//! start writing the next version into the reader's (now inactive)
+//! slot would clone a not-yet-published snapshot — and its next load,
+//! following the flipped index, would observe an older version.
+//! [`SnapshotStore::load`] therefore re-reads the index after cloning
+//! and retries if it changed; the slot mutex it just released gives the
+//! re-read a happens-before edge to the flip, so a stale clone is
+//! always detected. With that retry, the versions any single reader
+//! observes never go backwards — the property the snapshot proptest
+//! hammers.
 //!
 //! **Lazy solves.** The snapshot carries the covered slot values, not a
 //! precomputed estimate: the first reader that asks for
@@ -280,10 +289,25 @@ impl SnapshotStore {
     /// The latest published snapshot. Lock-free with respect to the
     /// publisher: the brief slot lock is only ever contended by other
     /// readers cloning the same `Arc`, never by ingest.
+    ///
+    /// The index is re-read after the clone and the load retried if it
+    /// changed: a reader preempted between its index load and the slot
+    /// lock can otherwise clone a snapshot the publisher has written
+    /// into the (now inactive) slot but not yet flipped to — returning
+    /// it would run ahead of the publish, and the reader's *next* load,
+    /// following the flip, would see versions go backwards. The slot
+    /// unlock the publisher did before our lock orders its prior flip
+    /// before the re-read, so the stale case is always caught; a clean
+    /// pass with an unchanged index means the clone was published.
     #[must_use]
     pub fn load(&self) -> Arc<EngineSnapshot> {
-        let idx = self.active.load(Ordering::Acquire);
-        Arc::clone(&lock(&self.slots[idx]))
+        loop {
+            let idx = self.active.load(Ordering::Acquire);
+            let snapshot = Arc::clone(&lock(&self.slots[idx]));
+            if self.active.load(Ordering::Acquire) == idx {
+                return snapshot;
+            }
+        }
     }
 }
 

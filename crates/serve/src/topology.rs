@@ -104,6 +104,13 @@ fn sample_extra_paths(
     rng: &mut ChaCha8Rng,
 ) -> Result<Vec<Path>, GraphError> {
     let n = graph.num_nodes();
+    if extra == 0 || n < 2 {
+        // No pair to sample. A parsed-but-degenerate graph (zero or one
+        // node) falls through to `TomographySystem::new`, which rejects
+        // it with a typed `TopologyError::Core` — sampling here would
+        // panic on an empty `gen_range`.
+        return Ok(Vec::new());
+    }
     let mut out = Vec::with_capacity(extra);
     let mut guard = 0;
     while out.len() < extra && guard < extra * 20 {
@@ -155,6 +162,19 @@ mod tests {
         for i in 0..a.num_paths() {
             assert_eq!(ya[i].to_bits(), yb[i].to_bits());
         }
+    }
+
+    #[test]
+    fn empty_topology_with_extra_paths_is_a_typed_core_error() {
+        // A parseable-but-empty edge list must not panic in extra-path
+        // sampling (gen_range over 0 nodes); it reaches the system
+        // builder and comes back as a typed error.
+        let mut p = std::env::temp_dir();
+        p.push(format!("tomo-serve-topo-empty-{}.txt", std::process::id()));
+        std::fs::write(&p, "# no edges\n").expect("write fixture");
+        let err = load_system(&p, 8, 42).unwrap_err();
+        let _ = std::fs::remove_file(&p);
+        assert!(matches!(err, TopologyError::Core(_)), "got {err}");
     }
 
     #[test]

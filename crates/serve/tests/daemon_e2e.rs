@@ -633,6 +633,64 @@ fn queries_stay_fast_while_ingest_is_saturated() {
     assert_eq!(answer.coverage, system().num_paths());
 }
 
+/// Read-your-writes under coalesced publishing: the moment an ack is
+/// readable on the wire, the published snapshot already covers that
+/// batch — even when the queue never drains mid-window and
+/// `publish_coalesce` is too large to force intermediate publishes.
+#[test]
+fn acks_imply_snapshot_visibility_under_coalesced_load() {
+    let server = start(ServeConfig {
+        publish_coalesce: 1_000_000,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    });
+    let sys = system();
+    let batches = make_batches(&sys, 48, 0);
+
+    let mut stream = TcpStream::connect(server.ingest_addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    let hello_ack = read_frame(&mut stream).expect("read").expect("frame");
+    assert!(matches!(hello_ack, Frame::HelloAck { .. }));
+
+    // Pipeline the whole window before reading a single reply, so the
+    // apply worker sees a deep queue and would coalesce acks ahead of
+    // any publish if it could.
+    for (i, rows) in batches.iter().enumerate() {
+        let frame = Frame::Batch(ProbeBatch {
+            batch_id: i as u64 + 1,
+            epoch: 1,
+            rows: rows.clone(),
+        });
+        write_frame(&mut stream, &frame).expect("send batch");
+    }
+
+    // Batches flow through one connection and one shard, so acks come
+    // back in apply order: on reading the k-th ack, the published
+    // snapshot must already show at least k applied batches.
+    let mut acked = 0u64;
+    while acked < 48 {
+        match read_frame(&mut stream).expect("read").expect("reply") {
+            Frame::Ack { .. } => {
+                acked += 1;
+                let snap = server.snapshot();
+                assert!(
+                    snap.stats().applied >= acked,
+                    "ack {acked} outran the published snapshot (applied {})",
+                    snap.stats().applied
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(server.engine_stats().applied, 48);
+}
+
 /// `Server::start` with a Rocketfuel-parsed system: the daemon answers
 /// queries over the real topology, not just the fig. 1 toy.
 #[test]
